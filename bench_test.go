@@ -1,0 +1,456 @@
+// Package repro_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (experiment ids E1–E10 in
+// DESIGN.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the figure's headline metric via b.ReportMetric,
+// so `go test -bench` output doubles as the reproduction record; the same
+// tables print from cmd/fibench.
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dsync"
+	"repro/internal/experiments"
+	"repro/internal/gmdb"
+	"repro/internal/gmdb/schema"
+	"repro/internal/mme"
+	"repro/internal/perfsim"
+	"repro/internal/tpcc"
+)
+
+// ---------------------------------------------------------------------------
+// E1 — Fig 3: GTM-Lite scalability
+// ---------------------------------------------------------------------------
+
+// BenchmarkFig3GTMLiteScalability regenerates Fig 3's four series in the
+// virtual-time cluster simulator. The metric "txn/s(virtual)" is the
+// figure's y-axis.
+func BenchmarkFig3GTMLiteScalability(b *testing.B) {
+	for _, mode := range []perfsim.Mode{perfsim.GTMLite, perfsim.Baseline} {
+		for _, ss := range []float64{1.0, 0.9} {
+			for _, nodes := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%s/ss=%.0f%%/nodes=%d", mode, ss*100, nodes)
+				b.Run(name, func(b *testing.B) {
+					var last perfsim.Result
+					for i := 0; i < b.N; i++ {
+						p := perfsim.DefaultParams(nodes, mode, ss)
+						p.Duration = 0.5
+						last = perfsim.Run(p)
+					}
+					b.ReportMetric(last.Throughput, "txn/s(virtual)")
+					b.ReportMetric(last.GTMUtilization*100, "gtm-util-%")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTPCCLiveEngine is the E1 companion on the real engine: wall
+// clock txn/s for both protocols (absolute numbers are single-host; the
+// protocol-level contrast is the GTM request count).
+func BenchmarkTPCCLiveEngine(b *testing.B) {
+	for _, mode := range []cluster.TxnMode{cluster.ModeGTMLite, cluster.ModeBaseline} {
+		b.Run(mode.String(), func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{DataNodes: 4, Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := tpcc.DefaultConfig(4, 0.9)
+			if err := tpcc.Load(c, cfg); err != nil {
+				b.Fatal(err)
+			}
+			d := tpcc.NewDriver(c, cfg, 0)
+			base := c.GTMStats().Total()
+			b.ResetTimer()
+			if err := d.Run(b.N); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(c.GTMStats().Total()-base)/float64(b.N), "gtm-reqs/txn")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Table I: the learning optimizer's plan store
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1PlanStore executes the paper's §II-C query repeatedly
+// with the learning loop on; after the first run the optimizer serves the
+// captured actuals (the consumer path of Fig 5).
+func BenchmarkTable1PlanStore(b *testing.B) {
+	db, err := core.Open(core.Options{DataNodes: 2, Learning: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec("CREATE TABLE olap.t1 (a1 BIGINT, b1 BIGINT) DISTRIBUTE BY HASH(a1)")
+	db.MustExec("CREATE TABLE olap.t2 (a2 BIGINT, c2 TEXT) DISTRIBUTE BY HASH(a2)")
+	s := db.Session()
+	for i := 0; i < 150; i++ {
+		s.Exec(fmt.Sprintf("INSERT INTO olap.t1 VALUES (%d, %d)", i%25, i))
+	}
+	for i := 0; i < 25; i++ {
+		s.Exec(fmt.Sprintf("INSERT INTO olap.t2 VALUES (%d, 'n%d')", i, i))
+	}
+	const q = "select * from OLAP.t1, OLAP.t2 where OLAP.t1.a1=OLAP.t2.a2 and OLAP.t1.b1 > 10"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(db.PlanStore().Len()), "stored-steps")
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Fig 11: GMDB online schema evolution
+// ---------------------------------------------------------------------------
+
+func newMMEStore(b *testing.B) (*gmdb.Store, []string) {
+	b.Helper()
+	reg := schema.NewRegistry()
+	if err := mme.RegisterAll(reg); err != nil {
+		b.Fatal(err)
+	}
+	store := gmdb.NewStore(reg, gmdb.Config{Partitions: 2})
+	b.Cleanup(store.Close)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]string, 64)
+	for i := range keys {
+		obj, err := mme.GenerateSession(rng, 5, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys[i] = fmt.Sprintf("imsi-%d", i)
+		if err := store.Put(keys[i], obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return store, keys
+}
+
+// BenchmarkFig11SchemaEvolution measures GMDB reads with on-the-fly
+// conversion: same-version, adjacent upgrade, adjacent downgrade and
+// multi-hop — Fig 11's cases over synthetic 5-10KB MME sessions.
+func BenchmarkFig11SchemaEvolution(b *testing.B) {
+	cases := []struct {
+		name    string
+		version int
+	}{
+		{"read-same-version-V5", 5},
+		{"read-upgrade-V5-to-V6", 6},
+		{"read-downgrade-V5-to-V3", 3},
+		{"read-multihop-V5-to-V8", 8},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			store, keys := newMMEStore(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := store.Get(keys[i%len(keys)], tc.version); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E9 — delta sync vs whole-object sync
+// ---------------------------------------------------------------------------
+
+// BenchmarkDeltaSync compares GMDB's two update paths; "sync-bytes/op" is
+// the bandwidth a subscribed client pays per update.
+func BenchmarkDeltaSync(b *testing.B) {
+	b.Run("whole-object-put", func(b *testing.B) {
+		store, keys := newMMEStore(b)
+		sub, err := store.Subscribe(keys[0], 5, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sub.Cancel()
+		rng := rand.New(rand.NewSource(2))
+		objs := make([]*schema.Object, 8)
+		for i := range objs {
+			objs[i], _ = mme.GenerateSession(rng, 5, 0)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.Put(keys[0], objs[i%len(objs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(store.Stats().FullSyncBytes)/float64(b.N), "sync-bytes/op")
+	})
+	b.Run("delta-update", func(b *testing.B) {
+		store, keys := newMMEStore(b)
+		sub, err := store.Subscribe(keys[0], 5, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sub.Cancel()
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d, _ := mme.SessionDelta(rng, 5, keys[0], 0)
+			if err := store.ApplyDelta(keys[0], d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(store.Stats().DeltaSyncBytes)/float64(b.N), "sync-bytes/op")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// E6 — learning optimizer quality
+// ---------------------------------------------------------------------------
+
+// BenchmarkLearningOptimizer reports the mean Q-error of the canned
+// workload cold (histograms only) vs warm (plan-store actuals).
+func BenchmarkLearningOptimizer(b *testing.B) {
+	var res experiments.LearnResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Learn(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.QErrBefore, "qerr-cold")
+	b.ReportMetric(res.QErrAfter, "qerr-warm")
+}
+
+// ---------------------------------------------------------------------------
+// E8 — ablations
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationCrossShardFraction sweeps the multi-shard fraction at 4
+// nodes; GTM-lite's advantage decays toward 1x as cross-shard work grows.
+func BenchmarkAblationCrossShardFraction(b *testing.B) {
+	for _, ss := range []float64{1.0, 0.9, 0.5, 0.0} {
+		b.Run(fmt.Sprintf("cross-shard=%.0f%%", (1-ss)*100), func(b *testing.B) {
+			var lite, base perfsim.Result
+			for i := 0; i < b.N; i++ {
+				pl := perfsim.DefaultParams(4, perfsim.GTMLite, ss)
+				pb := perfsim.DefaultParams(4, perfsim.Baseline, ss)
+				pl.Duration, pb.Duration = 0.5, 0.5
+				lite, base = perfsim.Run(pl), perfsim.Run(pb)
+			}
+			b.ReportMetric(lite.Throughput/base.Throughput, "speedup-x")
+		})
+	}
+}
+
+// BenchmarkAblationGTMLatency sweeps the GTM service time at 8 nodes: the
+// slower the centralized service, the harder the baseline flattens while
+// GTM-lite is unaffected.
+func BenchmarkAblationGTMLatency(b *testing.B) {
+	for _, svc := range []float64{5e-6, 25e-6, 100e-6} {
+		b.Run(fmt.Sprintf("gtm-service=%.0fus", svc*1e6), func(b *testing.B) {
+			var lite, base perfsim.Result
+			for i := 0; i < b.N; i++ {
+				pl := perfsim.DefaultParams(8, perfsim.GTMLite, 0.9)
+				pb := perfsim.DefaultParams(8, perfsim.Baseline, 0.9)
+				pl.GTMService, pb.GTMService = svc, svc
+				pl.Duration, pb.Duration = 0.5, 0.5
+				lite, base = perfsim.Run(pl), perfsim.Run(pb)
+			}
+			b.ReportMetric(lite.Throughput, "lite-txn/s")
+			b.ReportMetric(base.Throughput, "baseline-txn/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E10 — device-edge-cloud sync
+// ---------------------------------------------------------------------------
+
+// BenchmarkEdgeSync compares P2P-mesh and via-cloud convergence of 6
+// devices; "sim-ms" is the virtual convergence time over the paper's 10x
+// link asymmetry.
+func BenchmarkEdgeSync(b *testing.B) {
+	mkNodes := func() []*dsync.Node {
+		var nodes []*dsync.Node
+		for i := 0; i < 6; i++ {
+			n := dsync.NewNode(fmt.Sprintf("dev%d", i), dsync.Device, nil)
+			for j := 0; j < 20; j++ {
+				n.Put(fmt.Sprintf("n%d/k%d", i, j), make([]byte, 256))
+			}
+			nodes = append(nodes, n)
+		}
+		return nodes
+	}
+	b.Run("p2p-mesh-direct", func(b *testing.B) {
+		var res dsync.ConvergeResult
+		for i := 0; i < b.N; i++ {
+			direct, _ := dsync.DefaultLinks()
+			res = dsync.Converge(mkNodes(), nil, dsync.MeshP2P, direct, 0)
+			if !res.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+		b.ReportMetric(float64(res.SimTime)/float64(time.Millisecond), "sim-ms")
+		b.ReportMetric(float64(res.Bytes), "bytes")
+	})
+	b.Run("via-cloud-internet", func(b *testing.B) {
+		var res dsync.ConvergeResult
+		for i := 0; i < b.N; i++ {
+			_, internet := dsync.DefaultLinks()
+			res = dsync.Converge(mkNodes(), dsync.NewNode("cloud", dsync.Cloud, nil), dsync.ViaCloud, internet, 0)
+			if !res.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+		b.ReportMetric(float64(res.SimTime)/float64(time.Millisecond), "sim-ms")
+		b.ReportMetric(float64(res.Bytes), "bytes")
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Engine micro-benchmarks (substrate performance context)
+// ---------------------------------------------------------------------------
+
+// BenchmarkSQLPointRead measures the single-shard read path end to end
+// (parse, route, local snapshot, indexed lookup).
+func BenchmarkSQLPointRead(b *testing.B) {
+	db, err := core.Open(core.Options{DataNodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec("CREATE TABLE kv (k BIGINT, v TEXT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	for i := 0; i < 1000; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 'v%d')", i, i))
+	}
+	s := db.Session()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(fmt.Sprintf("SELECT v FROM kv WHERE k = %d", i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColumnarAggregate measures a scatter aggregate over columnar
+// storage (compressed segments, vectorized decode).
+func BenchmarkColumnarAggregate(b *testing.B) {
+	db, err := core.Open(core.Options{DataNodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec("CREATE TABLE facts (k BIGINT, grp BIGINT, v DOUBLE) DISTRIBUTE BY HASH(k) USING COLUMN")
+	s := db.Session()
+	for i := 0; i < 20000; i++ {
+		s.Exec(fmt.Sprintf("INSERT INTO facts VALUES (%d, %d, %d.5)", i, i%8, i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec("SELECT grp, count(*), avg(v) FROM facts GROUP BY grp"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGMDBPut measures the fiber-serialized write path with 5-10KB
+// objects.
+func BenchmarkGMDBPut(b *testing.B) {
+	store, _ := newMMEStore(b)
+	rng := rand.New(rand.NewSource(3))
+	objs := make([]*schema.Object, 16)
+	for i := range objs {
+		objs[i], _ = mme.GenerateSession(rng, 5, int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Put(fmt.Sprintf("bench-%d", i%256), objs[i%len(objs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorageFormats contrasts the hybrid storage layouts (paper §II:
+// "hybrid row-column storage") on a scatter aggregate: columnar segments
+// decode compressed vectors, the row heap walks tuples.
+func BenchmarkStorageFormats(b *testing.B) {
+	for _, storage := range []string{"ROW", "COLUMN"} {
+		b.Run(storage, func(b *testing.B) {
+			db, err := core.Open(core.Options{DataNodes: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			db.MustExec(fmt.Sprintf(
+				"CREATE TABLE f (k BIGINT, grp BIGINT, v DOUBLE) DISTRIBUTE BY HASH(k) USING %s", storage))
+			s := db.Session()
+			for i := 0; i < 20000; i++ {
+				s.Exec(fmt.Sprintf("INSERT INTO f VALUES (%d, %d, %d.5)", i, i%4, i))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec("SELECT grp, sum(v), min(v), max(v) FROM f GROUP BY grp"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwoPhaseAggregation measures the MPP exchange-volume win of
+// DN-side partial aggregation: rows shipped to the coordinator per query,
+// pushdown (count/sum/min/max merge) vs gather (avg forces the fallback).
+func BenchmarkTwoPhaseAggregation(b *testing.B) {
+	setup := func(b *testing.B) *core.DB {
+		db, err := core.Open(core.Options{DataNodes: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.MustExec("CREATE TABLE f (k BIGINT, grp BIGINT, v BIGINT) DISTRIBUTE BY HASH(k)")
+		s := db.Session()
+		for i := 0; i < 10000; i++ {
+			s.Exec(fmt.Sprintf("INSERT INTO f VALUES (%d, %d, %d)", i, i%8, i))
+		}
+		return db
+	}
+	b.Run("pushed-down", func(b *testing.B) {
+		db := setup(b)
+		defer db.Close()
+		var shipped int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query("SELECT grp, sum(v) FROM f GROUP BY grp")
+			if err != nil {
+				b.Fatal(err)
+			}
+			shipped = res.RowsShipped
+		}
+		b.ReportMetric(float64(shipped), "rows-shipped")
+	})
+	b.Run("gather-fallback", func(b *testing.B) {
+		db := setup(b)
+		defer db.Close()
+		var shipped int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query("SELECT grp, avg(v) FROM f GROUP BY grp")
+			if err != nil {
+				b.Fatal(err)
+			}
+			shipped = res.RowsShipped
+		}
+		b.ReportMetric(float64(shipped), "rows-shipped")
+	})
+}

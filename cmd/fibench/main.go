@@ -1,0 +1,54 @@
+// Command fibench regenerates the paper's tables and figures (see
+// DESIGN.md experiment index and EXPERIMENTS.md for the mapping).
+//
+// Usage:
+//
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync]
+//	        [-duration seconds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp")
+	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
+	flag.Parse()
+
+	w := os.Stdout
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "fibench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig3", func() error { experiments.Fig3(w, *duration); return nil })
+	run("table1", func() error { return experiments.Table1(w) })
+	run("fig8", func() error { return experiments.Fig8(w) })
+	run("fig11", func() error { _, err := experiments.Fig11(w, 200, 2000); return err })
+	run("learn", func() error { _, err := experiments.Learn(w); return err })
+	run("tpcc", func() error { return experiments.TPCC(w, 200) })
+	run("ablation", func() error {
+		experiments.AblationCrossShard(w, *duration)
+		experiments.AblationGTMService(w, *duration)
+		return nil
+	})
+	run("sync", func() error { experiments.EdgeSync(w, 6, 20); return nil })
+	run("mpp", func() error { return experiments.MPPExtensions(w) })
+
+	switch *exp {
+	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp":
+	default:
+		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

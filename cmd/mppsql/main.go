@@ -1,0 +1,160 @@
+// Command mppsql is an interactive SQL shell over an embedded FI-MPPDB
+// cluster with the multi-model engines attached.
+//
+//	mppsql [-nodes 4] [-mode gtm-lite|baseline] [-learning] [-f script.sql]
+//
+// Meta commands: \q quit, \gtm show GTM stats, \store show the learning
+// optimizer's plan store, \analyze <table>, \vacuum.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/core"
+	"repro/internal/sqlx"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of data nodes")
+	mode := flag.String("mode", "gtm-lite", "transaction mode: gtm-lite or baseline")
+	learning := flag.Bool("learning", false, "enable the learning optimizer loop")
+	file := flag.String("f", "", "execute a SQL script file and exit")
+	flag.Parse()
+
+	m := core.GTMLite
+	if *mode == "baseline" {
+		m = core.Baseline
+	} else if *mode != "gtm-lite" {
+		fmt.Fprintf(os.Stderr, "mppsql: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	db, err := core.Open(core.Options{DataNodes: *nodes, Mode: m, Learning: *learning})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mppsql:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	sess := db.Session()
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mppsql:", err)
+			os.Exit(1)
+		}
+		stmts, err := sqlx.ParseMulti(string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mppsql:", err)
+			os.Exit(1)
+		}
+		for _, stmt := range stmts {
+			res, err := sess.ExecStmt(stmt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mppsql:", err)
+				os.Exit(1)
+			}
+			printResult(res, 0)
+		}
+		return
+	}
+
+	fmt.Printf("mppsql — embedded FI-MPPDB (%d nodes, %s mode). \\q to quit.\n", *nodes, *mode)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("mppsql> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			sql := buf.String()
+			buf.Reset()
+			start := time.Now()
+			res, err := sess.Exec(sql)
+			if err != nil {
+				fmt.Println("ERROR:", err)
+			} else {
+				printResult(res, time.Since(start))
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles backslash commands; it returns false on \q.
+func meta(db *core.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\gtm":
+		st := db.Cluster().GTMStats()
+		fmt.Printf("GTM requests: begins=%d snapshots=%d ends=%d total=%d\n",
+			st.Begins, st.Snapshots, st.Ends, st.Total())
+	case "\\store":
+		entries := db.PlanStore().Entries()
+		var rows [][]string
+		for _, e := range entries {
+			rows = append(rows, []string{e.StepText, benchfmt.F(e.Estimated), benchfmt.F(e.Actual)})
+		}
+		benchfmt.Table(os.Stdout, "plan store", []string{"step", "estimate", "actual"}, rows)
+	case "\\analyze":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\analyze <table>")
+			break
+		}
+		if err := db.Analyze(fields[1]); err != nil {
+			fmt.Println("ERROR:", err)
+		} else {
+			fmt.Println("analyzed", fields[1])
+		}
+	case "\\vacuum":
+		fmt.Printf("vacuum reclaimed %d versions\n", db.Vacuum())
+	default:
+		fmt.Println("meta commands: \\q \\gtm \\store \\analyze <table> \\vacuum")
+	}
+	return true
+}
+
+func printResult(res *core.Result, elapsed time.Duration) {
+	if len(res.Columns) > 0 {
+		var rows [][]string
+		for _, r := range res.Rows {
+			cells := make([]string, len(r))
+			for i, d := range r {
+				cells[i] = d.String()
+			}
+			rows = append(rows, cells)
+		}
+		benchfmt.Table(os.Stdout, "", res.Columns, rows)
+		fmt.Printf("(%d rows", len(res.Rows))
+	} else {
+		fmt.Printf("OK (%d rows affected", res.RowsAffected)
+	}
+	if elapsed > 0 {
+		fmt.Printf(", %v", elapsed.Round(time.Microsecond))
+	}
+	fmt.Println(")")
+}

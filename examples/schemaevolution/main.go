@@ -1,0 +1,93 @@
+// GMDB online schema evolution example (paper §III-B): MME applications at
+// schema versions V3..V8 share one stored copy of each session. Writers and
+// readers at different versions co-exist with zero downtime — the In
+// Service Software Upgrade the paper describes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/gmdb"
+	"repro/internal/gmdb/schema"
+	"repro/internal/mme"
+)
+
+func main() {
+	reg := schema.NewRegistry()
+	if err := mme.RegisterAll(reg); err != nil {
+		log.Fatal(err)
+	}
+	store := gmdb.NewStore(reg, gmdb.Config{Partitions: 2})
+	defer store.Close()
+
+	// An old MME application (V3) creates sessions.
+	v3, err := store.NewClient(mme.SessionType, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer v3.Close()
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(0); i < 5; i++ {
+		obj, err := mme.GenerateSession(rng, 3, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := v3.Put(fmt.Sprintf("sess-%d", i), obj); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("V3 application wrote 5 sessions")
+
+	// A newly upgraded application (V5) reads the same sessions — objects
+	// upgrade on the fly, new fields appear with their defaults.
+	v5, err := store.NewClient(mme.SessionType, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer v5.Close()
+	sc5, _ := reg.Get(mme.SessionType, 5)
+	obj, err := v5.Get("sess-0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi := sc5.Root.FieldIndex("features")
+	fmt.Printf("V5 reader sees sess-0 at v%d; new field 'features' = %q (default)\n",
+		obj.Version, obj.Root.Values[fi].Scalar.Str())
+
+	// The V5 app updates the session with a delta; the stored copy adopts
+	// V5. The V3 app keeps working: reads downgrade on the fly.
+	d, err := mme.SessionDelta(rng, 5, "460000000000000", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := v5.ApplyDelta("sess-0", d); err != nil {
+		log.Fatal(err)
+	}
+	back, err := store.Get("sess-0", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc3, _ := reg.Get(mme.SessionType, 3)
+	si := sc3.Root.FieldIndex("state")
+	fmt.Printf("V3 reader still works after the V5 delta: state = %q (downgrade evolution)\n",
+		back.Root.Values[si].Scalar.Str())
+
+	// Walk the whole chain: a V8 reader upgrades V3-era data through
+	// V3→V5→V6→V7→V8 stepwise.
+	v8obj, err := store.Get("sess-1", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("V8 reader upgraded sess-1 multi-hop to v%d\n", v8obj.Version)
+
+	// Fig 8's rule: only adjacent direct conversions are defined.
+	if _, err := reg.Conversion(mme.SessionType, 3, 8); err != nil {
+		fmt.Printf("direct V3->V8 conversion correctly rejected: %v\n", err)
+	}
+
+	st := store.Stats()
+	fmt.Printf("\nstore stats: %d puts, %d gets, %d deltas, %d schema conversions\n",
+		st.Puts, st.Gets, st.Deltas, st.Conversions)
+}

@@ -1,0 +1,388 @@
+// Package autonomous implements the paper's autonomous-database prototype
+// (§IV-A, Fig 12): the five components of Huawei's MPP autonomous database
+// architecture —
+//
+//   - information store: continuous performance/workload metrics
+//     (built on the internal/tseries substrate);
+//   - anomaly manager: detectors for datanode failures (heartbeat gaps),
+//     slow disks and memory pressure (threshold and z-score rules);
+//   - workload manager: SLA-driven admission control that adapts the
+//     concurrency limit (AIMD) to meet a latency target;
+//   - change manager: dynamic configuration with watchers and history, so
+//     tuning actions apply without service disruption;
+//   - in-DB machine learning: online statistics, linear regression and
+//     EWMA forecasting used by the managers' decisions.
+package autonomous
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/tseries"
+)
+
+// ---------------------------------------------------------------------------
+// Information store
+// ---------------------------------------------------------------------------
+
+// InfoStore collects named metrics with history (Fig 12 "Information
+// Store"). It wraps the time-series engine, the same substrate the
+// multi-model database uses.
+type InfoStore struct {
+	ts    *tseries.Store
+	clock func() time.Time
+}
+
+// NewInfoStore creates a store; clock may be nil (wall clock).
+func NewInfoStore(clock func() time.Time) *InfoStore {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &InfoStore{ts: tseries.NewStore(), clock: clock}
+}
+
+// Record appends a sample to a metric.
+func (s *InfoStore) Record(metric string, value float64) {
+	s.ts.Append(metric, s.clock(), value, nil)
+}
+
+// RecordAt appends a sample with an explicit timestamp.
+func (s *InfoStore) RecordAt(metric string, at time.Time, value float64) {
+	s.ts.Append(metric, at, value, nil)
+}
+
+// Window returns the samples of a metric in [now-d, now].
+func (s *InfoStore) Window(metric string, d time.Duration) []float64 {
+	now := s.clock()
+	pts := s.ts.Range(metric, now.Add(-d), now.Add(time.Nanosecond), nil)
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Last returns the most recent sample.
+func (s *InfoStore) Last(metric string) (float64, bool) {
+	p, ok := s.ts.Latest(metric)
+	return p.Value, ok
+}
+
+// Expire drops samples older than the retention horizon.
+func (s *InfoStore) Expire(retention time.Duration) {
+	cutoff := s.clock().Add(-retention)
+	for _, name := range s.ts.Names() {
+		s.ts.Expire(name, cutoff)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// In-DB ML primitives
+// ---------------------------------------------------------------------------
+
+// OnlineStats accumulates mean/variance incrementally (Welford).
+type OnlineStats struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add ingests one observation.
+func (o *OnlineStats) Add(x float64) {
+	o.n++
+	d := x - o.mean
+	o.mean += d / float64(o.n)
+	o.m2 += d * (x - o.mean)
+}
+
+// N returns the observation count.
+func (o *OnlineStats) N() int64 { return o.n }
+
+// Mean returns the running mean.
+func (o *OnlineStats) Mean() float64 { return o.mean }
+
+// Stddev returns the running sample standard deviation.
+func (o *OnlineStats) Stddev() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return math.Sqrt(o.m2 / float64(o.n-1))
+}
+
+// ZScore standardizes x against the accumulated distribution.
+func (o *OnlineStats) ZScore(x float64) float64 {
+	sd := o.Stddev()
+	if sd == 0 {
+		return 0
+	}
+	return (x - o.mean) / sd
+}
+
+// LinReg is a simple online least-squares regression y = a + b*x, used to
+// model e.g. response time as a function of concurrency.
+type LinReg struct {
+	n                        float64
+	sumX, sumY, sumXY, sumXX float64
+}
+
+// Add ingests one (x, y) pair.
+func (l *LinReg) Add(x, y float64) {
+	l.n++
+	l.sumX += x
+	l.sumY += y
+	l.sumXY += x * y
+	l.sumXX += x * x
+}
+
+// Coeffs returns intercept a and slope b; ok is false with fewer than two
+// distinct points.
+func (l *LinReg) Coeffs() (a, b float64, ok bool) {
+	if l.n < 2 {
+		return 0, 0, false
+	}
+	den := l.n*l.sumXX - l.sumX*l.sumX
+	if den == 0 {
+		return 0, 0, false
+	}
+	b = (l.n*l.sumXY - l.sumX*l.sumY) / den
+	a = (l.sumY - b*l.sumX) / l.n
+	return a, b, true
+}
+
+// Predict evaluates the fitted line at x.
+func (l *LinReg) Predict(x float64) (float64, bool) {
+	a, b, ok := l.Coeffs()
+	if !ok {
+		return 0, false
+	}
+	return a + b*x, true
+}
+
+// EWMA is an exponentially weighted moving average forecaster.
+type EWMA struct {
+	Alpha float64
+	value float64
+	init  bool
+}
+
+// Add ingests one observation and returns the smoothed value.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return x
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.2
+	}
+	e.value = a*x + (1-a)*e.value
+	return e.value
+}
+
+// Value returns the current smoothed value.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Percentile computes the p-quantile (0..1) of a sample.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+// ---------------------------------------------------------------------------
+// Change manager
+// ---------------------------------------------------------------------------
+
+// Change records one dynamic configuration change.
+type Change struct {
+	At       time.Time
+	Key      string
+	Old, New float64
+	Reason   string
+}
+
+// ChangeManager applies configuration changes at runtime and notifies
+// watchers (Fig 12 "Change Manager"): no service disruption, full history.
+type ChangeManager struct {
+	mu       sync.Mutex
+	values   map[string]float64
+	watchers map[string][]func(old, new float64)
+	history  []Change
+	clock    func() time.Time
+}
+
+// NewChangeManager creates a manager; clock may be nil.
+func NewChangeManager(clock func() time.Time) *ChangeManager {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &ChangeManager{
+		values:   map[string]float64{},
+		watchers: map[string][]func(old, new float64){},
+		clock:    clock,
+	}
+}
+
+// Get returns a configuration value.
+func (c *ChangeManager) Get(key string) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.values[key]
+	return v, ok
+}
+
+// Set applies a change, records it and fires watchers.
+func (c *ChangeManager) Set(key string, value float64, reason string) {
+	c.mu.Lock()
+	old := c.values[key]
+	c.values[key] = value
+	c.history = append(c.history, Change{At: c.clock(), Key: key, Old: old, New: value, Reason: reason})
+	watchers := append([]func(old, new float64){}, c.watchers[key]...)
+	c.mu.Unlock()
+	for _, w := range watchers {
+		w(old, value)
+	}
+}
+
+// Watch registers a callback for changes of key.
+func (c *ChangeManager) Watch(key string, fn func(old, new float64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.watchers[key] = append(c.watchers[key], fn)
+}
+
+// History returns the applied changes in order.
+func (c *ChangeManager) History() []Change {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Change(nil), c.history...)
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly manager
+// ---------------------------------------------------------------------------
+
+// AnomalyKind classifies detections.
+type AnomalyKind string
+
+// Anomaly kinds the paper names (§IV-A2: "datanode failures, slow disk or
+// insufficient memory").
+const (
+	AnomalyNodeDown  AnomalyKind = "datanode_down"
+	AnomalySlowDisk  AnomalyKind = "slow_disk"
+	AnomalyLowMemory AnomalyKind = "insufficient_memory"
+	AnomalyLatency   AnomalyKind = "latency_outlier"
+)
+
+// Anomaly is one detection.
+type Anomaly struct {
+	Kind   AnomalyKind
+	Metric string
+	Value  float64
+	Detail string
+	At     time.Time
+}
+
+// AnomalyManager evaluates detection rules over the information store.
+type AnomalyManager struct {
+	info  *InfoStore
+	clock func() time.Time
+
+	mu         sync.Mutex
+	baselines  map[string]*OnlineStats
+	heartbeats map[string]time.Time
+	log        []Anomaly
+}
+
+// NewAnomalyManager creates a manager over an information store.
+func NewAnomalyManager(info *InfoStore, clock func() time.Time) *AnomalyManager {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &AnomalyManager{
+		info:       info,
+		clock:      clock,
+		baselines:  map[string]*OnlineStats{},
+		heartbeats: map[string]time.Time{},
+	}
+}
+
+// Heartbeat records liveness of a node.
+func (a *AnomalyManager) Heartbeat(node string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.heartbeats[node] = a.clock()
+}
+
+// Observe feeds a metric sample to both the info store and the detector
+// baseline, returning an anomaly when the sample is a > 3σ outlier against
+// its own history.
+func (a *AnomalyManager) Observe(metric string, value float64) *Anomaly {
+	a.info.Record(metric, value)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	base, ok := a.baselines[metric]
+	if !ok {
+		base = &OnlineStats{}
+		a.baselines[metric] = base
+	}
+	var found *Anomaly
+	if base.N() >= 20 {
+		if z := base.ZScore(value); z > 3 {
+			found = &Anomaly{
+				Kind: AnomalyLatency, Metric: metric, Value: value,
+				Detail: fmt.Sprintf("z-score %.1f against mean %.2f", z, base.Mean()),
+				At:     a.clock(),
+			}
+		}
+	}
+	base.Add(value)
+	if found != nil {
+		a.log = append(a.log, *found)
+	}
+	return found
+}
+
+// Check runs the absolute-rule detectors: missed heartbeats, disk service
+// times over diskSlowMs, and free memory under memLowFrac.
+func (a *AnomalyManager) Check(heartbeatTimeout time.Duration, diskSlowMs, memLowFrac float64) []Anomaly {
+	now := a.clock()
+	var out []Anomaly
+	a.mu.Lock()
+	for node, last := range a.heartbeats {
+		if now.Sub(last) > heartbeatTimeout {
+			out = append(out, Anomaly{
+				Kind: AnomalyNodeDown, Metric: "heartbeat/" + node,
+				Detail: fmt.Sprintf("no heartbeat for %v", now.Sub(last)), At: now,
+			})
+		}
+	}
+	a.mu.Unlock()
+	if v, ok := a.info.Last("disk_ms"); ok && v > diskSlowMs {
+		out = append(out, Anomaly{Kind: AnomalySlowDisk, Metric: "disk_ms", Value: v,
+			Detail: fmt.Sprintf("disk service time %.1fms > %.1fms", v, diskSlowMs), At: now})
+	}
+	if v, ok := a.info.Last("mem_free_frac"); ok && v < memLowFrac {
+		out = append(out, Anomaly{Kind: AnomalyLowMemory, Metric: "mem_free_frac", Value: v,
+			Detail: fmt.Sprintf("free memory %.0f%% < %.0f%%", v*100, memLowFrac*100), At: now})
+	}
+	a.mu.Lock()
+	a.log = append(a.log, out...)
+	a.mu.Unlock()
+	return out
+}
+
+// Log returns all recorded anomalies.
+func (a *AnomalyManager) Log() []Anomaly {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Anomaly(nil), a.log...)
+}

@@ -1,0 +1,169 @@
+package autonomous
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned by Admit when the wait queue overflows.
+var ErrQueueFull = errors.New("autonomous: admission queue is full")
+
+// SLA is the performance target the workload manager steers toward
+// (§IV-A1: "SLAs can specify ... averaged transaction response time,
+// system throughput").
+type SLA struct {
+	// TargetP95 is the 95th-percentile statement latency target.
+	TargetP95 time.Duration
+}
+
+// WorkloadConfig tunes the manager.
+type WorkloadConfig struct {
+	// InitialConcurrency is the starting admission limit.
+	InitialConcurrency int
+	// MinConcurrency and MaxConcurrency bound adaptation.
+	MinConcurrency, MaxConcurrency int
+	// Window is how many recent latencies feed each control decision.
+	Window int
+	// QueueLimit bounds waiting requests (0 = 1024).
+	QueueLimit int
+}
+
+// WorkloadManager is an SLA-driven admission controller: queries acquire a
+// slot before running and report their latency after; an AIMD control loop
+// moves the concurrency limit to keep p95 latency at the SLA (Fig 12
+// "Workload Manager").
+type WorkloadManager struct {
+	sla SLA
+	cfg WorkloadConfig
+	cm  *ChangeManager
+
+	mu        sync.Mutex
+	limit     int
+	inflight  int
+	waiters   []chan struct{}
+	latencies []time.Duration
+	decisions int
+}
+
+// NewWorkloadManager builds a manager. The change manager records every
+// limit adjustment (and may be shared with other components); it may be
+// nil.
+func NewWorkloadManager(sla SLA, cfg WorkloadConfig, cm *ChangeManager) *WorkloadManager {
+	if cfg.InitialConcurrency <= 0 {
+		cfg.InitialConcurrency = 8
+	}
+	if cfg.MinConcurrency <= 0 {
+		cfg.MinConcurrency = 1
+	}
+	if cfg.MaxConcurrency < cfg.InitialConcurrency {
+		cfg.MaxConcurrency = cfg.InitialConcurrency * 8
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = 1024
+	}
+	return &WorkloadManager{sla: sla, cfg: cfg, cm: cm, limit: cfg.InitialConcurrency}
+}
+
+// Limit returns the current admission limit.
+func (w *WorkloadManager) Limit() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.limit
+}
+
+// Inflight returns the number of running statements.
+func (w *WorkloadManager) Inflight() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inflight
+}
+
+// Admit blocks until a slot is available (or the queue overflows).
+func (w *WorkloadManager) Admit() error {
+	w.mu.Lock()
+	if w.inflight < w.limit {
+		w.inflight++
+		w.mu.Unlock()
+		return nil
+	}
+	if len(w.waiters) >= w.cfg.QueueLimit {
+		w.mu.Unlock()
+		return ErrQueueFull
+	}
+	ch := make(chan struct{})
+	w.waiters = append(w.waiters, ch)
+	w.mu.Unlock()
+	<-ch
+	return nil
+}
+
+// Release returns a slot, reporting the statement's latency to the control
+// loop.
+func (w *WorkloadManager) Release(latency time.Duration) {
+	w.mu.Lock()
+	w.inflight--
+	w.latencies = append(w.latencies, latency)
+	if len(w.latencies) >= w.cfg.Window {
+		w.adaptLocked()
+		w.latencies = w.latencies[:0]
+	}
+	w.wakeLocked()
+	w.mu.Unlock()
+}
+
+// wakeLocked admits queued waiters up to the limit.
+func (w *WorkloadManager) wakeLocked() {
+	for w.inflight < w.limit && len(w.waiters) > 0 {
+		ch := w.waiters[0]
+		w.waiters = w.waiters[1:]
+		w.inflight++
+		close(ch)
+	}
+}
+
+// adaptLocked is the AIMD step: over SLA → multiplicative decrease; under
+// 70% of SLA → additive increase.
+func (w *WorkloadManager) adaptLocked() {
+	w.decisions++
+	samples := make([]float64, len(w.latencies))
+	for i, l := range w.latencies {
+		samples[i] = float64(l)
+	}
+	p95 := time.Duration(Percentile(samples, 0.95))
+	old := w.limit
+	switch {
+	case p95 > w.sla.TargetP95:
+		w.limit = maxInt(w.cfg.MinConcurrency, w.limit/2)
+	case p95 < w.sla.TargetP95*7/10:
+		w.limit = minInt(w.cfg.MaxConcurrency, w.limit+1)
+	}
+	if w.limit != old && w.cm != nil {
+		w.cm.Set("workload.concurrency", float64(w.limit),
+			"p95 "+p95.String()+" vs SLA "+w.sla.TargetP95.String())
+	}
+}
+
+// Decisions counts control-loop evaluations (tests).
+func (w *WorkloadManager) Decisions() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.decisions
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,503 @@
+// Package cluster implements the FI-MPPDB deployment of the paper's Fig 1:
+// coordinator-node logic (SQL routing, distributed planning, transaction
+// coordination), shared-nothing data nodes (hash-partitioned MVCC storage,
+// row and columnar), the two-phase commit protocol, and the two
+// transaction-management modes the Fig 3 experiment compares:
+//
+//   - ModeBaseline: every transaction acquires a GXID and global snapshot
+//     from the centralized GTM (Postgres-XC style).
+//   - ModeGTMLite: single-shard transactions run entirely on local XIDs and
+//     snapshots; only multi-shard transactions visit the GTM and use merged
+//     snapshots (Algorithm 1).
+//
+// The "machines" are in-process: each data node owns an independent
+// transaction manager and storage partitions, and an optional per-hop
+// latency models the network.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/gtm"
+	"repro/internal/plan"
+	"repro/internal/planstore"
+	"repro/internal/sqlx"
+	"repro/internal/storage"
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// TxnMode selects the distributed transaction protocol.
+type TxnMode uint8
+
+// Transaction modes.
+const (
+	// ModeGTMLite is the paper's contribution (§II-A2).
+	ModeGTMLite TxnMode = iota
+	// ModeBaseline is the conventional all-transactions-through-GTM design.
+	ModeBaseline
+)
+
+func (m TxnMode) String() string {
+	if m == ModeBaseline {
+		return "baseline"
+	}
+	return "gtm-lite"
+}
+
+// Config configures a cluster.
+type Config struct {
+	// DataNodes is the number of shards (>= 1).
+	DataNodes int
+	// Mode selects GTM-lite or baseline transaction management.
+	Mode TxnMode
+	// GTMServiceTime is CPU charged per GTM request while serialized
+	// (0 disables the cost model; used by unit tests).
+	GTMServiceTime time.Duration
+	// HopLatency is the simulated one-way network latency per
+	// CN<->DN / CN<->GTM message (0 disables; implemented with sleep).
+	HopLatency time.Duration
+	// BaselineSnapshotsPerStatement adds this many extra GTM snapshot
+	// requests per statement in baseline mode, modelling statement-level
+	// snapshot refreshes (default 1).
+	BaselineSnapshotsPerStatement int
+}
+
+// TableInfo is the coordinator's catalog entry for one table.
+type TableInfo struct {
+	Meta *plan.TableMeta
+	// rowParts/colParts hold the per-DN partitions; exactly one is non-nil
+	// depending on Meta.Storage.
+	rowParts []*storage.Table
+	colParts []*colstore.Table
+	// replicated tables keep a full copy on every DN.
+	replicated bool
+}
+
+// DataNode is one shared-nothing shard.
+type DataNode struct {
+	ID  int
+	Txm *txnkit.TxnManager
+}
+
+// Cluster is an embedded FI-MPPDB instance.
+type Cluster struct {
+	cfg Config
+	gtm *gtm.GTM
+	dns []*DataNode
+
+	mu       sync.RWMutex
+	tables   map[string]*TableInfo
+	virtuals map[string]*VirtualTable
+
+	// Learning optimizer (paper §II-C). Store is always present; the two
+	// flags make the before/after experiment (E6) togglable.
+	Store          *planstore.Store
+	CaptureSteps   bool
+	UseLearnedCard bool
+
+	// Clock returns the statement timestamp; overridable for deterministic
+	// tests. Defaults to time.Now.
+	Clock func() time.Time
+
+	// Hooks plugs in the multi-model table-function engines (§II-B);
+	// internal/multimodel installs them.
+	Hooks plan.Hooks
+
+	// Coordinator-failure failpoints (test hooks; see the Failpoint*
+	// methods).
+	failCrashAfterGTM  atomic.Bool
+	failCrashBeforeGTM atomic.Bool
+
+	// downNodes marks data nodes that are offline (guarded by mu).
+	downNodes map[int]bool
+}
+
+// New builds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.DataNodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one data node, got %d", cfg.DataNodes)
+	}
+	if cfg.BaselineSnapshotsPerStatement == 0 {
+		cfg.BaselineSnapshotsPerStatement = 1
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		gtm:       gtm.New(cfg.GTMServiceTime),
+		tables:    make(map[string]*TableInfo),
+		virtuals:  make(map[string]*VirtualTable),
+		downNodes: map[int]bool{},
+		Store:     planstore.New(),
+		Clock:     time.Now,
+	}
+	for i := 0; i < cfg.DataNodes; i++ {
+		c.dns = append(c.dns, &DataNode{ID: i, Txm: txnkit.NewTxnManager()})
+	}
+	return c, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// GTMStats returns the GTM request counters (the Fig 3 bottleneck metric).
+func (c *Cluster) GTMStats() gtm.Stats { return c.gtm.Stats() }
+
+// DataNodeCount returns the number of shards.
+func (c *Cluster) DataNodeCount() int { return len(c.dns) }
+
+// DataNodes exposes the shards for monitoring (autonomous housekeeping,
+// tests).
+func (c *Cluster) DataNodes() []*DataNode { return c.dns }
+
+// hop models one network message.
+func (c *Cluster) hop() {
+	if c.cfg.HopLatency > 0 {
+		time.Sleep(c.cfg.HopLatency)
+	}
+}
+
+// shardFor routes a distribution-key datum to a data node.
+func (c *Cluster) shardFor(key types.Datum) int {
+	return int(types.Hash(key) % uint64(len(c.dns)))
+}
+
+// VirtualTable is an engine-backed read-only table (the multi-model
+// engines expose their data relationally through these — paper §II-B's
+// unified storage view).
+type VirtualTable struct {
+	Meta *plan.TableMeta
+	// Scan returns the current rows; virtual tables are outside MVCC and
+	// reflect the owning engine's live state.
+	Scan func() []types.Row
+}
+
+// RegisterVirtual publishes an engine-backed table under the given name.
+// It replaces any previous virtual table with that name and fails if a
+// stored table already uses it.
+func (c *Cluster) RegisterVirtual(name string, schema *types.Schema, scan func() []types.Row) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("cluster: %q is already a stored table", name)
+	}
+	c.virtuals[key] = &VirtualTable{
+		Meta: &plan.TableMeta{Name: key, Schema: schema, DistKey: -1},
+		Scan: scan,
+	}
+	return nil
+}
+
+// virtualTable looks up a registered virtual table.
+func (c *Cluster) virtualTable(name string) (*VirtualTable, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	vt, ok := c.virtuals[strings.ToLower(name)]
+	return vt, ok
+}
+
+// Resolve implements plan.Catalog.
+func (c *Cluster) Resolve(name string) (*plan.TableMeta, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if ti, ok := c.tables[strings.ToLower(name)]; ok {
+		return ti.Meta, nil
+	}
+	if vt, ok := c.virtuals[strings.ToLower(name)]; ok {
+		return vt.Meta, nil
+	}
+	return nil, &plan.ErrTableNotFound{Name: name}
+}
+
+func (c *Cluster) tableInfo(name string) (*TableInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ti, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, &plan.ErrTableNotFound{Name: name}
+	}
+	return ti, nil
+}
+
+// createTable applies a CREATE TABLE statement: partitions are created on
+// every data node.
+func (c *Cluster) createTable(ct *sqlx.CreateTable) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(ct.Name)
+	if _, exists := c.tables[key]; exists {
+		if ct.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("cluster: table %q already exists", ct.Name)
+	}
+	cols := make([]types.Column, len(ct.Columns))
+	for i, cd := range ct.Columns {
+		cols[i] = types.Column{Name: strings.ToLower(cd.Name), Kind: cd.Kind}
+	}
+	schema := &types.Schema{Columns: cols}
+
+	distKey := -1
+	if ct.DistKey != "" {
+		distKey = schema.ColumnIndex(ct.DistKey)
+		if distKey < 0 {
+			return fmt.Errorf("cluster: distribution column %q does not exist", ct.DistKey)
+		}
+	}
+	var pkCols []int
+	for _, pk := range ct.PrimaryKey {
+		i := schema.ColumnIndex(pk)
+		if i < 0 {
+			return fmt.Errorf("cluster: primary key column %q does not exist", pk)
+		}
+		pkCols = append(pkCols, i)
+	}
+	replicated := ct.Replicated || distKey < 0
+
+	ti := &TableInfo{
+		Meta: &plan.TableMeta{
+			Name:    key,
+			Schema:  schema,
+			DistKey: distKey,
+			Storage: ct.Storage,
+			PKCols:  pkCols,
+		},
+		replicated: replicated,
+	}
+	for _, dn := range c.dns {
+		if ct.Storage == sqlx.StorageColumn {
+			ti.colParts = append(ti.colParts, colstore.NewTable(key, schema, dn.Txm))
+		} else {
+			ti.rowParts = append(ti.rowParts, storage.NewTable(key, schema, pkCols, dn.Txm))
+		}
+	}
+	c.tables[key] = ti
+	return nil
+}
+
+// dropTable applies DROP TABLE.
+func (c *Cluster) dropTable(dt *sqlx.DropTable) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(dt.Name)
+	if _, ok := c.tables[key]; !ok {
+		if dt.IfExists {
+			return nil
+		}
+		return &plan.ErrTableNotFound{Name: dt.Name}
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Analyze recomputes optimizer statistics for a table by scanning all
+// partitions under a fresh read snapshot (the ANALYZE utility).
+func (c *Cluster) Analyze(table string) error {
+	ti, err := c.tableInfo(table)
+	if err != nil {
+		return err
+	}
+	var rows []types.Row
+	if ti.replicated {
+		rows = c.partitionRows(ti, 0, 0, nil)
+	} else {
+		for dnID := range c.dns {
+			rows = append(rows, c.partitionRows(ti, dnID, 0, nil)...)
+		}
+	}
+	ti.Meta.Stats = plan.AnalyzeRows(ti.Meta.Schema, rows)
+	return nil
+}
+
+// partitionRows reads all rows of one partition visible to a fresh local
+// snapshot (xid/snap may be overridden by passing snap != nil).
+func (c *Cluster) partitionRows(ti *TableInfo, dnID int, xid txnkit.XID, snap *txnkit.Snapshot) []types.Row {
+	dn := c.dns[dnID]
+	if snap == nil {
+		s := dn.Txm.LocalSnapshot()
+		snap = &s
+	}
+	var out []types.Row
+	if ti.colParts != nil {
+		ti.colParts[dnID].ScanRows(xid, snap, func(r types.Row) bool {
+			out = append(out, r)
+			return true
+		})
+		return out
+	}
+	ti.rowParts[dnID].Scan(xid, snap, func(r types.Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+// RecoverInDoubt resolves prepared-but-undecided transaction legs left
+// behind by a failed coordinator. Each data node's in-doubt set is matched
+// against the GTM's outcome log: a recorded commit finishes phase 2
+// locally; a recorded abort (or a transaction the GTM never decided, whose
+// coordinator is gone) rolls the leg back — the presumed-abort rule.
+// It returns (committed, aborted) leg counts.
+func (c *Cluster) RecoverInDoubt() (committed, aborted int) {
+	for _, dn := range c.dns {
+		for gxid, xid := range dn.Txm.PreparedGlobals() {
+			decidedCommit, known := c.gtm.Outcome(gxid)
+			switch {
+			case known && decidedCommit:
+				if err := dn.Txm.Commit(xid); err == nil {
+					committed++
+				}
+			case known && !decidedCommit:
+				if err := dn.Txm.Abort(xid); err == nil {
+					aborted++
+				}
+			default:
+				// Undecided at the GTM: the coordinator died before
+				// EndGlobal, so no participant can have committed.
+				// Presumed abort.
+				c.gtm.EndGlobal(gxid, false)
+				if err := dn.Txm.Abort(xid); err == nil {
+					aborted++
+				}
+			}
+		}
+	}
+	return committed, aborted
+}
+
+// FailpointCrashAfterGTMCommit, when set, makes the next multi-shard
+// commit "crash" after the GTM records the commit decision but before any
+// data node receives its phase-2 confirmation — the window Anomaly 1 and
+// in-doubt recovery exist for. Test hook.
+func (c *Cluster) FailpointCrashAfterGTMCommit(enable bool) {
+	c.failCrashAfterGTM.Store(enable)
+}
+
+// FailpointCrashBeforeGTMCommit simulates a coordinator death after all
+// legs prepared but before the GTM decision. Test hook.
+func (c *Cluster) FailpointCrashBeforeGTMCommit(enable bool) {
+	c.failCrashBeforeGTM.Store(enable)
+}
+
+// TruncateLCOs propagates the GTM's oldest-active horizon to every data
+// node (the background housekeeping GTM-lite needs so LCOs stay small).
+func (c *Cluster) TruncateLCOs() {
+	horizon := c.gtm.OldestActive()
+	for _, dn := range c.dns {
+		dn.Txm.TruncateLCO(horizon)
+	}
+}
+
+// ErrNodeDown is returned when a statement needs a data node that is
+// marked offline and no replica can serve it.
+var ErrNodeDown = errors.New("cluster: required data node is down")
+
+// SetDataNodeDown marks a shard offline (or back online). While a node is
+// down: reads of replicated tables fail over to live replicas; statements
+// that need the node's hash partitions fail with ErrNodeDown; writes to
+// replicated tables fail too (all copies must stay consistent). This is
+// the availability model of replicated dimension tables; per-shard standby
+// replication is documented as out of scope.
+func (c *Cluster) SetDataNodeDown(id int, down bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.downNodes[id] = down
+}
+
+// nodeDown reports whether a shard is marked offline.
+func (c *Cluster) nodeDown(id int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.downNodes[id]
+}
+
+// liveNodes filters ids to online shards.
+func (c *Cluster) liveNodes(ids []int) []int {
+	out := ids[:0:0]
+	for _, id := range ids {
+		if !c.nodeDown(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// requireLive errors if any of ids is down.
+func (c *Cluster) requireLive(ids []int) error {
+	for _, id := range ids {
+		if c.nodeDown(id) {
+			return fmt.Errorf("%w: dn%d", ErrNodeDown, id)
+		}
+	}
+	return nil
+}
+
+// BloatInfo reports heap-version occupancy of one table (the autonomous
+// database's self-healing signal: versions far above visible rows mean
+// vacuum is overdue).
+type BloatInfo struct {
+	Versions int
+	Visible  int
+}
+
+// Ratio returns versions per visible row (1.0 = no bloat). Empty tables
+// report 1.
+func (b BloatInfo) Ratio() float64 {
+	if b.Visible == 0 {
+		if b.Versions == 0 {
+			return 1
+		}
+		return float64(b.Versions)
+	}
+	return float64(b.Versions) / float64(b.Visible)
+}
+
+// BloatReport summarizes version bloat for every row-storage table.
+func (c *Cluster) BloatReport() map[string]BloatInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := map[string]BloatInfo{}
+	for name, ti := range c.tables {
+		if ti.rowParts == nil {
+			continue
+		}
+		var info BloatInfo
+		for dnID, part := range ti.rowParts {
+			info.Versions += part.VersionCount()
+			snap := c.dns[dnID].Txm.LocalSnapshot()
+			info.Visible += part.VisibleCount(0, &snap)
+		}
+		out[name] = info
+	}
+	return out
+}
+
+// InDoubtCount reports prepared global transaction legs awaiting
+// resolution across all data nodes.
+func (c *Cluster) InDoubtCount() int {
+	n := 0
+	for _, dn := range c.dns {
+		n += len(dn.Txm.PreparedGlobals())
+	}
+	return n
+}
+
+// Vacuum reclaims dead row-store versions on every data node.
+func (c *Cluster) Vacuum() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	total := 0
+	for _, ti := range c.tables {
+		for dnID, part := range ti.rowParts {
+			horizon := c.dns[dnID].Txm.LocalSnapshot().Xmin
+			total += part.Vacuum(horizon)
+		}
+	}
+	return total
+}

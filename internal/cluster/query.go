@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlx"
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// stmtAccess implements plan.Access for one statement: scans gather rows
+// from the routed data nodes under the statement's per-DN snapshots.
+type stmtAccess struct {
+	s *Session
+	t *txn
+	// routed maps table name -> data nodes to scan; tables absent from the
+	// map scan the default set.
+	routed map[string][]int
+	snaps  map[int]*txnkit.Snapshot
+	// scanErr records snapshot errors surfaced during Open (the Source
+	// callback cannot return one).
+	scanErr error
+	// rowsShipped counts rows that crossed a partition -> coordinator
+	// boundary; two-phase aggregation exists to shrink this number.
+	rowsShipped int64
+}
+
+func (s *Session) newStmtAccess(t *txn) *stmtAccess {
+	return &stmtAccess{s: s, t: t, routed: map[string][]int{}, snaps: map[int]*txnkit.Snapshot{}}
+}
+
+// snapshotFor lazily acquires and caches the statement snapshot on a DN.
+func (a *stmtAccess) snapshotFor(dnID int) (*txnkit.Snapshot, error) {
+	if snap, ok := a.snaps[dnID]; ok {
+		return snap, nil
+	}
+	snap, err := a.t.snapshotFor(dnID)
+	if err != nil {
+		return nil, err
+	}
+	a.snaps[dnID] = snap
+	return snap, nil
+}
+
+// targetsFor picks the data nodes a scan of ti must visit.
+func (a *stmtAccess) targetsFor(ti *TableInfo) []int {
+	if set, ok := a.routed[ti.Meta.Name]; ok {
+		return set
+	}
+	if ti.replicated {
+		// Read one replica: prefer a live shard the transaction already
+		// uses, else the first live shard (read failover).
+		if ids := a.s.c.liveNodes(a.t.sortedDNs()); len(ids) > 0 {
+			return ids[:1]
+		}
+		if live := a.s.c.liveNodes(allDNs(len(a.s.c.dns))); len(live) > 0 {
+			return live[:1]
+		}
+		return []int{0} // nothing live: the scan will surface the error
+	}
+	return allDNs(len(a.s.c.dns))
+}
+
+// Scan implements plan.Access.
+func (a *stmtAccess) Scan(meta *plan.TableMeta) exec.Operator {
+	return exec.NewSource(meta.Name, meta.Schema, func(emit func(types.Row) bool) {
+		if vt, ok := a.s.c.virtualTable(meta.Name); ok {
+			for _, r := range vt.Scan() {
+				if !emit(r) {
+					return
+				}
+			}
+			return
+		}
+		ti, err := a.s.c.tableInfo(meta.Name)
+		if err != nil {
+			a.scanErr = err
+			return
+		}
+		targets := a.targetsFor(ti)
+		if err := a.s.c.requireLive(targets); err != nil {
+			a.scanErr = err
+			return
+		}
+		for _, dnID := range targets {
+			xid := a.t.touch(dnID)
+			snap, err := a.snapshotFor(dnID)
+			if err != nil {
+				a.scanErr = err
+				return
+			}
+			a.s.c.hop()
+			counted := func(r types.Row) bool {
+				a.rowsShipped++
+				return emit(r)
+			}
+			if ti.colParts != nil {
+				ti.colParts[dnID].ScanRows(xid, snap, counted)
+			} else {
+				stop := false
+				ti.rowParts[dnID].Scan(xid, snap, func(r types.Row) bool {
+					if !counted(r.Clone()) {
+						stop = true
+						return false
+					}
+					return true
+				})
+				if stop {
+					return
+				}
+			}
+		}
+	})
+}
+
+// ScanPartialAgg implements plan.PartialAggAccess: the partial aggregate
+// runs against each partition's rows locally (modelling DN-side
+// reduction), and only the partial result rows ship to the coordinator.
+func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (exec.Operator, bool) {
+	if _, isVirtual := a.s.c.virtualTable(meta.Name); isVirtual {
+		return nil, false // virtual tables are engine-local; nothing to push
+	}
+	return exec.NewSource(meta.Name+":partial-agg", out, func(emit func(types.Row) bool) {
+		ti, err := a.s.c.tableInfo(meta.Name)
+		if err != nil {
+			a.scanErr = err
+			return
+		}
+		targets := a.targetsFor(ti)
+		if err := a.s.c.requireLive(targets); err != nil {
+			a.scanErr = err
+			return
+		}
+		// Vectorized fast path: columnar partition, no filter, and every
+		// expression a bare column reference -> aggregate directly over the
+		// decoded column vectors.
+		var vp *vecPlan
+		if ti.colParts != nil && pred == nil {
+			vp, _ = buildVecPlan(meta.Schema.Len(), groupBy, aggs, out)
+		}
+		ctx := exec.NewCtx(a.s.c.Clock())
+		for _, dnID := range targets {
+			xid := a.t.touch(dnID)
+			snap, err := a.snapshotFor(dnID)
+			if err != nil {
+				a.scanErr = err
+				return
+			}
+			if vp != nil {
+				rows := runVectorizedPartialAgg(ti.colParts[dnID], xid, snap, vp)
+				a.s.c.hop()
+				for _, r := range rows {
+					a.rowsShipped++
+					if !emit(r) {
+						return
+					}
+				}
+				continue
+			}
+			// Partition-local pipeline: scan -> filter -> partial agg. All
+			// of it evaluates "on the data node"; only the aggregate's
+			// output crosses to the coordinator.
+			var src exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
+				if ti.colParts != nil {
+					ti.colParts[dnID].ScanRows(xid, snap, emitRow)
+					return
+				}
+				ti.rowParts[dnID].Scan(xid, snap, func(r types.Row) bool {
+					return emitRow(r.Clone())
+				})
+			})
+			if pred != nil {
+				src = &exec.Filter{Child: src, Pred: pred}
+			}
+			partial := &exec.Agg{Child: src, GroupBy: groupBy, Aggs: aggs, Out: out}
+			rows, err := exec.Collect(ctx, partial)
+			if err != nil {
+				a.scanErr = err
+				return
+			}
+			a.s.c.hop()
+			for _, r := range rows {
+				a.rowsShipped++
+				if !emit(r) {
+					return
+				}
+			}
+		}
+	}), true
+}
+
+// planner builds a statement planner bound to the transaction.
+func (s *Session) planner(t *txn) *plan.Planner {
+	return s.plannerWithAccess(s.newStmtAccess(t))
+}
+
+func (s *Session) plannerWithAccess(a *stmtAccess) *plan.Planner {
+	p := &plan.Planner{Catalog: s.c, Access: a, Hooks: s.c.Hooks}
+	if s.c.UseLearnedCard && s.c.Store != nil {
+		p.Estimator = s.c.Store
+	}
+	return p
+}
+
+// planSelect routes, touches and plans a SELECT.
+func (s *Session) planSelect(t *txn, sel *sqlx.Select) (*plan.Plan, *stmtAccess, error) {
+	access := s.newStmtAccess(t)
+	dnSet := s.routeSelect(t, sel, access)
+	t.touchSet(dnSet)
+	t.refreshGlobalSnapshot()
+	p, err := s.plannerWithAccess(access).PlanSelect(sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, access, nil
+}
+
+func (s *Session) execSelect(t *txn, sel *sqlx.Select) (*Result, error) {
+	p, access, err := s.planSelect(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewCtx(s.c.Clock())
+	rows, err := exec.Collect(ctx, p.Root)
+	if err != nil {
+		return nil, err
+	}
+	if access.scanErr != nil {
+		return nil, access.scanErr
+	}
+	// Learning optimizer producer (paper §II-C).
+	if s.c.CaptureSteps && s.c.Store != nil {
+		s.c.Store.Capture(p.Counted)
+	}
+	return &Result{Columns: p.OutputNames, Rows: rows, Plan: p, RowsShipped: access.rowsShipped}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statement routing
+// ---------------------------------------------------------------------------
+
+// routeSelect decides which data nodes a SELECT must touch. A statement is
+// single-shard iff every distributed table it references (in any query
+// block) carries an equality predicate on its distribution key and all
+// such predicates route to the same shard — the paper's "majority of
+// transactions are single-sharded" fast path. Otherwise all shards are
+// touched.
+func (s *Session) routeSelect(t *txn, sel *sqlx.Select, access *stmtAccess) []int {
+	shards := map[int]struct{}{}
+	sawDistributed := false
+	unrouted := false
+
+	var walkSelect func(q *sqlx.Select, ctes map[string]bool)
+	var walkExprSubqueries func(e sqlx.Expr, ctes map[string]bool)
+	var walkRef func(ref sqlx.TableRef, q *sqlx.Select, ctes map[string]bool)
+
+	walkExprSubqueries = func(e sqlx.Expr, ctes map[string]bool) {
+		sqlx.WalkExpr(e, func(x sqlx.Expr) bool {
+			switch v := x.(type) {
+			case *sqlx.Subquery:
+				walkSelect(v.Query, ctes)
+				return false
+			case *sqlx.InList:
+				for _, item := range v.List {
+					if sq, ok := item.(*sqlx.Subquery); ok {
+						walkSelect(sq.Query, ctes)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	walkRef = func(ref sqlx.TableRef, q *sqlx.Select, ctes map[string]bool) {
+		switch r := ref.(type) {
+		case *sqlx.BaseTable:
+			if ctes[strings.ToLower(r.Name)] {
+				return
+			}
+			ti, err := s.c.tableInfo(r.Name)
+			if err != nil || ti.replicated {
+				return
+			}
+			sawDistributed = true
+			alias := r.Alias
+			if alias == "" {
+				alias = shortAlias(r.Name)
+			}
+			scope := plan.TableScope(ti.Meta, strings.ToLower(alias))
+			if shard, ok := routeByDistKey(s.c, ti, scope, q.Where); ok {
+				shards[shard] = struct{}{}
+				access.routed[ti.Meta.Name] = append(access.routed[ti.Meta.Name], shard)
+			} else {
+				unrouted = true
+			}
+		case *sqlx.SubqueryRef:
+			walkSelect(r.Query, ctes)
+		case *sqlx.TableFunc:
+			if r.Query != nil {
+				walkSelect(r.Query, ctes)
+			}
+		case *sqlx.JoinRef:
+			walkRef(r.Left, q, ctes)
+			walkRef(r.Right, q, ctes)
+			walkExprSubqueries(r.On, ctes)
+		}
+	}
+
+	walkSelect = func(q *sqlx.Select, outer map[string]bool) {
+		ctes := make(map[string]bool, len(outer))
+		for k := range outer {
+			ctes[k] = true
+		}
+		for _, cte := range q.CTEs {
+			walkSelect(cte.Query, ctes)
+			ctes[strings.ToLower(cte.Name)] = true
+		}
+		for _, ref := range q.From {
+			walkRef(ref, q, ctes)
+		}
+		for _, so := range q.SetOps {
+			walkSelect(so.Query, ctes)
+		}
+		walkExprSubqueries(q.Where, ctes)
+		walkExprSubqueries(q.Having, ctes)
+		for _, it := range q.Items {
+			if !it.Star {
+				walkExprSubqueries(it.Expr, ctes)
+			}
+		}
+	}
+
+	walkSelect(sel, map[string]bool{})
+
+	switch {
+	case !sawDistributed:
+		// Replicated-only: stay on an already-touched shard, else shard 0.
+		if ids := t.sortedDNs(); len(ids) > 0 {
+			return ids[:1]
+		}
+		return []int{0}
+	case unrouted || len(shards) == 0:
+		// Clear per-table routing: a scatter statement scans everything.
+		access.routed = map[string][]int{}
+		return allDNs(len(s.c.dns))
+	default:
+		out := make([]int, 0, len(shards))
+		for sh := range shards {
+			out = append(out, sh)
+		}
+		sort.Ints(out)
+		if len(out) > 1 {
+			// Multiple single-shard tables on different shards: scatter is
+			// still required for correctness of joins between them only if
+			// tables were routed to different shards; keep the routed map
+			// (each table scans only its shard) and touch both.
+			return out
+		}
+		// Deduplicate routed lists.
+		for name, list := range access.routed {
+			access.routed[name] = dedupInts(list)
+		}
+		return out
+	}
+}
+
+func dedupInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// setupTransfer prepares a 2-shard cluster with two rows on (very likely)
+// different shards and returns a session.
+func setupTransfer(t *testing.T) (*Cluster, *Session) {
+	t.Helper()
+	c := newCluster(t, 4, ModeGTMLite)
+	s := c.NewSession()
+	mustExec(t, s, "CREATE TABLE acct (id BIGINT, bal BIGINT) DISTRIBUTE BY HASH(id)")
+	mustExec(t, s, "INSERT INTO acct VALUES (1, 100), (2, 100)")
+	return c, s
+}
+
+// crashCommit runs a cross-shard transfer whose commit dies at the given
+// failpoint.
+func crashCommit(t *testing.T, c *Cluster, after bool) {
+	t.Helper()
+	s := c.NewSession()
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "UPDATE acct SET bal = bal - 30 WHERE id = 1")
+	mustExec(t, s, "UPDATE acct SET bal = bal + 30 WHERE id = 2")
+	if after {
+		c.FailpointCrashAfterGTMCommit(true)
+		defer c.FailpointCrashAfterGTMCommit(false)
+	} else {
+		c.FailpointCrashBeforeGTMCommit(true)
+		defer c.FailpointCrashBeforeGTMCommit(false)
+	}
+	if _, err := s.Exec("COMMIT"); err == nil {
+		t.Fatal("failpoint commit should error")
+	}
+}
+
+func TestRecoveryCommitsDecidedTransactions(t *testing.T) {
+	c, reader := setupTransfer(t)
+	crashCommit(t, c, true) // GTM recorded COMMIT; legs stay prepared
+
+	// The legs are in doubt: short-timeout readers hit the UPGRADE wait
+	// because the global snapshot says committed.
+	for _, dn := range c.dns {
+		dn.Txm.UpgradeTimeout = 50 * time.Millisecond
+	}
+	committed, aborted := c.RecoverInDoubt()
+	if committed == 0 || aborted != 0 {
+		t.Fatalf("recovery = %d committed, %d aborted; want committed legs only", committed, aborted)
+	}
+	// The transfer is now fully applied.
+	res := mustExec(t, reader, "SELECT bal FROM acct WHERE id = 1")
+	if res.Rows[0][0].Int() != 70 {
+		t.Errorf("id=1 bal = %v, want 70", res.Rows[0][0])
+	}
+	res = mustExec(t, reader, "SELECT sum(bal) FROM acct")
+	if res.Rows[0][0].Int() != 200 {
+		t.Errorf("total = %v, want 200", res.Rows[0][0])
+	}
+	// Idempotent.
+	if cm, ab := c.RecoverInDoubt(); cm != 0 || ab != 0 {
+		t.Errorf("second recovery = %d, %d; want 0, 0", cm, ab)
+	}
+}
+
+func TestRecoveryAbortsUndecidedTransactions(t *testing.T) {
+	c, reader := setupTransfer(t)
+	crashCommit(t, c, false) // coordinator died BEFORE the GTM decision
+
+	committed, aborted := c.RecoverInDoubt()
+	if committed != 0 || aborted == 0 {
+		t.Fatalf("recovery = %d committed, %d aborted; want presumed-abort", committed, aborted)
+	}
+	// Nothing changed.
+	res := mustExec(t, reader, "SELECT bal FROM acct WHERE id = 1")
+	if res.Rows[0][0].Int() != 100 {
+		t.Errorf("id=1 bal = %v, want 100 (rolled back)", res.Rows[0][0])
+	}
+	res = mustExec(t, reader, "SELECT sum(bal) FROM acct")
+	if res.Rows[0][0].Int() != 200 {
+		t.Errorf("total = %v", res.Rows[0][0])
+	}
+	// The GTM now has a recorded abort, so the active list is clean and
+	// new snapshots are unaffected.
+	mustExec(t, reader, "SELECT count(*) FROM acct")
+}
+
+func TestInDoubtBlocksReadersUntilRecovery(t *testing.T) {
+	// While a decided-but-unconfirmed transaction is in doubt, a reader
+	// whose global snapshot sees it committed must wait (UPGRADE), not
+	// read half a transfer. After recovery the wait resolves instantly.
+	c, _ := setupTransfer(t)
+	crashCommit(t, c, true)
+	for _, dn := range c.dns {
+		dn.Txm.UpgradeTimeout = 80 * time.Millisecond
+	}
+	s := c.NewSession()
+	if _, err := s.Exec("SELECT sum(bal) FROM acct"); err == nil {
+		t.Fatal("reader should time out on the in-doubt transaction (UPGRADE wait)")
+	}
+	c.RecoverInDoubt()
+	res := mustExec(t, s, "SELECT sum(bal) FROM acct")
+	if res.Rows[0][0].Int() != 200 {
+		t.Errorf("post-recovery sum = %v", res.Rows[0][0])
+	}
+}
+
+func TestReplicatedReadFailover(t *testing.T) {
+	c := newCluster(t, 4, ModeGTMLite)
+	s := c.NewSession()
+	mustExec(t, s, "CREATE TABLE dim (k BIGINT, v TEXT) DISTRIBUTE BY REPLICATION")
+	mustExec(t, s, "INSERT INTO dim VALUES (1, 'one')")
+
+	// Take the default read replica (dn0) down: reads fail over.
+	c.SetDataNodeDown(0, true)
+	s2 := c.NewSession()
+	res := mustExec(t, s2, "SELECT v FROM dim WHERE k = 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "one" {
+		t.Errorf("failover read = %v", res.Rows)
+	}
+	// Writes to replicated tables need every copy.
+	if _, err := s2.Exec("INSERT INTO dim VALUES (2, 'two')"); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("replicated write with a down node: err = %v", err)
+	}
+	// Recovery restores writes.
+	c.SetDataNodeDown(0, false)
+	mustExec(t, s2, "INSERT INTO dim VALUES (2, 'two')")
+}
+
+func TestDistributedStatementsFailOnDownShard(t *testing.T) {
+	c := newCluster(t, 4, ModeGTMLite)
+	s := setupAccounts(t, c, 20)
+	// Find the shard that holds id=7 by marking nodes down one at a time.
+	var shard int = -1
+	for dn := 0; dn < 4; dn++ {
+		c.SetDataNodeDown(dn, true)
+		_, err := s.Exec("SELECT balance FROM accounts WHERE id = 7")
+		c.SetDataNodeDown(dn, false)
+		if errors.Is(err, ErrNodeDown) {
+			shard = dn
+			break
+		}
+	}
+	if shard < 0 {
+		t.Fatal("could not locate the shard for id=7")
+	}
+	c.SetDataNodeDown(shard, true)
+	defer c.SetDataNodeDown(shard, false)
+	// Point statements on other shards still work.
+	served := false
+	for id := 0; id < 20 && !served; id++ {
+		if res, err := s.Exec(fmt.Sprintf("SELECT balance FROM accounts WHERE id = %d", id)); err == nil && len(res.Rows) == 1 {
+			served = true
+		}
+	}
+	if !served {
+		t.Error("healthy shards should keep serving")
+	}
+	// Scatter statements need every shard.
+	if _, err := s.Exec("SELECT count(*) FROM accounts"); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("scatter with down shard: err = %v", err)
+	}
+	// Writes to the down shard fail cleanly.
+	if _, err := s.Exec("UPDATE accounts SET balance = 0 WHERE id = 7"); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("write to down shard: err = %v", err)
+	}
+}

@@ -1,0 +1,708 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sqlx"
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// ErrTxnAborted is returned for statements issued in an explicit
+// transaction that has already failed; the client must ROLLBACK.
+var ErrTxnAborted = errors.New("cluster: current transaction is aborted, commands ignored until ROLLBACK")
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns of a SELECT.
+	Columns []string
+	// Rows holds SELECT output.
+	Rows []types.Row
+	// RowsAffected counts INSERT/UPDATE/DELETE rows.
+	RowsAffected int
+	// Plan carries the instrumented plan of a SELECT (nil otherwise).
+	Plan *plan.Plan
+	// RowsShipped counts rows that crossed a partition -> coordinator
+	// boundary while executing a SELECT (the MPP exchange volume;
+	// two-phase aggregation exists to shrink it).
+	RowsShipped int64
+}
+
+// Session is a client connection to the coordinator.
+type Session struct {
+	c  *Cluster
+	tx *txn // non-nil inside an explicit BEGIN..COMMIT block
+
+	// LastTxnWasGlobal reports whether the most recently completed
+	// transaction used the GTM (observable by tests and benchmarks).
+	LastTxnWasGlobal bool
+}
+
+// NewSession opens a session.
+func (c *Cluster) NewSession() *Session { return &Session{c: c} }
+
+// txn is the coordinator-side transaction state.
+type txn struct {
+	c      *Cluster
+	mode   TxnMode
+	xids   map[int]txnkit.XID
+	global bool
+	gxid   txnkit.GXID
+	gsnap  *txnkit.GlobalSnapshot
+	failed bool
+	done   bool
+}
+
+func (s *Session) newTxn() *txn {
+	return &txn{c: s.c, mode: s.c.cfg.Mode, xids: make(map[int]txnkit.XID)}
+}
+
+// ensureGlobal escalates the transaction to a global (GTM-managed) one.
+func (t *txn) ensureGlobal() {
+	if t.global {
+		return
+	}
+	t.c.hop()
+	t.gxid, t.gsnap = t.c.gtm.BeginGlobal()
+	t.global = true
+	// Retroactively bind any already-started local legs.
+	for dnID, xid := range t.xids {
+		// Registration failures can only happen on settled transactions,
+		// which cannot be in t.xids.
+		if err := t.c.dns[dnID].Txm.RegisterGlobal(xid, t.gxid); err != nil {
+			panic(fmt.Sprintf("cluster: escalation failed: %v", err))
+		}
+	}
+}
+
+// touch starts (or returns) the transaction's leg on a data node.
+// In GTM-lite mode the first shard is free; touching a second shard
+// escalates to a global transaction. In baseline mode every transaction is
+// global from the first touch.
+func (t *txn) touch(dnID int) txnkit.XID {
+	if xid, ok := t.xids[dnID]; ok {
+		return xid
+	}
+	if t.mode == ModeBaseline {
+		t.ensureGlobal()
+	} else if len(t.xids) >= 1 {
+		t.ensureGlobal() // GTM-lite: second shard -> escalate
+	}
+	dn := t.c.dns[dnID]
+	var xid txnkit.XID
+	if t.global {
+		xid = dn.Txm.BeginGlobal(t.gxid)
+	} else {
+		xid = dn.Txm.Begin()
+	}
+	t.xids[dnID] = xid
+	return xid
+}
+
+// touchSet pre-touches a set of data nodes, escalating once if the set is
+// larger than one.
+func (t *txn) touchSet(dnIDs []int) {
+	if len(dnIDs) > 1 || (len(dnIDs) == 1 && len(t.xids) > 0 && t.xids[dnIDs[0]] == 0) {
+		needsEscalate := len(dnIDs) > 1
+		for _, id := range dnIDs {
+			if _, ok := t.xids[id]; !ok && len(t.xids) > 0 {
+				needsEscalate = true
+			}
+		}
+		if needsEscalate && t.mode == ModeGTMLite {
+			t.ensureGlobal()
+		}
+	}
+	for _, id := range dnIDs {
+		t.touch(id)
+	}
+}
+
+// refreshGlobalSnapshot implements baseline mode's per-statement snapshot
+// round trips (the "many-round communication" the paper removes).
+func (t *txn) refreshGlobalSnapshot() {
+	if !t.global {
+		return
+	}
+	if t.mode == ModeBaseline {
+		for i := 0; i < t.c.cfg.BaselineSnapshotsPerStatement; i++ {
+			t.c.hop()
+			t.gsnap = t.c.gtm.Snapshot()
+		}
+	}
+}
+
+// snapshotFor produces the statement snapshot on a data node: a purely
+// local snapshot on the GTM-lite fast path, a merged snapshot (Algorithm 1)
+// when the transaction is global.
+func (t *txn) snapshotFor(dnID int) (*txnkit.Snapshot, error) {
+	dn := t.c.dns[dnID]
+	if !t.global {
+		s := dn.Txm.LocalSnapshot()
+		return &s, nil
+	}
+	s, err := dn.Txm.MergeSnapshot(t.gsnap)
+	if err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// commit finishes the transaction: local commit on the single-shard fast
+// path, 2PC with commit-on-GTM-first ordering otherwise.
+func (t *txn) commit() error {
+	if t.done {
+		return errors.New("cluster: transaction already finished")
+	}
+	t.done = true
+	if t.failed {
+		t.abortLocked()
+		return ErrTxnAborted
+	}
+	ids := t.sortedDNs()
+	if !t.global {
+		// GTM-lite single-shard fast path: no GTM, no 2PC.
+		for _, dnID := range ids {
+			t.c.hop()
+			if err := t.c.dns[dnID].Txm.Commit(t.xids[dnID]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Phase 1: prepare every leg.
+	for _, dnID := range ids {
+		t.c.hop()
+		if err := t.c.dns[dnID].Txm.Prepare(t.xids[dnID]); err != nil {
+			t.abortLocked()
+			return fmt.Errorf("cluster: prepare failed on dn%d: %w", dnID, err)
+		}
+	}
+	if t.c.failCrashBeforeGTM.Load() {
+		// Simulated coordinator death: legs stay prepared, no GTM decision.
+		return errors.New("cluster: coordinator crashed before GTM commit (failpoint)")
+	}
+	// Mark committed at the GTM FIRST (paper: "transactions are marked
+	// committed in GTM first and then on all nodes") — this ordering is
+	// what makes Anomaly 1 possible and UPGRADE necessary.
+	t.c.hop()
+	t.c.gtm.EndGlobal(t.gxid, true)
+	if t.c.failCrashAfterGTM.Load() {
+		// Simulated coordinator death after the decision became durable:
+		// legs stay prepared until RecoverInDoubt finishes phase 2.
+		return errors.New("cluster: coordinator crashed after GTM commit (failpoint)")
+	}
+	// Phase 2: commit confirmations to data nodes.
+	for _, dnID := range ids {
+		t.c.hop()
+		if err := t.c.dns[dnID].Txm.Commit(t.xids[dnID]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// abort rolls back every leg.
+func (t *txn) abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.abortLocked()
+}
+
+func (t *txn) abortLocked() {
+	for dnID, xid := range t.xids {
+		t.c.hop()
+		// Abort errors (already settled) are unreachable through the
+		// session API; ignore defensively.
+		_ = t.c.dns[dnID].Txm.Abort(xid)
+	}
+	if t.global {
+		t.c.hop()
+		t.c.gtm.EndGlobal(t.gxid, false)
+	}
+}
+
+func (t *txn) sortedDNs() []int {
+	ids := make([]int, 0, len(t.xids))
+	for id := range t.xids {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ---------------------------------------------------------------------------
+// Statement execution
+// ---------------------------------------------------------------------------
+
+// Exec parses and executes one SQL statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlx.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (s *Session) ExecStmt(stmt sqlx.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlx.TxControl:
+		return s.execTxControl(st)
+	case *sqlx.CreateTable:
+		return &Result{}, s.c.createTable(st)
+	case *sqlx.DropTable:
+		return &Result{}, s.c.dropTable(st)
+	case *sqlx.Explain:
+		return s.execExplain(st)
+	case *sqlx.Insert, *sqlx.Update, *sqlx.Delete, *sqlx.Select:
+		return s.execInTxn(stmt)
+	default:
+		return nil, fmt.Errorf("cluster: unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execTxControl(tc *sqlx.TxControl) (*Result, error) {
+	switch tc.Verb {
+	case "BEGIN":
+		if s.tx != nil {
+			return nil, errors.New("cluster: already inside a transaction")
+		}
+		s.tx = s.newTxn()
+		return &Result{}, nil
+	case "COMMIT":
+		if s.tx == nil {
+			return nil, errors.New("cluster: COMMIT outside a transaction")
+		}
+		t := s.tx
+		s.tx = nil
+		s.LastTxnWasGlobal = t.global
+		return &Result{}, t.commit()
+	case "ROLLBACK":
+		if s.tx == nil {
+			return nil, errors.New("cluster: ROLLBACK outside a transaction")
+		}
+		t := s.tx
+		s.tx = nil
+		s.LastTxnWasGlobal = t.global
+		t.abort()
+		return &Result{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown transaction verb %q", tc.Verb)
+	}
+}
+
+// execInTxn runs a DML/SELECT inside the current explicit transaction or an
+// implicit autocommit one.
+func (s *Session) execInTxn(stmt sqlx.Statement) (*Result, error) {
+	if s.tx != nil {
+		if s.tx.failed {
+			return nil, ErrTxnAborted
+		}
+		res, err := s.execStatement(s.tx, stmt)
+		if err != nil {
+			s.tx.failed = true
+		}
+		return res, err
+	}
+	t := s.newTxn()
+	res, err := s.execStatement(t, stmt)
+	if err != nil {
+		t.abort()
+		s.LastTxnWasGlobal = t.global
+		return nil, err
+	}
+	s.LastTxnWasGlobal = t.global
+	return res, t.commit()
+}
+
+func (s *Session) execStatement(t *txn, stmt sqlx.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlx.Insert:
+		return s.execInsert(t, st)
+	case *sqlx.Update:
+		return s.execUpdate(t, st)
+	case *sqlx.Delete:
+		return s.execDelete(t, st)
+	case *sqlx.Select:
+		return s.execSelect(t, st)
+	default:
+		return nil, fmt.Errorf("cluster: unsupported statement %T in transaction", stmt)
+	}
+}
+
+func (s *Session) execExplain(ex *sqlx.Explain) (*Result, error) {
+	sel, ok := ex.Stmt.(*sqlx.Select)
+	if !ok {
+		return nil, errors.New("cluster: EXPLAIN supports only SELECT")
+	}
+	t := s.tx
+	if t == nil {
+		t = s.newTxn()
+		defer t.abort()
+	}
+	p, access, err := s.planSelect(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	if !ex.Analyze {
+		var rows []types.Row
+		for _, c := range p.Counted {
+			rows = append(rows, types.Row{
+				types.NewString(c.StepText),
+				types.NewFloat(c.EstimatedRows),
+			})
+		}
+		return &Result{Columns: []string{"step", "estimated_rows"}, Rows: rows, Plan: p}, nil
+	}
+	// EXPLAIN ANALYZE: execute the plan, discard output rows, report the
+	// estimated vs actual cardinality of every instrumented step plus the
+	// MPP exchange volume.
+	ctx := exec.NewCtx(s.c.Clock())
+	start := time.Now()
+	resultRows, err := exec.Collect(ctx, p.Root)
+	if err != nil {
+		return nil, err
+	}
+	if access.scanErr != nil {
+		return nil, access.scanErr
+	}
+	elapsed := time.Since(start)
+	var rows []types.Row
+	for _, c := range p.Counted {
+		rows = append(rows, types.Row{
+			types.NewString(c.StepText),
+			types.NewFloat(c.EstimatedRows),
+			types.NewInt(c.ActualRows),
+		})
+	}
+	rows = append(rows, types.Row{
+		types.NewString(fmt.Sprintf("TOTAL (%d result rows, %v, %d rows shipped)",
+			len(resultRows), elapsed.Round(time.Microsecond), access.rowsShipped)),
+		types.Null,
+		types.NewInt(int64(len(resultRows))),
+	})
+	return &Result{Columns: []string{"step", "estimated_rows", "actual_rows"}, Rows: rows, Plan: p, RowsShipped: access.rowsShipped}, nil
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+// evalConstRow evaluates an INSERT VALUES row (no column references).
+func (s *Session) evalConstRow(pl *plan.Planner, exprs []sqlx.Expr) (types.Row, error) {
+	ctx := exec.NewCtx(s.c.Clock())
+	out := make(types.Row, len(exprs))
+	for i, e := range exprs {
+		ce, err := pl.CompileScalar(e, &plan.Scope{})
+		if err != nil {
+			return nil, err
+		}
+		v, err := ce.Eval(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
+	ti, err := s.c.tableInfo(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := ti.Meta.Schema
+	pl := s.planner(t)
+
+	// Column mapping: explicit column list may reorder or omit columns.
+	colIdx := make([]int, 0, schema.Len())
+	if len(ins.Columns) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range ins.Columns {
+			i := schema.ColumnIndex(name)
+			if i < 0 {
+				return nil, &plan.ErrColumnNotFound{Table: ins.Table, Column: name}
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	// Materialize the rows to insert.
+	var srcRows []types.Row
+	if ins.Query != nil {
+		res, err := s.execSelect(t, ins.Query)
+		if err != nil {
+			return nil, err
+		}
+		srcRows = res.Rows
+	} else {
+		for _, exprRow := range ins.Rows {
+			row, err := s.evalConstRow(pl, exprRow)
+			if err != nil {
+				return nil, err
+			}
+			srcRows = append(srcRows, row)
+		}
+	}
+
+	n := 0
+	for _, src := range srcRows {
+		if len(src) != len(colIdx) {
+			return nil, fmt.Errorf("cluster: INSERT has %d values but %d target columns", len(src), len(colIdx))
+		}
+		full := make(types.Row, schema.Len())
+		for i, c := range colIdx {
+			full[c] = src[i]
+		}
+		var targets []int
+		if ti.replicated {
+			targets = allDNs(len(s.c.dns))
+		} else {
+			targets = []int{s.c.shardFor(full[ti.Meta.DistKey])}
+		}
+		if err := s.c.requireLive(targets); err != nil {
+			return nil, err
+		}
+		t.touchSet(targets)
+		for _, dnID := range targets {
+			xid := t.touch(dnID)
+			snap, err := t.snapshotFor(dnID)
+			if err != nil {
+				return nil, err
+			}
+			s.c.hop()
+			if ti.colParts != nil {
+				err = ti.colParts[dnID].Insert(xid, full)
+			} else {
+				err = ti.rowParts[dnID].Insert(xid, snap, full)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		n++
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func allDNs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// routeWrite picks target data nodes for an UPDATE/DELETE on table ti with
+// the given WHERE clause.
+func (s *Session) routeWrite(ti *TableInfo, where sqlx.Expr) []int {
+	if ti.replicated {
+		return allDNs(len(s.c.dns))
+	}
+	scope := plan.TableScope(ti.Meta, shortAlias(ti.Meta.Name))
+	if shard, ok := routeByDistKey(s.c, ti, scope, where); ok {
+		return []int{shard}
+	}
+	return allDNs(len(s.c.dns))
+}
+
+// routeByDistKey looks for a top-level `distkey = <literal>` conjunct.
+func routeByDistKey(c *Cluster, ti *TableInfo, scope *plan.Scope, where sqlx.Expr) (int, bool) {
+	for _, conj := range sqlx.SplitConjuncts(where) {
+		b, ok := conj.(*sqlx.BinaryOp)
+		if !ok || b.Op != sqlx.OpEq {
+			continue
+		}
+		col, lit := colLit(b)
+		if col == nil || lit == nil {
+			continue
+		}
+		i, err := scope.Resolve(col.Table, col.Column)
+		if err != nil || i != ti.Meta.DistKey {
+			continue
+		}
+		return c.shardFor(lit.Value), true
+	}
+	return 0, false
+}
+
+func colLit(b *sqlx.BinaryOp) (*sqlx.ColumnRef, *sqlx.Literal) {
+	if cr, ok := b.Left.(*sqlx.ColumnRef); ok {
+		if lit, ok := b.Right.(*sqlx.Literal); ok {
+			return cr, lit
+		}
+	}
+	if cr, ok := b.Right.(*sqlx.ColumnRef); ok {
+		if lit, ok := b.Left.(*sqlx.Literal); ok {
+			return cr, lit
+		}
+	}
+	return nil, nil
+}
+
+func shortAlias(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
+	ti, err := s.c.tableInfo(up.Table)
+	if err != nil {
+		return nil, err
+	}
+	if ti.colParts != nil {
+		return nil, fmt.Errorf("cluster: UPDATE is not supported on columnar table %q (use row storage)", up.Table)
+	}
+	pl := s.planner(t)
+	scope := plan.TableScope(ti.Meta, shortAlias(ti.Meta.Name))
+
+	var pred exec.Expr
+	if up.Where != nil {
+		pred, err = pl.CompileScalar(up.Where, scope)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type setc struct {
+		col int
+		e   exec.Expr
+	}
+	var sets []setc
+	for _, a := range up.Set {
+		i := ti.Meta.Schema.ColumnIndex(a.Column)
+		if i < 0 {
+			return nil, &plan.ErrColumnNotFound{Table: up.Table, Column: a.Column}
+		}
+		ce, err := pl.CompileScalar(a.Value, scope)
+		if err != nil {
+			return nil, err
+		}
+		if i == ti.Meta.DistKey && !ti.replicated {
+			return nil, fmt.Errorf("cluster: updating the distribution column %q is not supported", a.Column)
+		}
+		sets = append(sets, setc{col: i, e: ce})
+	}
+
+	targets := s.routeWrite(ti, up.Where)
+	if err := s.c.requireLive(targets); err != nil {
+		return nil, err
+	}
+	t.touchSet(targets)
+	ctx := exec.NewCtx(s.c.Clock())
+	total := 0
+	for _, dnID := range targets {
+		xid := t.touch(dnID)
+		snap, err := t.snapshotFor(dnID)
+		if err != nil {
+			return nil, err
+		}
+		s.c.hop()
+		var evalErr error
+		n, err := ti.rowParts[dnID].Update(xid, snap,
+			func(r types.Row) bool {
+				if pred == nil {
+					return true
+				}
+				ok, err := exec.EvalBool(pred, ctx, r)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				return ok
+			},
+			func(r types.Row) (types.Row, error) {
+				for _, sc := range sets {
+					v, err := sc.e.Eval(ctx, r)
+					if err != nil {
+						return nil, err
+					}
+					r[sc.col] = v
+				}
+				return r, nil
+			})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ti.replicated {
+			total += n
+		} else if dnID == targets[0] {
+			total += n
+		}
+	}
+	return &Result{RowsAffected: total}, nil
+}
+
+func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
+	ti, err := s.c.tableInfo(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	if ti.colParts != nil {
+		return nil, fmt.Errorf("cluster: DELETE is not supported on columnar table %q (use row storage)", del.Table)
+	}
+	pl := s.planner(t)
+	scope := plan.TableScope(ti.Meta, shortAlias(ti.Meta.Name))
+	var pred exec.Expr
+	if del.Where != nil {
+		pred, err = pl.CompileScalar(del.Where, scope)
+		if err != nil {
+			return nil, err
+		}
+	}
+	targets := s.routeWrite(ti, del.Where)
+	if err := s.c.requireLive(targets); err != nil {
+		return nil, err
+	}
+	t.touchSet(targets)
+	ctx := exec.NewCtx(s.c.Clock())
+	total := 0
+	for _, dnID := range targets {
+		xid := t.touch(dnID)
+		snap, err := t.snapshotFor(dnID)
+		if err != nil {
+			return nil, err
+		}
+		s.c.hop()
+		var evalErr error
+		n, err := ti.rowParts[dnID].Delete(xid, snap, func(r types.Row) bool {
+			if pred == nil {
+				return true
+			}
+			ok, err := exec.EvalBool(pred, ctx, r)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			return ok
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !ti.replicated {
+			total += n
+		} else if dnID == targets[0] {
+			total += n
+		}
+	}
+	return &Result{RowsAffected: total}, nil
+}

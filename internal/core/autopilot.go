@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/autonomous"
+)
+
+// Autopilot wires the paper's autonomous-database architecture (§IV-A,
+// Fig 12) to a live cluster: it collects engine metrics into the
+// information store, runs the anomaly detectors, applies self-healing and
+// self-configuring actions through the change manager, and offers
+// SLA-governed statement execution through the workload manager.
+type Autopilot struct {
+	db *DB
+
+	// Info is the information store (Fig 12).
+	Info *autonomous.InfoStore
+	// Anomaly is the anomaly manager.
+	Anomaly *autonomous.AnomalyManager
+	// Changes is the change manager recording every automatic action.
+	Changes *autonomous.ChangeManager
+	// Workload is the SLA admission controller.
+	Workload *autonomous.WorkloadManager
+
+	// BloatRatio is the versions-per-visible-row threshold that triggers
+	// an automatic vacuum (default 2.0).
+	BloatRatio float64
+	// LCOLimit triggers LCO truncation housekeeping (default 1024).
+	LCOLimit int
+}
+
+// NewAutopilot builds an autopilot for the database with the given SLA.
+func (db *DB) NewAutopilot(sla autonomous.SLA) *Autopilot {
+	info := autonomous.NewInfoStore(db.cluster.Clock)
+	changes := autonomous.NewChangeManager(db.cluster.Clock)
+	return &Autopilot{
+		db:      db,
+		Info:    info,
+		Anomaly: autonomous.NewAnomalyManager(info, db.cluster.Clock),
+		Changes: changes,
+		Workload: autonomous.NewWorkloadManager(sla, autonomous.WorkloadConfig{
+			InitialConcurrency: 8,
+			MaxConcurrency:     64,
+		}, changes),
+		BloatRatio: 2.0,
+		LCOLimit:   1024,
+	}
+}
+
+// Action is one automatic intervention taken by Tick.
+type Action struct {
+	Kind   string
+	Detail string
+}
+
+// Tick runs one control-loop pass: collect metrics, detect anomalies,
+// self-heal. Call it periodically (the paper's continuous monitoring).
+func (a *Autopilot) Tick() []Action {
+	var actions []Action
+	c := a.db.cluster
+
+	// --- collect (information store) -----------------------------------
+	gtmTotal := float64(c.GTMStats().Total())
+	a.Info.Record("gtm_requests_total", gtmTotal)
+	a.Info.Record("planstore_entries", float64(c.Store.Len()))
+	inDoubt := c.InDoubtCount()
+	a.Info.Record("in_doubt_legs", float64(inDoubt))
+
+	worstBloat := 1.0
+	worstTable := ""
+	for name, info := range c.BloatReport() {
+		if r := info.Ratio(); r > worstBloat {
+			worstBloat, worstTable = r, name
+		}
+	}
+	a.Info.Record("max_bloat_ratio", worstBloat)
+
+	// --- act (self-healing / self-configuring) -------------------------
+	if inDoubt > 0 {
+		committed, aborted := c.RecoverInDoubt()
+		a.Changes.Set("recovery.in_doubt", float64(committed+aborted),
+			fmt.Sprintf("resolved %d committed / %d aborted legs", committed, aborted))
+		actions = append(actions, Action{
+			Kind:   "recover-in-doubt",
+			Detail: fmt.Sprintf("committed=%d aborted=%d", committed, aborted),
+		})
+	}
+	if worstBloat >= a.BloatRatio {
+		reclaimed := a.db.Vacuum()
+		a.Changes.Set("vacuum.reclaimed", float64(reclaimed),
+			fmt.Sprintf("table %s bloat %.2f >= %.2f", worstTable, worstBloat, a.BloatRatio))
+		actions = append(actions, Action{
+			Kind:   "auto-vacuum",
+			Detail: fmt.Sprintf("table=%s ratio=%.2f reclaimed=%d", worstTable, worstBloat, reclaimed),
+		})
+	}
+	// LCO housekeeping: truncation is cheap and monotone, run it whenever
+	// any node's LCO grows past the limit.
+	for _, dn := range c.DataNodes() {
+		if dn.Txm.LCOLen() > a.LCOLimit {
+			c.TruncateLCOs()
+			actions = append(actions, Action{Kind: "truncate-lco", Detail: "lco over limit"})
+			break
+		}
+	}
+	return actions
+}
+
+// ExecGoverned runs a statement under the workload manager's admission
+// control, reporting its latency to the SLA control loop and its outcome
+// to the anomaly baseline.
+func (a *Autopilot) ExecGoverned(s *Session, sql string) (*Result, error) {
+	if err := a.Workload.Admit(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.Exec(sql)
+	lat := time.Since(start)
+	a.Workload.Release(lat)
+	a.Anomaly.Observe("stmt_latency_ms", float64(lat)/1e6)
+	return res, err
+}

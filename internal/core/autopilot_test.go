@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/autonomous"
+)
+
+func newAutopilotDB(t *testing.T) (*DB, *Autopilot) {
+	t.Helper()
+	db := open(t, Options{DataNodes: 2})
+	ap := db.NewAutopilot(autonomous.SLA{TargetP95: 200 * time.Millisecond})
+	return db, ap
+}
+
+func TestAutopilotAutoVacuum(t *testing.T) {
+	db, ap := newAutopilotDB(t)
+	db.MustExec("CREATE TABLE t (a BIGINT, b BIGINT) DISTRIBUTE BY HASH(a)")
+	db.MustExec("INSERT INTO t VALUES (1, 0)")
+	// Create heavy version bloat.
+	for i := 0; i < 20; i++ {
+		db.MustExec(fmt.Sprintf("UPDATE t SET b = %d WHERE a = 1", i))
+	}
+	actions := ap.Tick()
+	found := false
+	for _, a := range actions {
+		if a.Kind == "auto-vacuum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected auto-vacuum, got %v", actions)
+	}
+	// Post-vacuum, the next tick is quiet.
+	if actions := ap.Tick(); len(actions) != 0 {
+		t.Errorf("second tick should be quiet, got %v", actions)
+	}
+	// Data survived.
+	res := db.MustExec("SELECT b FROM t WHERE a = 1")
+	if res.Rows[0][0].Int() != 19 {
+		t.Errorf("b = %v", res.Rows[0][0])
+	}
+	// The action was recorded through the change manager with a reason.
+	hist := ap.Changes.History()
+	if len(hist) == 0 || hist[len(hist)-1].Key != "vacuum.reclaimed" {
+		t.Errorf("change history = %+v", hist)
+	}
+}
+
+func TestAutopilotRecoversInDoubt(t *testing.T) {
+	db, ap := newAutopilotDB(t)
+	db.MustExec("CREATE TABLE acct (id BIGINT, bal BIGINT) DISTRIBUTE BY HASH(id)")
+	db.MustExec("INSERT INTO acct VALUES (1, 100), (2, 100)")
+	s := db.Session()
+	s.Exec("BEGIN")
+	s.Exec("UPDATE acct SET bal = bal - 10 WHERE id = 1")
+	s.Exec("UPDATE acct SET bal = bal + 10 WHERE id = 2")
+	db.Cluster().FailpointCrashAfterGTMCommit(true)
+	if _, err := s.Exec("COMMIT"); err == nil {
+		t.Fatal("failpoint commit should fail")
+	}
+	db.Cluster().FailpointCrashAfterGTMCommit(false)
+	if db.Cluster().InDoubtCount() == 0 {
+		t.Fatal("expected in-doubt legs")
+	}
+
+	actions := ap.Tick()
+	found := false
+	for _, a := range actions {
+		if a.Kind == "recover-in-doubt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected recover-in-doubt, got %v", actions)
+	}
+	res := db.MustExec("SELECT sum(bal) FROM acct")
+	if res.Rows[0][0].Int() != 200 {
+		t.Errorf("sum = %v", res.Rows[0][0])
+	}
+}
+
+func TestExecGovernedFeedsControlLoop(t *testing.T) {
+	db, ap := newAutopilotDB(t)
+	db.MustExec("CREATE TABLE t (a BIGINT) DISTRIBUTE BY HASH(a)")
+	s := db.Session()
+	for i := 0; i < 40; i++ {
+		if _, err := ap.ExecGoverned(s, fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ap.ExecGoverned(s, "SELECT count(*) FROM t")
+	if err != nil || res.Rows[0][0].Int() != 40 {
+		t.Fatalf("governed query = %v, %v", res, err)
+	}
+	if ap.Workload.Inflight() != 0 {
+		t.Error("slots leaked")
+	}
+	// Latencies fed the info store baseline via the anomaly manager.
+	if w := ap.Info.Window("stmt_latency_ms", time.Hour); len(w) != 41 {
+		t.Errorf("latency samples = %d, want 41", len(w))
+	}
+}
+
+func TestAutopilotMetricsCollected(t *testing.T) {
+	db, ap := newAutopilotDB(t)
+	db.MustExec("CREATE TABLE t (a BIGINT) DISTRIBUTE BY HASH(a)")
+	db.MustExec("INSERT INTO t VALUES (1)")
+	db.MustExec("SELECT count(*) FROM t") // scatter: generates GTM traffic
+	ap.Tick()
+	if v, ok := ap.Info.Last("gtm_requests_total"); !ok || v == 0 {
+		t.Errorf("gtm metric = %v, %v", v, ok)
+	}
+	if _, ok := ap.Info.Last("max_bloat_ratio"); !ok {
+		t.Error("bloat metric missing")
+	}
+}

@@ -1,0 +1,161 @@
+// Package core is the public face of the FI-MPPDB reproduction: it
+// assembles the shared-nothing SQL cluster (internal/cluster), the
+// GTM-lite / baseline transaction protocols (internal/gtm,
+// internal/txnkit), the learning-based optimizer (internal/planstore) and
+// the multi-model engines (internal/multimodel) behind one handle.
+//
+// Typical use:
+//
+//	db, _ := core.Open(core.Options{DataNodes: 4})
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE t (a BIGINT, b TEXT) DISTRIBUTE BY HASH(a)`)
+//	db.Exec(`INSERT INTO t VALUES (1, 'hello')`)
+//	res, _ := db.Query(`SELECT b FROM t WHERE a = 1`)
+//
+// Every session is a full coordinator connection: explicit BEGIN/COMMIT
+// blocks get GTM-lite semantics (single-shard transactions never touch the
+// GTM; cross-shard ones use merged snapshots and 2PC).
+package core
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/multimodel"
+	"repro/internal/planstore"
+	"repro/internal/spatial"
+	"repro/internal/tseries"
+)
+
+// Re-exported types so callers only import core.
+type (
+	// Session is a coordinator connection.
+	Session = cluster.Session
+	// Result is one statement's outcome.
+	Result = cluster.Result
+	// TxnMode selects the distributed transaction protocol.
+	TxnMode = cluster.TxnMode
+)
+
+// Transaction modes.
+const (
+	// GTMLite is the paper's protocol (§II-A): single-shard transactions
+	// commit locally, multi-shard ones merge global and local snapshots.
+	GTMLite = cluster.ModeGTMLite
+	// Baseline routes every transaction through the centralized GTM.
+	Baseline = cluster.ModeBaseline
+)
+
+// Options configures Open.
+type Options struct {
+	// DataNodes is the number of shared-nothing shards (default 4).
+	DataNodes int
+	// Mode selects GTM-lite (default) or baseline transaction management.
+	Mode TxnMode
+	// GTMServiceTime and HopLatency enable the cost model for latency
+	// experiments (zero = off, the right setting for functional use).
+	GTMServiceTime time.Duration
+	HopLatency     time.Duration
+	// Learning enables the §II-C loop: capture actual cardinalities after
+	// execution and serve them to the planner for later queries.
+	Learning bool
+	// SpatialCellSize tunes the spatial engine's grid (default 10).
+	SpatialCellSize float64
+	// Clock overrides the statement timestamp source (tests).
+	Clock func() time.Time
+}
+
+// DB is an embedded FI-MPPDB instance with multi-model engines attached.
+type DB struct {
+	cluster *cluster.Cluster
+	mm      *multimodel.DB
+	def     *cluster.Session
+}
+
+// Open builds a cluster and attaches the graph, time-series and spatial
+// engines.
+func Open(opts Options) (*DB, error) {
+	if opts.DataNodes <= 0 {
+		opts.DataNodes = 4
+	}
+	if opts.SpatialCellSize <= 0 {
+		opts.SpatialCellSize = 10
+	}
+	c, err := cluster.New(cluster.Config{
+		DataNodes:      opts.DataNodes,
+		Mode:           opts.Mode,
+		GTMServiceTime: opts.GTMServiceTime,
+		HopLatency:     opts.HopLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Clock != nil {
+		c.Clock = opts.Clock
+	}
+	c.CaptureSteps = opts.Learning
+	c.UseLearnedCard = opts.Learning
+	mm := multimodel.Attach(c, graph.New(), tseries.NewStore(), spatial.NewIndex(opts.SpatialCellSize))
+	return &DB{cluster: c, mm: mm, def: c.NewSession()}, nil
+}
+
+// Close releases the instance. (The embedded cluster holds no external
+// resources; Close exists for API symmetry and future file-backed modes.)
+func (db *DB) Close() {}
+
+// Session opens a new coordinator connection.
+func (db *DB) Session() *Session { return db.cluster.NewSession() }
+
+// Exec runs one statement on the DB's default session.
+func (db *DB) Exec(sql string) (*Result, error) { return db.def.Exec(sql) }
+
+// Query is Exec for reads; it exists for call-site clarity.
+func (db *DB) Query(sql string) (*Result, error) { return db.def.Exec(sql) }
+
+// MustExec panics on error — for examples and fixtures.
+func (db *DB) MustExec(sql string) *Result {
+	res, err := db.def.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Graph returns the attached property-graph engine (ggraph(...) queries
+// traverse it).
+func (db *DB) Graph() *graph.Graph { return db.mm.Graph }
+
+// TimeSeries returns the attached time-series engine.
+func (db *DB) TimeSeries() *tseries.Store { return db.mm.TS }
+
+// Spatial returns the attached spatial index.
+func (db *DB) Spatial() *spatial.Index { return db.mm.Spatial }
+
+// MultiModel exposes the virtual-table registration helpers
+// (ExposeSeries, ExposeGraphTables, ExposeSpatial).
+func (db *DB) MultiModel() *multimodel.DB { return db.mm }
+
+// Cluster exposes the underlying cluster for advanced use (experiments,
+// monitoring).
+func (db *DB) Cluster() *cluster.Cluster { return db.cluster }
+
+// Analyze refreshes optimizer statistics for a table.
+func (db *DB) Analyze(table string) error { return db.cluster.Analyze(table) }
+
+// Vacuum reclaims dead row versions across all shards.
+func (db *DB) Vacuum() int { return db.cluster.Vacuum() }
+
+// PlanStore exposes the learning optimizer's captured steps (§II-C).
+func (db *DB) PlanStore() *planstore.Store { return db.cluster.Store }
+
+// SetLearning toggles the §II-C loop at runtime: capture controls the
+// producer, use controls the consumer.
+func (db *DB) SetLearning(capture, use bool) {
+	db.cluster.CaptureSteps = capture
+	db.cluster.UseLearnedCard = use
+}
+
+// GTMRequests reports the total number of GTM requests served — the Fig 3
+// bottleneck metric.
+func (db *DB) GTMRequests() int64 { return db.cluster.GTMStats().Total() }

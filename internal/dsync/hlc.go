@@ -1,0 +1,115 @@
+// Package dsync implements the paper's distributed data-collaboration
+// platform across devices, edge and cloud (§IV-B): a peer-to-peer data
+// sync layer with hybrid logical clocks (tolerating the time-drift problem
+// the paper calls out), last-writer-wins convergence, digest-based
+// anti-entropy that guarantees no data loss and no redundant data,
+// query-based event subscriptions, and both P2P-mesh and leader-based
+// topologies over a latency-modelled network.
+package dsync
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Timestamp is a hybrid logical clock reading. Ordering is total:
+// (Physical, Logical, Node).
+type Timestamp struct {
+	Physical int64  // wall nanoseconds as observed by the issuing node
+	Logical  int32  // HLC logical component
+	Node     string // tie breaker; also identifies the writer
+}
+
+// Compare orders two timestamps (-1, 0, 1).
+func (t Timestamp) Compare(o Timestamp) int {
+	switch {
+	case t.Physical != o.Physical:
+		if t.Physical < o.Physical {
+			return -1
+		}
+		return 1
+	case t.Logical != o.Logical:
+		if t.Logical < o.Logical {
+			return -1
+		}
+		return 1
+	case t.Node != o.Node:
+		if t.Node < o.Node {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports an unset timestamp.
+func (t Timestamp) IsZero() bool { return t.Physical == 0 && t.Logical == 0 && t.Node == "" }
+
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%d@%s", t.Physical, t.Logical, t.Node)
+}
+
+// HLC is a hybrid logical clock. Even when a node's wall clock drifts
+// behind its peers', timestamps issued after observing a peer's timestamp
+// sort after it — this is how the platform "solves the time drift problem
+// across devices" (§IV-B2).
+type HLC struct {
+	node string
+	wall func() time.Time
+
+	mu       sync.Mutex
+	physical int64
+	logical  int32
+}
+
+// NewHLC creates a clock for a node; wall may be nil (system clock).
+func NewHLC(node string, wall func() time.Time) *HLC {
+	if wall == nil {
+		wall = time.Now
+	}
+	return &HLC{node: node, wall: wall}
+}
+
+// Now issues a new timestamp.
+func (h *HLC) Now() Timestamp {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.wall().UnixNano()
+	if now > h.physical {
+		h.physical = now
+		h.logical = 0
+	} else {
+		h.logical++
+	}
+	return Timestamp{Physical: h.physical, Logical: h.logical, Node: h.node}
+}
+
+// Observe advances the clock past a received timestamp, preserving
+// causality across drifting wall clocks.
+func (h *HLC) Observe(ts Timestamp) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := h.wall().UnixNano()
+	maxPhys := h.physical
+	if ts.Physical > maxPhys {
+		maxPhys = ts.Physical
+	}
+	if now > maxPhys {
+		h.physical = now
+		h.logical = 0
+		return
+	}
+	if maxPhys == h.physical && maxPhys == ts.Physical {
+		if ts.Logical > h.logical {
+			h.logical = ts.Logical
+		}
+		h.logical++
+	} else if maxPhys == ts.Physical {
+		h.physical = maxPhys
+		h.logical = ts.Logical + 1
+	} else {
+		h.logical++
+	}
+}

@@ -1,0 +1,171 @@
+package dsync
+
+import (
+	"sync"
+	"time"
+)
+
+// LinkKind models the two transports the paper contrasts: direct
+// device-to-device radio ("at least 10X faster than communications through
+// the Internet") versus Internet links to the cloud.
+type LinkKind uint8
+
+// Link kinds.
+const (
+	DirectRadio LinkKind = iota // Bluetooth / Wi-Fi Direct between peers
+	Internet                    // device <-> cloud WAN path
+)
+
+// Link is a simulated connection with per-message latency and accounting.
+type Link struct {
+	Kind LinkKind
+	// RTT is the round-trip latency charged per request/response exchange.
+	RTT time.Duration
+
+	mu       sync.Mutex
+	messages int64
+	bytes    int64
+	// simTime accumulates the virtual time spent on this link.
+	simTime time.Duration
+}
+
+// DefaultLinks returns the paper's 10x asymmetry: 10 ms direct radio RTT
+// versus 100 ms Internet RTT.
+func DefaultLinks() (direct, internet *Link) {
+	return &Link{Kind: DirectRadio, RTT: 10 * time.Millisecond},
+		&Link{Kind: Internet, RTT: 100 * time.Millisecond}
+}
+
+func (l *Link) charge(bytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.messages++
+	l.bytes += int64(bytes)
+	l.simTime += l.RTT
+}
+
+// Stats reports cumulative link usage.
+func (l *Link) Stats() (messages, bytes int64, simTime time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.messages, l.bytes, l.simTime
+}
+
+// SyncStats summarizes one synchronization exchange.
+type SyncStats struct {
+	EntriesAtoB int
+	EntriesBtoA int
+	Bytes       int
+	// SimTime is the virtual wall time the exchange took on the link.
+	SimTime time.Duration
+}
+
+// SyncPair runs one bidirectional anti-entropy exchange between two nodes:
+// digests cross the link, then each side ships exactly the entries the
+// other lacks. The exchange preserves the platform's guarantee of "no data
+// loss and no redundant data": every newer version transfers, nothing
+// already known does.
+func SyncPair(a, b *Node, link *Link) SyncStats {
+	var st SyncStats
+
+	// Round 1: digest exchange (one RTT carries both).
+	da, db := a.Digest(), b.Digest()
+	digestBytes := DigestSize(da) + DigestSize(db)
+	link.charge(digestBytes)
+	st.Bytes += digestBytes
+
+	// Round 2: each side sends what the other is missing (and accepts,
+	// per its SyncFilter).
+	fromA := a.MissingFrom(db, b.SyncFilter)
+	fromB := b.MissingFrom(da, a.SyncFilter)
+	payload := 0
+	for _, e := range fromA {
+		payload += e.size()
+	}
+	for _, e := range fromB {
+		payload += e.size()
+	}
+	link.charge(payload)
+	st.Bytes += payload
+
+	for _, e := range fromA {
+		b.applyEntry(e, true)
+	}
+	for _, e := range fromB {
+		a.applyEntry(e, true)
+	}
+	st.EntriesAtoB = len(fromA)
+	st.EntriesBtoA = len(fromB)
+	st.SimTime = 2 * link.RTT
+	return st
+}
+
+// Topology names the sync arrangement.
+type Topology uint8
+
+// Topologies (§IV-B2: P2P chosen "to avoid a single point failure", with a
+// leader-based arrangement "also useful in a relatively stable network").
+const (
+	// MeshP2P gossips around a ring of direct-radio links until quiescent.
+	MeshP2P Topology = iota
+	// ViaCloud syncs every node with a cloud relay over Internet links
+	// (the conventional MBaaS arrangement).
+	ViaCloud
+	// LeaderStar syncs every node with an elected local leader over
+	// direct-radio links (e.g. the home Wi-Fi router).
+	LeaderStar
+)
+
+// ConvergeResult reports a full synchronization run.
+type ConvergeResult struct {
+	Rounds   int
+	Messages int64
+	Bytes    int64
+	SimTime  time.Duration
+	// Converged is false only if MaxRounds was hit first.
+	Converged bool
+}
+
+// Converge drives sync exchanges under the given topology until all nodes
+// share identical state (or maxRounds passes elapse). relay is the cloud
+// or leader node for the non-mesh topologies (ignored for MeshP2P).
+func Converge(nodes []*Node, relay *Node, topo Topology, link *Link, maxRounds int) ConvergeResult {
+	if maxRounds <= 0 {
+		maxRounds = 3 * (len(nodes) + 1)
+	}
+	var res ConvergeResult
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		switch topo {
+		case MeshP2P:
+			for i := range nodes {
+				st := SyncPair(nodes[i], nodes[(i+1)%len(nodes)], link)
+				res.SimTime += st.SimTime
+			}
+		case ViaCloud, LeaderStar:
+			for _, n := range nodes {
+				st := SyncPair(n, relay, link)
+				res.SimTime += st.SimTime
+			}
+		}
+		if allConverged(nodes, relay, topo) {
+			res.Converged = true
+			break
+		}
+	}
+	res.Messages, res.Bytes, _ = link.Stats()
+	return res
+}
+
+func allConverged(nodes []*Node, relay *Node, topo Topology) bool {
+	base := nodes[0]
+	for _, n := range nodes[1:] {
+		if !SameState(base, n) {
+			return false
+		}
+	}
+	if topo != MeshP2P && relay != nil {
+		return SameState(base, relay)
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"io"
+
+	"repro/internal/types"
+)
+
+// MatState is the shared cache behind one WITH-clause materialization. All
+// references to the same CTE share one MatState, so the CTE body executes
+// at most once per statement (queries are single-threaded; no locking
+// needed).
+type MatState struct {
+	Child Operator
+	done  bool
+	rows  []types.Row
+	err   error
+}
+
+// NewMatState wraps the CTE body.
+func NewMatState(child Operator) *MatState { return &MatState{Child: child} }
+
+// rowsOnce executes the child on first use and caches the result.
+func (m *MatState) rowsOnce(ctx *Ctx) ([]types.Row, error) {
+	if !m.done {
+		m.rows, m.err = Collect(ctx, m.Child)
+		m.done = true
+	}
+	return m.rows, m.err
+}
+
+// Reset clears the cache so the next Open re-executes the body (used when
+// the same prepared plan is re-run in a new statement).
+func (m *MatState) Reset() { m.done = false; m.rows = nil; m.err = nil }
+
+// MaterialRef is one reference to a shared materialization; each reference
+// keeps its own cursor.
+type MaterialRef struct {
+	State *MatState
+	Out   *types.Schema
+	rows  []types.Row
+	pos   int
+}
+
+// Schema implements Operator.
+func (r *MaterialRef) Schema() *types.Schema { return r.Out }
+
+// Open implements Operator.
+func (r *MaterialRef) Open(ctx *Ctx) error {
+	rows, err := r.State.rowsOnce(ctx)
+	if err != nil {
+		return err
+	}
+	r.rows = rows
+	r.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (r *MaterialRef) Next(*Ctx) (types.Row, error) {
+	if r.pos >= len(r.rows) {
+		return nil, io.EOF
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, nil
+}
+
+// Close implements Operator.
+func (r *MaterialRef) Close() error { return nil }

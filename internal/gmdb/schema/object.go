@@ -1,0 +1,469 @@
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Value is one field value: a scalar datum or, for RecordArray fields, a
+// list of nested records.
+type Value struct {
+	Scalar  types.Datum
+	Records []*Record
+}
+
+// Record is one record instance; Values is positional per the record
+// schema's fields.
+type Record struct {
+	Values []Value
+}
+
+// Object is a stored tree object: a root record stamped with the schema
+// version it was written under.
+type Object struct {
+	Type    string
+	Version int
+	Root    *Record
+}
+
+// NewRecord allocates a record shaped for the given record schema, filling
+// scalar fields with their defaults.
+func NewRecord(rs *RecordSchema) *Record {
+	rec := &Record{Values: make([]Value, len(rs.Fields))}
+	for i, f := range rs.Fields {
+		if f.Kind != RecordArray {
+			rec.Values[i] = Value{Scalar: f.Default}
+		}
+	}
+	return rec
+}
+
+// Set assigns a scalar root-level... (see SetField for nested paths).
+func (r *Record) Set(idx int, v Value) { r.Values[idx] = v }
+
+// Key extracts the object's primary key.
+func (o *Object) Key(s *Schema) (types.Datum, error) {
+	if o.Root == nil {
+		return types.Null, fmt.Errorf("schema: object has no root record")
+	}
+	i := s.Root.FieldIndex(s.PrimaryKey)
+	if i < 0 || i >= len(o.Root.Values) {
+		return types.Null, fmt.Errorf("schema: object missing primary key %q", s.PrimaryKey)
+	}
+	return o.Root.Values[i].Scalar, nil
+}
+
+// Clone deep-copies an object.
+func (o *Object) Clone() *Object {
+	return &Object{Type: o.Type, Version: o.Version, Root: cloneRecord(o.Root)}
+}
+
+func cloneRecord(r *Record) *Record {
+	if r == nil {
+		return nil
+	}
+	out := &Record{Values: make([]Value, len(r.Values))}
+	for i, v := range r.Values {
+		nv := Value{Scalar: v.Scalar}
+		if v.Records != nil {
+			nv.Records = make([]*Record, len(v.Records))
+			for j, sub := range v.Records {
+				nv.Records[j] = cloneRecord(sub)
+			}
+		}
+		out.Values[i] = nv
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Conversion (upgrade / downgrade evolution)
+// ---------------------------------------------------------------------------
+
+// Convert transforms an object between two schema versions of the same
+// type. Upgrading appends default values for new fields; downgrading
+// truncates fields unknown to the older schema. Thanks to the add-only
+// rule, field positions never shift. The input object is not modified.
+func Convert(o *Object, from, to *Schema) (*Object, error) {
+	if o.Type != from.Type || from.Type != to.Type {
+		return nil, fmt.Errorf("schema: convert type mismatch (%s / %s / %s)", o.Type, from.Type, to.Type)
+	}
+	if o.Version != from.Version {
+		return nil, fmt.Errorf("schema: object is v%d, not source version v%d", o.Version, from.Version)
+	}
+	if from.Version == to.Version {
+		return o.Clone(), nil
+	}
+	root, err := convertRecord(o.Root, from.Root, to.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{Type: o.Type, Version: to.Version, Root: root}, nil
+}
+
+func convertRecord(r *Record, from, to *RecordSchema) (*Record, error) {
+	if r == nil {
+		return nil, nil
+	}
+	if len(r.Values) > len(from.Fields) {
+		return nil, fmt.Errorf("schema: record %s has %d values for %d fields", from.Name, len(r.Values), len(from.Fields))
+	}
+	out := &Record{Values: make([]Value, len(to.Fields))}
+	n := len(from.Fields)
+	if len(to.Fields) < n {
+		n = len(to.Fields) // downgrade: extra source fields are dropped
+	}
+	for i := 0; i < n; i++ {
+		var v Value
+		if i < len(r.Values) {
+			v = r.Values[i]
+		} else if to.Fields[i].Kind != RecordArray {
+			v = Value{Scalar: from.Fields[i].Default}
+		}
+		if to.Fields[i].Kind == RecordArray && v.Records != nil {
+			converted := make([]*Record, len(v.Records))
+			for j, sub := range v.Records {
+				c, err := convertRecord(sub, from.Fields[i].Record, to.Fields[i].Record)
+				if err != nil {
+					return nil, err
+				}
+				converted[j] = c
+			}
+			v = Value{Records: converted}
+		}
+		out.Values[i] = v
+	}
+	// Upgrade: fill appended fields with their defaults.
+	for i := n; i < len(to.Fields); i++ {
+		if to.Fields[i].Kind != RecordArray {
+			out.Values[i] = Value{Scalar: to.Fields[i].Default}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Delta objects
+// ---------------------------------------------------------------------------
+
+// PathElem addresses one step into the tree: the field position, and for
+// RecordArray fields the element index (extendable: an index one past the
+// end appends a fresh record).
+type PathElem struct {
+	Field int
+	// Index is the record-array element; -1 for scalar fields.
+	Index int
+}
+
+// Patch sets the value at Path.
+type Patch struct {
+	Path  []PathElem
+	Value Value
+}
+
+// Delta is a partial update: the paper's "data updates and schema
+// evolution happen on delta objects instead of whole objects".
+type Delta struct {
+	Type    string
+	Version int
+	Key     types.Datum
+	Patches []Patch
+}
+
+// ConvertDelta rewrites a delta between schema versions. Add-only
+// evolution keeps field positions stable, so upgrade is the identity on
+// paths; downgrade drops patches that touch fields beyond the older
+// schema (they do not exist there).
+func ConvertDelta(d *Delta, from, to *Schema) (*Delta, error) {
+	if d.Version != from.Version {
+		return nil, fmt.Errorf("schema: delta is v%d, not source version v%d", d.Version, from.Version)
+	}
+	out := &Delta{Type: d.Type, Version: to.Version, Key: d.Key}
+	for _, p := range d.Patches {
+		if pathExists(p.Path, to.Root) {
+			out.Patches = append(out.Patches, p)
+		}
+	}
+	return out, nil
+}
+
+func pathExists(path []PathElem, rs *RecordSchema) bool {
+	cur := rs
+	for i, pe := range path {
+		if pe.Field >= len(cur.Fields) {
+			return false
+		}
+		f := cur.Fields[pe.Field]
+		if i == len(path)-1 {
+			return true
+		}
+		if f.Kind != RecordArray {
+			return false
+		}
+		cur = f.Record
+	}
+	return len(path) > 0
+}
+
+// Apply mutates obj in place per the delta, which must match the object's
+// version. Array paths may append exactly one element past the current
+// end.
+func Apply(obj *Object, d *Delta, s *Schema) error {
+	if obj.Version != d.Version {
+		return fmt.Errorf("schema: delta v%d applied to object v%d", d.Version, obj.Version)
+	}
+	for _, p := range d.Patches {
+		if err := applyPatch(obj.Root, s.Root, p.Path, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyPatch(rec *Record, rs *RecordSchema, path []PathElem, v Value) error {
+	if len(path) == 0 {
+		return fmt.Errorf("schema: empty patch path")
+	}
+	pe := path[0]
+	if pe.Field >= len(rs.Fields) {
+		return fmt.Errorf("schema: patch field %d out of range (record %s)", pe.Field, rs.Name)
+	}
+	// Records may be sparse when the object was written under an older
+	// version; extend positionally.
+	for len(rec.Values) <= pe.Field {
+		rec.Values = append(rec.Values, Value{})
+	}
+	f := rs.Fields[pe.Field]
+	if len(path) == 1 && pe.Index < 0 {
+		// Scalar (or whole-array) assignment.
+		rec.Values[pe.Field] = v
+		return nil
+	}
+	if f.Kind != RecordArray {
+		return fmt.Errorf("schema: patch descends into scalar field %q", f.Name)
+	}
+	arr := rec.Values[pe.Field].Records
+	switch {
+	case pe.Index >= 0 && pe.Index < len(arr):
+		// Existing element.
+	case pe.Index == len(arr):
+		arr = append(arr, NewRecord(f.Record))
+		rec.Values[pe.Field].Records = arr
+	default:
+		return fmt.Errorf("schema: patch index %d out of range for %q (len %d)", pe.Index, f.Name, len(arr))
+	}
+	if len(path) == 1 {
+		if v.Records != nil && len(v.Records) == 1 {
+			arr[pe.Index] = v.Records[0]
+			return nil
+		}
+		return fmt.Errorf("schema: array-element patch needs exactly one record value")
+	}
+	return applyPatch(arr[pe.Index], f.Record, path[1:], v)
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding (the paper's session-data framing)
+// ---------------------------------------------------------------------------
+
+// MarshalObject encodes the object as JSON under its schema.
+func MarshalObject(o *Object, s *Schema) ([]byte, error) {
+	if o.Version != s.Version {
+		return nil, fmt.Errorf("schema: marshal version mismatch (object v%d, schema v%d)", o.Version, s.Version)
+	}
+	m, err := recordToMap(o.Root, s.Root)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{
+		"_type":    o.Type,
+		"_version": o.Version,
+		"data":     m,
+	})
+}
+
+func recordToMap(r *Record, rs *RecordSchema) (map[string]any, error) {
+	out := make(map[string]any, len(rs.Fields))
+	for i, f := range rs.Fields {
+		var v Value
+		if i < len(r.Values) {
+			v = r.Values[i]
+		}
+		if f.Kind == RecordArray {
+			arr := make([]any, len(v.Records))
+			for j, sub := range v.Records {
+				m, err := recordToMap(sub, f.Record)
+				if err != nil {
+					return nil, err
+				}
+				arr[j] = m
+			}
+			out[f.Name] = arr
+			continue
+		}
+		out[f.Name] = datumToJSON(v.Scalar)
+	}
+	return out, nil
+}
+
+func datumToJSON(d types.Datum) any {
+	switch d.Kind() {
+	case types.KindNull:
+		return nil
+	case types.KindBool:
+		return d.Bool()
+	case types.KindInt:
+		return d.Int()
+	case types.KindFloat:
+		return d.Float()
+	case types.KindString:
+		return d.Str()
+	case types.KindBytes:
+		return d.Bytes()
+	default:
+		return d.String()
+	}
+}
+
+// UnmarshalObject decodes JSON produced by MarshalObject using the given
+// schema (which must match the embedded version).
+func UnmarshalObject(data []byte, s *Schema) (*Object, error) {
+	var env struct {
+		Type    string         `json:"_type"`
+		Version int            `json:"_version"`
+		Data    map[string]any `json:"data"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	if env.Type != s.Type || env.Version != s.Version {
+		return nil, fmt.Errorf("schema: payload is %s v%d, schema is %s v%d", env.Type, env.Version, s.Type, s.Version)
+	}
+	root, err := mapToRecord(env.Data, s.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{Type: env.Type, Version: env.Version, Root: root}, nil
+}
+
+func mapToRecord(m map[string]any, rs *RecordSchema) (*Record, error) {
+	rec := &Record{Values: make([]Value, len(rs.Fields))}
+	for i, f := range rs.Fields {
+		raw, ok := m[f.Name]
+		if !ok || raw == nil {
+			if f.Kind != RecordArray {
+				rec.Values[i] = Value{Scalar: types.Null}
+			}
+			continue
+		}
+		if f.Kind == RecordArray {
+			arr, ok := raw.([]any)
+			if !ok {
+				return nil, fmt.Errorf("schema: field %q is not an array", f.Name)
+			}
+			recs := make([]*Record, len(arr))
+			for j, el := range arr {
+				subm, ok := el.(map[string]any)
+				if !ok {
+					return nil, fmt.Errorf("schema: element %d of %q is not a record", j, f.Name)
+				}
+				sub, err := mapToRecord(subm, f.Record)
+				if err != nil {
+					return nil, err
+				}
+				recs[j] = sub
+			}
+			rec.Values[i] = Value{Records: recs}
+			continue
+		}
+		d, err := jsonToDatum(raw, f.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("schema: field %q: %w", f.Name, err)
+		}
+		rec.Values[i] = Value{Scalar: d}
+	}
+	return rec, nil
+}
+
+func jsonToDatum(raw any, kind FieldKind) (types.Datum, error) {
+	switch kind {
+	case String:
+		s, ok := raw.(string)
+		if !ok {
+			return types.Null, fmt.Errorf("want string, got %T", raw)
+		}
+		return types.NewString(s), nil
+	case Number:
+		f, ok := raw.(float64)
+		if !ok {
+			return types.Null, fmt.Errorf("want number, got %T", raw)
+		}
+		if f == float64(int64(f)) {
+			return types.NewInt(int64(f)), nil
+		}
+		return types.NewFloat(f), nil
+	case Bool:
+		b, ok := raw.(bool)
+		if !ok {
+			return types.Null, fmt.Errorf("want bool, got %T", raw)
+		}
+		return types.NewBool(b), nil
+	case Bytes:
+		s, ok := raw.(string)
+		if !ok {
+			return types.Null, fmt.Errorf("want base64 string, got %T", raw)
+		}
+		return types.NewString(s), nil // JSON round-trips bytes as base64 text
+	default:
+		return types.Null, fmt.Errorf("unsupported scalar kind %v", kind)
+	}
+}
+
+// EncodedSize returns the JSON size of the object (used by the delta-sync
+// bandwidth experiment E9).
+func EncodedSize(o *Object, s *Schema) int {
+	b, err := MarshalObject(o, s)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// DeltaSize approximates the wire size of a delta as JSON.
+func DeltaSize(d *Delta) int {
+	b, err := json.Marshal(struct {
+		Type    string  `json:"t"`
+		Version int     `json:"v"`
+		Key     string  `json:"k"`
+		Patches []Patch `json:"p"`
+	}{d.Type, d.Version, d.Key.String(), d.Patches})
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// MarshalJSON lets Patch participate in DeltaSize.
+func (p Patch) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"path":  p.Path,
+		"value": valueToJSON(p.Value),
+	})
+}
+
+func valueToJSON(v Value) any {
+	if v.Records != nil {
+		out := make([]any, len(v.Records))
+		for i, r := range v.Records {
+			vals := make([]any, len(r.Values))
+			for j, rv := range r.Values {
+				vals[j] = valueToJSON(rv)
+			}
+			out[i] = vals
+		}
+		return out
+	}
+	return datumToJSON(v.Scalar)
+}

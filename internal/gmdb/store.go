@@ -1,0 +1,586 @@
+// Package gmdb implements the GMDB distributed in-memory database of the
+// paper's §III: a partitioned tree-object store where each partition is
+// owned by a single fiber (a dedicated goroutine consuming a request
+// queue — the lock-free, core-affine execution model of [17] the paper
+// cites), with single-object transactions, pub/sub change notification,
+// client-side caches with delta synchronization, asynchronous periodic
+// flush (durability traded for latency), and online schema evolution via
+// internal/gmdb/schema.
+package gmdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gmdb/schema"
+)
+
+// timeNow is the statement clock for the SQL surface (var for tests).
+var timeNow = time.Now
+
+// ErrNotFound is returned by Get/Update/Delete for missing keys.
+var ErrNotFound = errors.New("gmdb: key not found")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("gmdb: store is closed")
+
+// Config sizes the store.
+type Config struct {
+	// Partitions is the number of fiber-owned shards (default 4). The
+	// paper dedicates one fiber per physical core.
+	Partitions int
+	// FlushInterval enables asynchronous periodic checkpointing to
+	// FlushTarget when > 0.
+	FlushInterval time.Duration
+	// FlushTarget receives checkpoints (required when FlushInterval > 0).
+	FlushTarget io.Writer
+}
+
+// Notification is one pub/sub event, already converted to the subscriber's
+// schema version.
+type Notification struct {
+	Key     string
+	Deleted bool
+	// Object is the full converted object (nil on delete and for
+	// delta-only notifications where the subscriber asked for deltas).
+	Object *schema.Object
+	// Delta is the converted delta when the change arrived as one.
+	Delta *schema.Delta
+}
+
+// Subscription receives change notifications for one key.
+type Subscription struct {
+	C     <-chan Notification
+	id    int64
+	key   string
+	store *Store
+}
+
+// Stats counts store activity.
+type Stats struct {
+	Puts, Gets, Deltas, Deletes int64
+	// Conversions counts schema conversions performed on reads/writes.
+	Conversions int64
+	// FullSyncBytes and DeltaSyncBytes measure notification payload sizes
+	// (experiment E9: delta sync bandwidth).
+	FullSyncBytes  int64
+	DeltaSyncBytes int64
+	Flushes        int64
+}
+
+type subscriber struct {
+	id      int64
+	version int
+	ch      chan Notification
+}
+
+type entry struct {
+	obj  *schema.Object // stored in obj.Version (one copy per the paper)
+	subs []*subscriber
+}
+
+// partition is one fiber-owned shard. All access happens on the fiber
+// goroutine; the request channel is the lock-free queue.
+type partition struct {
+	requests chan func(p *partition)
+	objects  map[string]*entry
+	done     chan struct{}
+}
+
+// Store is an embedded GMDB instance.
+type Store struct {
+	registry *schema.Registry
+	parts    []*partition
+	cfg      Config
+
+	nextSubID atomic.Int64
+	closed    atomic.Bool
+	stopFlush chan struct{}
+	flushWG   sync.WaitGroup
+
+	puts, gets, deltas, deletes, conversions atomic.Int64
+	fullBytes, deltaBytes                    atomic.Int64
+	flushes                                  atomic.Int64
+}
+
+// NewStore starts the partition fibers (and the flusher when configured).
+func NewStore(registry *schema.Registry, cfg Config) *Store {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 4
+	}
+	s := &Store{registry: registry, cfg: cfg, stopFlush: make(chan struct{})}
+	for i := 0; i < cfg.Partitions; i++ {
+		p := &partition{
+			requests: make(chan func(*partition), 256),
+			objects:  make(map[string]*entry),
+			done:     make(chan struct{}),
+		}
+		s.parts = append(s.parts, p)
+		go p.run()
+	}
+	if cfg.FlushInterval > 0 && cfg.FlushTarget != nil {
+		s.flushWG.Add(1)
+		go s.flushLoop()
+	}
+	return s
+}
+
+// run is the fiber loop: it owns the partition's data exclusively, so no
+// locks are taken on the data path.
+func (p *partition) run() {
+	for fn := range p.requests {
+		fn(p)
+	}
+	close(p.done)
+}
+
+// Close stops the fibers and flusher. Outstanding subscriptions are closed.
+func (s *Store) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	close(s.stopFlush)
+	s.flushWG.Wait()
+	for _, p := range s.parts {
+		p := p
+		p.requests <- func(p *partition) {
+			for _, e := range p.objects {
+				for _, sub := range e.subs {
+					close(sub.ch)
+				}
+				e.subs = nil
+			}
+		}
+		close(p.requests)
+		<-p.done
+	}
+}
+
+func (s *Store) partitionFor(key string) *partition {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return s.parts[int(h.Sum32())%len(s.parts)]
+}
+
+// exec runs fn on the key's fiber and waits for completion.
+func (s *Store) exec(key string, fn func(p *partition)) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	done := make(chan struct{})
+	s.partitionFor(key).requests <- func(p *partition) {
+		defer close(done)
+		fn(p)
+	}
+	<-done
+	return nil
+}
+
+// convertPath converts an object across versions stepwise through adjacent
+// registered versions.
+func (s *Store) convertPath(obj *schema.Object, to int) (*schema.Object, error) {
+	if obj.Version == to {
+		return obj, nil
+	}
+	path, err := s.registry.ConversionPath(obj.Type, obj.Version, to)
+	if err != nil {
+		return nil, err
+	}
+	cur := obj
+	for i := 0; i+1 < len(path); i++ {
+		from, _ := s.registry.Get(obj.Type, path[i])
+		dst, _ := s.registry.Get(obj.Type, path[i+1])
+		cur, err = schema.Convert(cur, from, dst)
+		if err != nil {
+			return nil, err
+		}
+		s.conversions.Add(1)
+	}
+	return cur, nil
+}
+
+// convertDeltaPath converts a delta stepwise.
+func (s *Store) convertDeltaPath(d *schema.Delta, to int) (*schema.Delta, error) {
+	if d.Version == to {
+		return d, nil
+	}
+	path, err := s.registry.ConversionPath(d.Type, d.Version, to)
+	if err != nil {
+		return nil, err
+	}
+	cur := d
+	for i := 0; i+1 < len(path); i++ {
+		from, _ := s.registry.Get(d.Type, path[i])
+		dst, _ := s.registry.Get(d.Type, path[i+1])
+		cur, err = schema.ConvertDelta(cur, from, dst)
+		if err != nil {
+			return nil, err
+		}
+		s.conversions.Add(1)
+	}
+	return cur, nil
+}
+
+// Put stores (or replaces) an object under key. The stored copy keeps the
+// writer's schema version; readers at other versions convert on the fly
+// (paper Fig 9/10).
+func (s *Store) Put(key string, obj *schema.Object) error {
+	if _, ok := s.registry.Get(obj.Type, obj.Version); !ok {
+		return fmt.Errorf("gmdb: schema %s v%d is not registered", obj.Type, obj.Version)
+	}
+	s.puts.Add(1)
+	stored := obj.Clone()
+	var notifyErr error
+	err := s.exec(key, func(p *partition) {
+		e, ok := p.objects[key]
+		if !ok {
+			e = &entry{}
+			p.objects[key] = e
+		}
+		e.obj = stored
+		notifyErr = s.notifyLocked(e, key, stored, nil, false)
+	})
+	if err != nil {
+		return err
+	}
+	return notifyErr
+}
+
+// Get returns the object converted to the requested schema version.
+func (s *Store) Get(key string, version int) (*schema.Object, error) {
+	s.gets.Add(1)
+	var obj *schema.Object
+	err := s.exec(key, func(p *partition) {
+		if e, ok := p.objects[key]; ok && e.obj != nil {
+			obj = e.obj
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if obj == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	converted, err := s.convertPath(obj, version)
+	if err != nil {
+		return nil, err
+	}
+	if converted == obj {
+		converted = obj.Clone() // callers must not alias stored state
+	}
+	return converted, nil
+}
+
+// ApplyDelta applies a partial update; the delta converts to the stored
+// object's version before applying, and subscribers receive it converted
+// to their own versions (delta sync, §III-B).
+func (s *Store) ApplyDelta(key string, d *schema.Delta) error {
+	if _, ok := s.registry.Get(d.Type, d.Version); !ok {
+		return fmt.Errorf("gmdb: schema %s v%d is not registered", d.Type, d.Version)
+	}
+	s.deltas.Add(1)
+	var opErr error
+	err := s.exec(key, func(p *partition) {
+		e, ok := p.objects[key]
+		if !ok || e.obj == nil {
+			opErr = fmt.Errorf("%w: %q", ErrNotFound, key)
+			return
+		}
+		converted, err := s.convertDeltaPath(d, e.obj.Version)
+		if err != nil {
+			opErr = err
+			return
+		}
+		sc, _ := s.registry.Get(e.obj.Type, e.obj.Version)
+		if err := schema.Apply(e.obj, converted, sc); err != nil {
+			opErr = err
+			return
+		}
+		opErr = s.notifyLocked(e, key, e.obj, d, false)
+	})
+	if err != nil {
+		return err
+	}
+	return opErr
+}
+
+// Update runs a single-object transaction: fn mutates the object converted
+// to `version`, and the result is stored back (the stored copy adopts
+// `version`). The whole read-modify-write is atomic on the fiber.
+func (s *Store) Update(key string, version int, fn func(obj *schema.Object) error) error {
+	var opErr error
+	err := s.exec(key, func(p *partition) {
+		e, ok := p.objects[key]
+		if !ok || e.obj == nil {
+			opErr = fmt.Errorf("%w: %q", ErrNotFound, key)
+			return
+		}
+		converted, err := s.convertPath(e.obj, version)
+		if err != nil {
+			opErr = err
+			return
+		}
+		if converted == e.obj {
+			converted = e.obj.Clone()
+		}
+		if err := fn(converted); err != nil {
+			opErr = err
+			return
+		}
+		e.obj = converted
+		opErr = s.notifyLocked(e, key, e.obj, nil, false)
+	})
+	if err != nil {
+		return err
+	}
+	return opErr
+}
+
+// Delete removes a key.
+func (s *Store) Delete(key string) error {
+	s.deletes.Add(1)
+	var opErr error
+	err := s.exec(key, func(p *partition) {
+		e, ok := p.objects[key]
+		if !ok || e.obj == nil {
+			opErr = fmt.Errorf("%w: %q", ErrNotFound, key)
+			return
+		}
+		e.obj = nil
+		opErr = s.notifyLocked(e, key, nil, nil, true)
+		if len(e.subs) == 0 {
+			delete(p.objects, key)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return opErr
+}
+
+// notifyLocked fans a change out to the entry's subscribers, converting
+// per subscriber version. Runs on the fiber.
+func (s *Store) notifyLocked(e *entry, key string, obj *schema.Object, d *schema.Delta, deleted bool) error {
+	for _, sub := range e.subs {
+		n := Notification{Key: key, Deleted: deleted}
+		if deleted {
+			trySend(sub.ch, n)
+			continue
+		}
+		if d != nil {
+			cd, err := s.convertDeltaPath(d, sub.version)
+			if err != nil {
+				return err
+			}
+			n.Delta = cd
+			s.deltaBytes.Add(int64(schema.DeltaSize(cd)))
+		} else {
+			co, err := s.convertPath(obj, sub.version)
+			if err != nil {
+				return err
+			}
+			if co == obj {
+				co = obj.Clone()
+			}
+			n.Object = co
+			if sc, ok := s.registry.Get(co.Type, co.Version); ok {
+				s.fullBytes.Add(int64(schema.EncodedSize(co, sc)))
+			}
+		}
+		trySend(sub.ch, n)
+	}
+	return nil
+}
+
+// trySend drops notifications for slow subscribers instead of stalling the
+// fiber (carrier-grade latency beats completeness; the client re-reads on
+// gaps).
+func trySend(ch chan Notification, n Notification) {
+	select {
+	case ch <- n:
+	default:
+	}
+}
+
+// Subscribe registers for changes of key, with notifications converted to
+// the given schema version.
+func (s *Store) Subscribe(key string, version int, buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	ch := make(chan Notification, buffer)
+	id := s.nextSubID.Add(1)
+	err := s.exec(key, func(p *partition) {
+		e, ok := p.objects[key]
+		if !ok {
+			e = &entry{}
+			p.objects[key] = e
+		}
+		e.subs = append(e.subs, &subscriber{id: id, version: version, ch: ch})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Subscription{C: ch, id: id, key: key, store: s}, nil
+}
+
+// Cancel removes the subscription and closes its channel.
+func (sub *Subscription) Cancel() {
+	sub.store.exec(sub.key, func(p *partition) {
+		e, ok := p.objects[sub.key]
+		if !ok {
+			return
+		}
+		for i, sb := range e.subs {
+			if sb.id == sub.id {
+				e.subs = append(e.subs[:i], e.subs[i+1:]...)
+				close(sb.ch)
+				break
+			}
+		}
+		if e.obj == nil && len(e.subs) == 0 {
+			delete(p.objects, sub.key)
+		}
+	})
+}
+
+// Len counts stored objects.
+func (s *Store) Len() int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range s.parts {
+		p := p
+		wg.Add(1)
+		p.requests <- func(p *partition) {
+			defer wg.Done()
+			n := 0
+			for _, e := range p.objects {
+				if e.obj != nil {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}
+	}
+	wg.Wait()
+	return total
+}
+
+// Stats returns cumulative counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Puts: s.puts.Load(), Gets: s.gets.Load(), Deltas: s.deltas.Load(),
+		Deletes: s.deletes.Load(), Conversions: s.conversions.Load(),
+		FullSyncBytes: s.fullBytes.Load(), DeltaSyncBytes: s.deltaBytes.Load(),
+		Flushes: s.flushes.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous flush (durability trade-off, §III-A)
+// ---------------------------------------------------------------------------
+
+type checkpointRecord struct {
+	Key     string          `json:"key"`
+	Type    string          `json:"type"`
+	Version int             `json:"version"`
+	Data    json.RawMessage `json:"data"`
+}
+
+func (s *Store) flushLoop() {
+	defer s.flushWG.Done()
+	ticker := time.NewTicker(s.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// A failed flush is retried at the next tick; in-memory
+			// service is never blocked on it (the GMDB trade-off).
+			_ = s.Checkpoint(s.cfg.FlushTarget)
+		case <-s.stopFlush:
+			return
+		}
+	}
+}
+
+// Checkpoint writes a JSON-lines snapshot of all objects.
+func (s *Store) Checkpoint(w io.Writer) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	type kv struct {
+		key string
+		obj *schema.Object
+	}
+	var all []kv
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range s.parts {
+		p := p
+		wg.Add(1)
+		p.requests <- func(p *partition) {
+			defer wg.Done()
+			for key, e := range p.objects {
+				if e.obj != nil {
+					mu.Lock()
+					all = append(all, kv{key, e.obj.Clone()})
+					mu.Unlock()
+				}
+			}
+		}
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, item := range all {
+		sc, ok := s.registry.Get(item.obj.Type, item.obj.Version)
+		if !ok {
+			return fmt.Errorf("gmdb: checkpoint: schema %s v%d missing", item.obj.Type, item.obj.Version)
+		}
+		data, err := schema.MarshalObject(item.obj, sc)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(checkpointRecord{Key: item.key, Type: item.obj.Type, Version: item.obj.Version, Data: data}); err != nil {
+			return err
+		}
+	}
+	s.flushes.Add(1)
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores objects from a snapshot stream.
+func (s *Store) LoadCheckpoint(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	for {
+		var rec checkpointRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		sc, ok := s.registry.Get(rec.Type, rec.Version)
+		if !ok {
+			return fmt.Errorf("gmdb: load: schema %s v%d missing", rec.Type, rec.Version)
+		}
+		obj, err := schema.UnmarshalObject(rec.Data, sc)
+		if err != nil {
+			return err
+		}
+		if err := s.Put(rec.Key, obj); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// callGraph builds the paper's Example 1 scenario: persons connected by
+// timestamped "call" edges.
+func callGraph(t *testing.T) (*Graph, VID, VID) {
+	t.Helper()
+	g := New()
+	suspect := g.AddVertex("person", map[string]types.Datum{
+		"cid": types.NewInt(11111), "phone": types.NewString("555-0100"),
+	})
+	quiet := g.AddVertex("person", map[string]types.Datum{
+		"cid": types.NewInt(22222), "phone": types.NewString("555-0101"),
+	})
+	var callers []VID
+	for i := 0; i < 5; i++ {
+		callers = append(callers, g.AddVertex("person", map[string]types.Datum{
+			"cid": types.NewInt(int64(30000 + i)),
+		}))
+	}
+	// suspect receives 4 recent calls (ts >= 20180601), 1 old.
+	for i, c := range callers[:4] {
+		if err := g.AddEdge(c, suspect, "call", map[string]types.Datum{"ts": types.NewInt(int64(20180601 + i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.AddEdge(callers[4], suspect, "call", map[string]types.Datum{"ts": types.NewInt(20180101)})
+	// quiet receives 1 recent call.
+	g.AddEdge(callers[0], quiet, "call", map[string]types.Datum{"ts": types.NewInt(20180701)})
+	return g, suspect, quiet
+}
+
+func eval(t *testing.T, g *Graph, src string) []types.Row {
+	t.Helper()
+	tr, err := g.ParseTraversal(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	rows, err := tr.Eval()
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return rows
+}
+
+func TestAddAndCount(t *testing.T) {
+	g, _, _ := callGraph(t)
+	if g.VertexCount() != 7 {
+		t.Errorf("vertices = %d", g.VertexCount())
+	}
+	if g.EdgeCount() != 6 {
+		t.Errorf("edges = %d", g.EdgeCount())
+	}
+	if err := g.AddEdge(999, 1, "x", nil); err == nil {
+		t.Error("edge to missing vertex must fail")
+	}
+}
+
+func TestVCountTraversal(t *testing.T) {
+	g, _, _ := callGraph(t)
+	rows := eval(t, g, "g.V().count()")
+	if len(rows) != 1 || rows[0][0].Int() != 7 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestHasAndHasLabel(t *testing.T) {
+	g, _, _ := callGraph(t)
+	rows := eval(t, g, "g.V().hasLabel('person').has('cid', 11111).count()")
+	if rows[0][0].Int() != 1 {
+		t.Errorf("count = %v", rows[0][0])
+	}
+	// Unquoted key, paper style.
+	rows = eval(t, g, "g.V().has(cid, 11111).values(phone)")
+	if len(rows) != 1 || rows[0][0].Str() != "555-0100" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestInEWithPredicate(t *testing.T) {
+	g, _, _ := callGraph(t)
+	// The paper's Example 1 inner traversal: incoming recent calls of the
+	// suspect, counted.
+	rows := eval(t, g, "g.V().has(cid,11111).inE(call).has(ts, gt(20180131)).count()")
+	if len(rows) != 1 || rows[0][0].Int() != 4 {
+		t.Errorf("recent call count = %v", rows)
+	}
+	// count().gt(3) keeps the count value only when it exceeds 3.
+	rows = eval(t, g, "g.V().has(cid,11111).inE(call).has(ts, gt(20180131)).count().gt(3)")
+	if len(rows) != 1 || rows[0][0].Int() != 4 {
+		t.Errorf("gt filter = %v", rows)
+	}
+	rows = eval(t, g, "g.V().has(cid,22222).inE(call).has(ts, gt(20180131)).count().gt(3)")
+	if len(rows) != 0 {
+		t.Errorf("quiet person should not pass gt(3): %v", rows)
+	}
+}
+
+func TestWhereSubTraversal(t *testing.T) {
+	g, _, _ := callGraph(t)
+	// Example 1 as a row-producing query: all cids with > 3 recent calls.
+	rows := eval(t, g, "g.V().hasLabel(person).where(inE(call).has(ts, gt(20180131)).count().gt(3)).values(cid)")
+	if len(rows) != 1 || rows[0][0].Int() != 11111 {
+		t.Errorf("suspects = %v", rows)
+	}
+}
+
+func TestOutInBoth(t *testing.T) {
+	g := New()
+	a := g.AddVertex("n", map[string]types.Datum{"k": types.NewInt(1)})
+	b := g.AddVertex("n", map[string]types.Datum{"k": types.NewInt(2)})
+	c := g.AddVertex("n", map[string]types.Datum{"k": types.NewInt(3)})
+	g.AddEdge(a, b, "knows", nil)
+	g.AddEdge(b, c, "knows", nil)
+	g.AddEdge(a, c, "likes", nil)
+
+	if rows := eval(t, g, "g.V().has(k,1).out(knows).values(k)"); len(rows) != 1 || rows[0][0].Int() != 2 {
+		t.Errorf("out = %v", rows)
+	}
+	if rows := eval(t, g, "g.V().has(k,3).in().count()"); rows[0][0].Int() != 2 {
+		t.Errorf("in count = %v", rows)
+	}
+	if rows := eval(t, g, "g.V().has(k,2).both().count()"); rows[0][0].Int() != 2 {
+		t.Errorf("both count = %v", rows)
+	}
+	// Edge endpoints.
+	if rows := eval(t, g, "g.V().has(k,1).outE(likes).inV().values(k)"); len(rows) != 1 || rows[0][0].Int() != 3 {
+		t.Errorf("outE.inV = %v", rows)
+	}
+	if rows := eval(t, g, "g.V().has(k,2).inE().outV().values(k)"); len(rows) != 1 || rows[0][0].Int() != 1 {
+		t.Errorf("inE.outV = %v", rows)
+	}
+}
+
+func TestLimitDedup(t *testing.T) {
+	g := New()
+	hub := g.AddVertex("hub", nil)
+	for i := 0; i < 5; i++ {
+		v := g.AddVertex("leaf", map[string]types.Datum{"i": types.NewInt(int64(i))})
+		g.AddEdge(hub, v, "e", nil)
+		g.AddEdge(hub, v, "e", nil) // duplicate edges
+	}
+	rows := eval(t, g, "g.V().hasLabel(hub).out(e).count()")
+	if rows[0][0].Int() != 10 {
+		t.Errorf("out count = %v", rows)
+	}
+	rows = eval(t, g, "g.V().hasLabel(hub).out(e).dedup().count()")
+	if rows[0][0].Int() != 5 {
+		t.Errorf("dedup count = %v", rows)
+	}
+	rows = eval(t, g, "g.V().hasLabel(leaf).limit(2)")
+	if len(rows) != 2 {
+		t.Errorf("limit = %v", rows)
+	}
+}
+
+func TestVById(t *testing.T) {
+	g, suspect, _ := callGraph(t)
+	rows := eval(t, g, "g.V(1).values(cid)")
+	_ = suspect
+	if len(rows) != 1 || rows[0][0].Int() != 11111 {
+		t.Errorf("V(1) = %v", rows)
+	}
+	if rows := eval(t, g, "g.V(9999).count()"); rows[0][0].Int() != 0 {
+		t.Errorf("missing vertex count = %v", rows)
+	}
+}
+
+func TestOutputSchemas(t *testing.T) {
+	g, _, _ := callGraph(t)
+	tr, _ := g.ParseTraversal("g.V().values(cid, phone)")
+	s := tr.OutputSchema()
+	if s.Len() != 2 || s.Columns[0].Name != "cid" || s.Columns[1].Name != "phone" {
+		t.Errorf("values schema = %v", s)
+	}
+	tr, _ = g.ParseTraversal("g.V().count()")
+	if s := tr.OutputSchema(); s.Columns[0].Name != "count" || s.Columns[0].Kind != types.KindInt {
+		t.Errorf("count schema = %v", s)
+	}
+	tr, _ = g.ParseTraversal("g.V().inE(call)")
+	if s := tr.OutputSchema(); s.Len() != 3 || s.Columns[0].Name != "from" {
+		t.Errorf("edge schema = %v", s)
+	}
+	tr, _ = g.ParseTraversal("g.V()")
+	if s := tr.OutputSchema(); s.Len() != 2 || s.Columns[0].Name != "id" {
+		t.Errorf("vertex schema = %v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	g := New()
+	bad := []string{
+		"",
+		"g.",
+		"g.V",
+		"g.V().has('unterminated",
+		"g.V().frobnicate()",
+		"g.has(k,1)",           // must start with V/E
+		"g.V().has(k, zap(3))", // unknown predicate
+		"g.V() trailing",
+	}
+	for _, src := range bad {
+		tr, err := g.ParseTraversal(src)
+		if err == nil {
+			if _, err = tr.Eval(); err == nil {
+				t.Errorf("ParseTraversal(%q) should fail", src)
+			}
+		}
+	}
+}
+
+func TestVertexEdgeTables(t *testing.T) {
+	g := New()
+	a := g.AddVertex("x", nil)
+	b := g.AddVertex("y", nil)
+	g.AddEdge(a, b, "z", nil)
+	vrows, erows := g.VertexEdgeTables()
+	if len(vrows) != 2 || len(erows) != 1 {
+		t.Fatalf("tables = %v / %v", vrows, erows)
+	}
+	if vrows[0][1].Str() != "x" || erows[0][2].Str() != "z" {
+		t.Errorf("rows = %v / %v", vrows, erows)
+	}
+}
+
+func TestEdgeSourceE(t *testing.T) {
+	g := New()
+	a := g.AddVertex("n", nil)
+	b := g.AddVertex("n", nil)
+	g.AddEdge(a, b, "e1", nil)
+	g.AddEdge(b, a, "e2", nil)
+	rows := eval(t, g, "g.E().count()")
+	if rows[0][0].Int() != 2 {
+		t.Errorf("E count = %v", rows)
+	}
+}

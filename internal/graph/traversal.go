@@ -1,0 +1,681 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/types"
+)
+
+// Traversal is a parsed Gremlin-subset traversal bound to a graph.
+//
+// Supported steps: V([id]), hasLabel(l), has(key[, value | pred]),
+// out/in/both([label]), outE/inE([label]), outV()/inV(), values(k...),
+// count(), limit(n), dedup(), where(sub-traversal), and the predicates
+// eq/neq/gt/gte/lt/lte used inside has() or standalone as value filters
+// (count().gt(3)).
+type Traversal struct {
+	g     *Graph
+	steps []step
+	src   string
+}
+
+// step transforms an element stream.
+type step struct {
+	name string
+	args []arg
+	sub  *Traversal // for where()
+}
+
+// arg is one parsed argument: a datum literal or a nested predicate call.
+type arg struct {
+	lit  types.Datum
+	pred *predCall
+}
+
+type predCall struct {
+	name string
+	val  types.Datum
+}
+
+// elem is one traversal stream element: exactly one field is set.
+type elem struct {
+	v   *Vertex
+	e   *Edge
+	d   types.Datum
+	row types.Row
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+// ParseTraversal parses Gremlin-subset text like
+// "g.V().has('kind','person').inE('call').count()". The leading "g." is
+// optional. Unquoted identifiers in argument position are treated as string
+// literals (the paper writes has(cid,11111)).
+func (g *Graph) ParseTraversal(src string) (*Traversal, error) {
+	p := &tparser{src: src}
+	t, err := p.parseChain(g)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("graph: trailing input %q in traversal", p.src[p.pos:])
+	}
+	t.src = src
+	return t, nil
+}
+
+type tparser struct {
+	src string
+	pos int
+}
+
+func (p *tparser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *tparser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *tparser) parseChain(g *Graph) (*Traversal, error) {
+	t := &Traversal{g: g}
+	p.skipSpace()
+	// Optional leading "g."
+	save := p.pos
+	if id := p.ident(); id == "g" {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+		} else {
+			p.pos = save
+		}
+	} else {
+		p.pos = save
+	}
+	for {
+		p.skipSpace()
+		name := p.ident()
+		if name == "" {
+			return nil, fmt.Errorf("graph: expected step name at offset %d", p.pos)
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+			return nil, fmt.Errorf("graph: step %s needs parentheses", name)
+		}
+		p.pos++ // (
+		st := step{name: name}
+		p.skipSpace()
+		if name == "where" {
+			sub, err := p.parseChain(g)
+			if err != nil {
+				return nil, err
+			}
+			st.sub = sub
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+				return nil, fmt.Errorf("graph: unterminated where()")
+			}
+			p.pos++
+		} else {
+			for p.pos < len(p.src) && p.src[p.pos] != ')' {
+				a, err := p.parseArg()
+				if err != nil {
+					return nil, err
+				}
+				st.args = append(st.args, a)
+				p.skipSpace()
+				if p.pos < len(p.src) && p.src[p.pos] == ',' {
+					p.pos++
+					p.skipSpace()
+				}
+			}
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("graph: unterminated step %s(", name)
+			}
+			p.pos++ // )
+		}
+		t.steps = append(t.steps, st)
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+			continue
+		}
+		return t, nil
+	}
+}
+
+func (p *tparser) parseArg() (arg, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return arg{}, fmt.Errorf("graph: expected argument")
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '\'' || c == '"':
+		quote := c
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return arg{}, fmt.Errorf("graph: unterminated string")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return arg{lit: types.NewString(s)}, nil
+	case c >= '0' && c <= '9' || c == '-':
+		start := p.pos
+		p.pos++
+		isFloat := false
+		for p.pos < len(p.src) {
+			ch := p.src[p.pos]
+			if ch == '.' {
+				isFloat = true
+				p.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			p.pos++
+		}
+		text := p.src[start:p.pos]
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return arg{}, fmt.Errorf("graph: bad number %q", text)
+			}
+			return arg{lit: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return arg{}, fmt.Errorf("graph: bad number %q", text)
+		}
+		return arg{lit: types.NewInt(n)}, nil
+	default:
+		id := p.ident()
+		if id == "" {
+			return arg{}, fmt.Errorf("graph: unexpected character %q in arguments", c)
+		}
+		p.skipSpace()
+		// Nested predicate call gt(3)?
+		if p.pos < len(p.src) && p.src[p.pos] == '(' {
+			p.pos++
+			inner, err := p.parseArg()
+			if err != nil {
+				return arg{}, err
+			}
+			p.skipSpace()
+			if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+				return arg{}, fmt.Errorf("graph: unterminated predicate %s(", id)
+			}
+			p.pos++
+			if !validPred(id) {
+				return arg{}, fmt.Errorf("graph: unknown predicate %q", id)
+			}
+			return arg{pred: &predCall{name: id, val: inner.lit}}, nil
+		}
+		// Bare identifier = string literal (paper style: has(cid,11111)).
+		return arg{lit: types.NewString(id)}, nil
+	}
+}
+
+func validPred(name string) bool {
+	switch name {
+	case "eq", "neq", "gt", "gte", "lt", "lte":
+		return true
+	}
+	return false
+}
+
+func (pc *predCall) matches(v types.Datum) bool {
+	if v.IsNull() {
+		return false
+	}
+	c, err := types.Compare(v, pc.val)
+	if err != nil {
+		return false
+	}
+	switch pc.name {
+	case "eq":
+		return c == 0
+	case "neq":
+		return c != 0
+	case "gt":
+		return c > 0
+	case "gte":
+		return c >= 0
+	case "lt":
+		return c < 0
+	case "lte":
+		return c <= 0
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+// Eval runs the traversal and returns relational rows matching
+// OutputSchema.
+func (t *Traversal) Eval() ([]types.Row, error) {
+	elems, err := t.evalFrom(nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for _, e := range elems {
+		out = append(out, t.elemRow(e))
+	}
+	return out, nil
+}
+
+// evalFrom evaluates the step chain; start==nil begins with V() semantics
+// required as the first step, while a non-nil start element seeds
+// sub-traversals in where().
+func (t *Traversal) evalFrom(start *elem) ([]elem, error) {
+	var cur []elem
+	steps := t.steps
+	if start != nil {
+		cur = []elem{*start}
+	} else {
+		if len(steps) == 0 || (steps[0].name != "V" && steps[0].name != "E") {
+			return nil, fmt.Errorf("graph: traversal must start with V() or E()")
+		}
+	}
+	for i, st := range steps {
+		if start == nil && i == 0 {
+			var err error
+			cur, err = t.sourceStep(st)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var err error
+		cur, err = t.applyStep(st, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+func (t *Traversal) sourceStep(st step) ([]elem, error) {
+	switch st.name {
+	case "V":
+		if len(st.args) == 1 && st.args[0].lit.Kind() == types.KindInt {
+			if v, ok := t.g.Vertex(VID(st.args[0].lit.Int())); ok {
+				return []elem{{v: v}}, nil
+			}
+			return nil, nil
+		}
+		var out []elem
+		for _, id := range t.g.allVertices() {
+			v, _ := t.g.Vertex(id)
+			out = append(out, elem{v: v})
+		}
+		return out, nil
+	case "E":
+		var out []elem
+		t.g.mu.RLock()
+		defer t.g.mu.RUnlock()
+		for _, id := range t.g.allVerticesLocked() {
+			for _, e := range t.g.out[id] {
+				out = append(out, elem{e: e})
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("graph: traversal must start with V() or E(), got %s()", st.name)
+	}
+}
+
+// allVerticesLocked is allVertices without locking (caller holds g.mu).
+func (g *Graph) allVerticesLocked() []VID {
+	ids := make([]VID, 0, len(g.vertices))
+	for id := range g.vertices {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func (t *Traversal) applyStep(st step, cur []elem) ([]elem, error) {
+	switch st.name {
+	case "hasLabel":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("graph: hasLabel needs one argument")
+		}
+		label := st.args[0].lit.Str()
+		return filterElems(cur, func(e elem) bool {
+			if e.v != nil {
+				return e.v.Label == label
+			}
+			if e.e != nil {
+				return e.e.Label == label
+			}
+			return false
+		}), nil
+	case "has":
+		return t.applyHas(st, cur)
+	case "out", "in", "both":
+		return t.applyAdjacent(st, cur)
+	case "outE", "inE", "bothE":
+		return t.applyIncident(st, cur)
+	case "outV":
+		return mapElems(cur, func(e elem) (elem, bool) {
+			if e.e == nil {
+				return elem{}, false
+			}
+			v, ok := t.g.Vertex(e.e.From)
+			return elem{v: v}, ok
+		}), nil
+	case "inV":
+		return mapElems(cur, func(e elem) (elem, bool) {
+			if e.e == nil {
+				return elem{}, false
+			}
+			v, ok := t.g.Vertex(e.e.To)
+			return elem{v: v}, ok
+		}), nil
+	case "values":
+		if len(st.args) == 0 {
+			return nil, fmt.Errorf("graph: values needs at least one key")
+		}
+		var out []elem
+		for _, e := range cur {
+			props := elemProps(e)
+			if props == nil {
+				continue
+			}
+			row := make(types.Row, len(st.args))
+			missing := false
+			for i, a := range st.args {
+				v, ok := props[a.lit.Str()]
+				if !ok {
+					missing = true
+					break
+				}
+				row[i] = v
+			}
+			if !missing {
+				out = append(out, elem{row: row})
+			}
+		}
+		return out, nil
+	case "count":
+		return []elem{{d: types.NewInt(int64(len(cur)))}}, nil
+	case "limit":
+		if len(st.args) != 1 || st.args[0].lit.Kind() != types.KindInt {
+			return nil, fmt.Errorf("graph: limit needs an integer")
+		}
+		n := int(st.args[0].lit.Int())
+		if n < len(cur) {
+			cur = cur[:n]
+		}
+		return cur, nil
+	case "dedup":
+		seen := map[string]struct{}{}
+		var out []elem
+		for _, e := range cur {
+			k := elemKey(e)
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, e)
+		}
+		return out, nil
+	case "where":
+		var out []elem
+		for _, e := range cur {
+			e := e
+			sub, err := st.sub.evalFrom(&e)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(sub) {
+				out = append(out, e)
+			}
+		}
+		return out, nil
+	case "eq", "neq", "gt", "gte", "lt", "lte":
+		if len(st.args) != 1 {
+			return nil, fmt.Errorf("graph: %s needs one argument", st.name)
+		}
+		pc := &predCall{name: st.name, val: st.args[0].lit}
+		return filterElems(cur, func(e elem) bool {
+			return !e.d.IsNull() && pc.matches(e.d)
+		}), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown step %q", st.name)
+	}
+}
+
+func (t *Traversal) applyHas(st step, cur []elem) ([]elem, error) {
+	if len(st.args) < 1 || len(st.args) > 2 {
+		return nil, fmt.Errorf("graph: has needs one or two arguments")
+	}
+	key := st.args[0].lit.Str()
+	return filterElems(cur, func(e elem) bool {
+		props := elemProps(e)
+		if props == nil {
+			return false
+		}
+		v, ok := props[key]
+		if !ok {
+			return false
+		}
+		if len(st.args) == 1 {
+			return true
+		}
+		a := st.args[1]
+		if a.pred != nil {
+			return a.pred.matches(v)
+		}
+		return types.Equal(v, a.lit)
+	}), nil
+}
+
+func (t *Traversal) applyAdjacent(st step, cur []elem) ([]elem, error) {
+	label := ""
+	if len(st.args) == 1 {
+		label = st.args[0].lit.Str()
+	}
+	t.g.mu.RLock()
+	defer t.g.mu.RUnlock()
+	var out []elem
+	for _, e := range cur {
+		if e.v == nil {
+			continue
+		}
+		if st.name == "out" || st.name == "both" {
+			for _, ed := range t.g.out[e.v.ID] {
+				if label == "" || ed.Label == label {
+					out = append(out, elem{v: t.g.vertices[ed.To]})
+				}
+			}
+		}
+		if st.name == "in" || st.name == "both" {
+			for _, ed := range t.g.in[e.v.ID] {
+				if label == "" || ed.Label == label {
+					out = append(out, elem{v: t.g.vertices[ed.From]})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func (t *Traversal) applyIncident(st step, cur []elem) ([]elem, error) {
+	label := ""
+	if len(st.args) == 1 {
+		label = st.args[0].lit.Str()
+	}
+	t.g.mu.RLock()
+	defer t.g.mu.RUnlock()
+	var out []elem
+	for _, e := range cur {
+		if e.v == nil {
+			continue
+		}
+		if st.name == "outE" || st.name == "bothE" {
+			for _, ed := range t.g.out[e.v.ID] {
+				if label == "" || ed.Label == label {
+					out = append(out, elem{e: ed})
+				}
+			}
+		}
+		if st.name == "inE" || st.name == "bothE" {
+			for _, ed := range t.g.in[e.v.ID] {
+				if label == "" || ed.Label == label {
+					out = append(out, elem{e: ed})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func filterElems(in []elem, keep func(elem) bool) []elem {
+	var out []elem
+	for _, e := range in {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func mapElems(in []elem, f func(elem) (elem, bool)) []elem {
+	var out []elem
+	for _, e := range in {
+		if m, ok := f(e); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func elemProps(e elem) map[string]types.Datum {
+	if e.v != nil {
+		return e.v.Props
+	}
+	if e.e != nil {
+		return e.e.Props
+	}
+	return nil
+}
+
+func elemKey(e elem) string {
+	switch {
+	case e.v != nil:
+		return fmt.Sprintf("v%d", e.v.ID)
+	case e.e != nil:
+		return fmt.Sprintf("e%d-%d-%s", e.e.From, e.e.To, e.e.Label)
+	case e.row != nil:
+		return "r" + e.row.String()
+	default:
+		return "d" + e.d.String()
+	}
+}
+
+// truthy decides where() semantics: a sub-traversal passes if it produced
+// any element (boolean datums must include a true).
+func truthy(elems []elem) bool {
+	if len(elems) == 0 {
+		return false
+	}
+	allBool := true
+	for _, e := range elems {
+		if e.d.Kind() != types.KindBool {
+			allBool = false
+			break
+		}
+	}
+	if !allBool {
+		return true
+	}
+	for _, e := range elems {
+		if e.d.Bool() {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Relational output
+// ---------------------------------------------------------------------------
+
+// OutputSchema derives the relational schema of the traversal's results
+// from its final step, per the unified framework's table-expression
+// contract.
+func (t *Traversal) OutputSchema() *types.Schema {
+	if len(t.steps) == 0 {
+		return types.NewSchema(types.Column{Name: "id", Kind: types.KindInt})
+	}
+	last := t.steps[len(t.steps)-1]
+	switch last.name {
+	case "values":
+		cols := make([]types.Column, len(last.args))
+		for i, a := range last.args {
+			cols[i] = types.Column{Name: strings.ToLower(a.lit.Str()), Kind: types.KindNull}
+		}
+		return &types.Schema{Columns: cols}
+	case "count":
+		return types.NewSchema(types.Column{Name: "count", Kind: types.KindInt})
+	case "eq", "neq", "gt", "gte", "lt", "lte":
+		return types.NewSchema(types.Column{Name: "value", Kind: types.KindNull})
+	case "outE", "inE", "bothE", "E":
+		return types.NewSchema(
+			types.Column{Name: "from", Kind: types.KindInt},
+			types.Column{Name: "to", Kind: types.KindInt},
+			types.Column{Name: "label", Kind: types.KindString},
+		)
+	default:
+		return types.NewSchema(
+			types.Column{Name: "id", Kind: types.KindInt},
+			types.Column{Name: "label", Kind: types.KindString},
+		)
+	}
+}
+
+// elemRow converts one stream element to a relational row under
+// OutputSchema.
+func (t *Traversal) elemRow(e elem) types.Row {
+	switch {
+	case e.row != nil:
+		return e.row
+	case e.v != nil:
+		return types.Row{types.NewInt(int64(e.v.ID)), types.NewString(e.v.Label)}
+	case e.e != nil:
+		return types.Row{types.NewInt(int64(e.e.From)), types.NewInt(int64(e.e.To)), types.NewString(e.e.Label)}
+	default:
+		return types.Row{e.d}
+	}
+}

@@ -1,0 +1,193 @@
+// Package gtm implements the Global Transaction Manager of the FI-MPPDB
+// reproduction (paper §II-A).
+//
+// A single GTM instance serves two deployment modes that differ only in who
+// calls it:
+//
+//   - Baseline ("GTM for everything", Postgres-XC style): every transaction,
+//     single- or multi-shard, acquires a GXID and a global snapshot and
+//     enqueues/dequeues itself from the GTM's active list. The GTM is a
+//     serialized service, so it becomes the throughput ceiling as data
+//     nodes are added — exactly the bottleneck the paper measures.
+//
+//   - GTM-lite: only multi-shard transactions contact the GTM; single-shard
+//     transactions run on local XIDs and local snapshots and never appear
+//     here (paper §II-A2).
+//
+// The mode lives in internal/cluster's coordinator logic; this package just
+// provides the serialized global service and its cost model.
+package gtm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/txnkit"
+)
+
+// Stats counts GTM traffic. All fields are cumulative.
+type Stats struct {
+	Begins    int64 // BeginGlobal calls (GXID assignments)
+	Snapshots int64 // standalone Snapshot calls
+	Ends      int64 // EndGlobal calls
+}
+
+// Total returns the total number of serialized GTM requests.
+func (s Stats) Total() int64 { return s.Begins + s.Snapshots + s.Ends }
+
+// GTM is the centralized global transaction manager. All public methods are
+// safe for concurrent use; each one occupies the single logical server for
+// ServiceTime while holding the internal mutex, which models the
+// serialized request handling the paper identifies as the bottleneck.
+type GTM struct {
+	// ServiceTime is the CPU cost charged per request while serialized.
+	// Zero disables the cost model (pure functional GTM for unit tests).
+	ServiceTime time.Duration
+
+	mu     sync.Mutex
+	next   txnkit.GXID
+	active map[txnkit.GXID]struct{}
+	// outcomes records commit/abort decisions (the GTM's commit log). Data
+	// nodes consult it to resolve in-doubt prepared transactions after a
+	// coordinator failure. Bounded in production by log truncation; the
+	// reproduction keeps it in memory.
+	outcomes map[txnkit.GXID]bool
+
+	begins    atomic.Int64
+	snapshots atomic.Int64
+	ends      atomic.Int64
+}
+
+// New returns a GTM whose first GXID is 1.
+func New(serviceTime time.Duration) *GTM {
+	return &GTM{
+		ServiceTime: serviceTime,
+		next:        1,
+		active:      make(map[txnkit.GXID]struct{}),
+		outcomes:    make(map[txnkit.GXID]bool),
+	}
+}
+
+// BeginGlobal assigns the next GXID, inserts it into the active list and
+// returns it together with a global snapshot taken atomically with the
+// assignment.
+func (g *GTM) BeginGlobal() (txnkit.GXID, *txnkit.GlobalSnapshot) {
+	g.begins.Add(1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.charge()
+	gx := g.next
+	g.next++
+	g.active[gx] = struct{}{}
+	snap := g.snapshotLocked()
+	// The transaction's own GXID is in the active set; readers treat their
+	// own writes via the self rule, other nodes must not see it yet.
+	return gx, snap
+}
+
+// Snapshot returns a global snapshot of the current active list. Used by
+// multi-shard read-only transactions and by the baseline mode for
+// statement-level snapshots.
+func (g *GTM) Snapshot() *txnkit.GlobalSnapshot {
+	g.snapshots.Add(1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.charge()
+	return g.snapshotLocked()
+}
+
+func (g *GTM) snapshotLocked() *txnkit.GlobalSnapshot {
+	snap := &txnkit.GlobalSnapshot{
+		Xmax:   g.next,
+		Active: make(map[txnkit.GXID]struct{}, len(g.active)),
+	}
+	xmin := g.next
+	for gx := range g.active {
+		snap.Active[gx] = struct{}{}
+		if gx < xmin {
+			xmin = gx
+		}
+	}
+	snap.Xmin = xmin
+	return snap
+}
+
+// EndGlobal removes gx from the active list and records the decision in
+// the outcome log. Per the paper's commit ordering, a multi-shard writer is
+// "marked committed in GTM first and then on all nodes", so coordinators
+// call EndGlobal between 2PC prepare and the data-node commit
+// confirmations; the outcome log is what makes the decision durable for
+// in-doubt recovery.
+func (g *GTM) EndGlobal(gx txnkit.GXID, committed bool) {
+	g.ends.Add(1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.charge()
+	delete(g.active, gx)
+	g.outcomes[gx] = committed
+}
+
+// Outcome reports the recorded decision for gx: known is false while the
+// transaction is still active (or was never begun). Used by in-doubt
+// recovery after coordinator failures.
+func (g *GTM) Outcome(gx txnkit.GXID) (committed, known bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	committed, known = g.outcomes[gx]
+	return committed, known
+}
+
+// OldestActive returns the current global xmin horizon: the oldest active
+// GXID, or the next GXID when the active list is empty. Data nodes use it
+// to truncate their LCOs.
+func (g *GTM) OldestActive() txnkit.GXID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	oldest := g.next
+	for gx := range g.active {
+		if gx < oldest {
+			oldest = gx
+		}
+	}
+	return oldest
+}
+
+// ActiveCount reports the size of the active list (for tests/monitoring).
+func (g *GTM) ActiveCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.active)
+}
+
+// Stats returns cumulative request counters.
+func (g *GTM) Stats() Stats {
+	return Stats{
+		Begins:    g.begins.Load(),
+		Snapshots: g.snapshots.Load(),
+		Ends:      g.ends.Load(),
+	}
+}
+
+// charge burns ServiceTime of CPU while the caller holds the mutex,
+// modelling the serialized request service. Busy-waiting (rather than
+// sleeping) keeps sub-millisecond service times accurate, which matters
+// for the Fig 3 scalability shape.
+func (g *GTM) charge() {
+	if g.ServiceTime <= 0 {
+		return
+	}
+	Spin(g.ServiceTime)
+}
+
+// Spin busy-waits for approximately d. Exported for reuse by the cluster
+// fabric's latency model.
+func Spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+		// Busy wait; the loop body is intentionally empty.
+	}
+}

@@ -1,0 +1,144 @@
+package gtm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/txnkit"
+)
+
+func TestBeginGlobalAssignsMonotonicGXIDs(t *testing.T) {
+	g := New(0)
+	g1, s1 := g.BeginGlobal()
+	g2, s2 := g.BeginGlobal()
+	if g2 != g1+1 {
+		t.Errorf("gxids not monotonic: %d then %d", g1, g2)
+	}
+	if !s1.Contains(g1) {
+		t.Error("snapshot must include the transaction's own gxid as active")
+	}
+	if !s2.Contains(g1) || !s2.Contains(g2) {
+		t.Error("second snapshot must see both active txns")
+	}
+}
+
+func TestEndGlobalRemovesFromActiveList(t *testing.T) {
+	g := New(0)
+	gx, _ := g.BeginGlobal()
+	if g.ActiveCount() != 1 {
+		t.Fatal("active count should be 1")
+	}
+	g.EndGlobal(gx, true)
+	if g.ActiveCount() != 0 {
+		t.Fatal("active count should be 0 after end")
+	}
+	snap := g.Snapshot()
+	if snap.Contains(gx) {
+		t.Error("ended gxid must not be active in new snapshots")
+	}
+	if !snap.GXIDVisible(gx) {
+		t.Error("ended gxid must be visible in new snapshots")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	g := New(0)
+	gx, _ := g.BeginGlobal()
+	snapBefore := g.Snapshot()
+	g.EndGlobal(gx, true)
+	if snapBefore.GXIDVisible(gx) {
+		t.Error("old snapshot must keep gx invisible")
+	}
+	if !g.Snapshot().GXIDVisible(gx) {
+		t.Error("fresh snapshot must see gx")
+	}
+}
+
+func TestOldestActive(t *testing.T) {
+	g := New(0)
+	a, _ := g.BeginGlobal()
+	b, _ := g.BeginGlobal()
+	if got := g.OldestActive(); got != a {
+		t.Errorf("oldest = %d, want %d", got, a)
+	}
+	g.EndGlobal(a, true)
+	if got := g.OldestActive(); got != b {
+		t.Errorf("oldest = %d, want %d", got, b)
+	}
+	g.EndGlobal(b, true)
+	if got := g.OldestActive(); got != b+1 {
+		t.Errorf("oldest with empty list = %d, want next gxid %d", got, b+1)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	g := New(0)
+	gx, _ := g.BeginGlobal()
+	g.Snapshot()
+	g.Snapshot()
+	g.EndGlobal(gx, false)
+	s := g.Stats()
+	if s.Begins != 1 || s.Snapshots != 2 || s.Ends != 1 || s.Total() != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentGXIDUniqueness(t *testing.T) {
+	g := New(0)
+	const workers = 16
+	const per = 100
+	seen := make([]txnkit.GXID, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				gx, _ := g.BeginGlobal()
+				seen[w*per+i] = gx
+				g.EndGlobal(gx, true)
+			}
+		}(w)
+	}
+	wg.Wait()
+	unique := make(map[txnkit.GXID]struct{}, len(seen))
+	for _, gx := range seen {
+		if _, dup := unique[gx]; dup {
+			t.Fatalf("duplicate gxid %d", gx)
+		}
+		unique[gx] = struct{}{}
+	}
+	if g.ActiveCount() != 0 {
+		t.Error("active list should drain")
+	}
+}
+
+func TestServiceTimeSerializes(t *testing.T) {
+	// With a 200µs service time, 20 concurrent requests must take at least
+	// ~4ms of wall clock because they serialize on the GTM.
+	g := New(200 * time.Microsecond)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Snapshot()
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Errorf("20 serialized 200µs requests finished in %v; expected >= ~4ms", elapsed)
+	}
+}
+
+func TestSpinApproximatesDuration(t *testing.T) {
+	start := time.Now()
+	Spin(2 * time.Millisecond)
+	if e := time.Since(start); e < 2*time.Millisecond || e > 50*time.Millisecond {
+		t.Errorf("Spin(2ms) took %v", e)
+	}
+	Spin(0)  // must not hang
+	Spin(-1) // must not hang
+}

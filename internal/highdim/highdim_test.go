@@ -1,0 +1,199 @@
+package highdim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randVec makes a vector near one of nClusters well-separated anchors so
+// IVF clustering has real structure to find.
+func randVec(rng *rand.Rand, dim, nClusters int) (Vector, int) {
+	c := rng.Intn(nClusters)
+	v := make(Vector, dim)
+	for d := range v {
+		v[d] = float32(c*10) + float32(rng.NormFloat64())
+	}
+	return v, c
+}
+
+func buildIndex(t testing.TB, n, dim, clusters int) *Index {
+	ix, err := NewIndex(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		v, _ := randVec(rng, dim, clusters)
+		if err := ix.Add(int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ix
+}
+
+func TestAddSearchExact(t *testing.T) {
+	ix := buildIndex(t, 500, 32, 5)
+	if ix.Len() != 500 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	rng := rand.New(rand.NewSource(9))
+	q, _ := randVec(rng, 32, 5)
+	res, err := ix.SearchExact(q, 10)
+	if err != nil || len(res) != 10 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist < res[i-1].Dist {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+}
+
+func TestDimensionChecks(t *testing.T) {
+	if _, err := NewIndex(0); err == nil {
+		t.Error("zero dim must fail")
+	}
+	ix, _ := NewIndex(8)
+	if err := ix.Add(1, make(Vector, 4)); err == nil {
+		t.Error("wrong-dim add must fail")
+	}
+	if _, err := ix.SearchExact(make(Vector, 4), 1); err == nil {
+		t.Error("wrong-dim query must fail")
+	}
+}
+
+func TestIVFRecall(t *testing.T) {
+	ix := buildIndex(t, 2000, 64, 8)
+	if err := ix.Train(16, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var totalRecall float64
+	const queries = 20
+	for i := 0; i < queries; i++ {
+		q, _ := randVec(rng, 64, 8)
+		exact, _ := ix.SearchExact(q, 10)
+		approx, err := ix.Search(q, 10, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRecall += Recall(approx, exact)
+	}
+	if avg := totalRecall / queries; avg < 0.9 {
+		t.Errorf("IVF recall@10 with nprobe=4 = %.2f, want >= 0.9", avg)
+	}
+	// nprobe = nlist degenerates to exact.
+	q, _ := randVec(rng, 64, 8)
+	exact, _ := ix.SearchExact(q, 10)
+	all, _ := ix.Search(q, 10, 16)
+	if Recall(all, exact) != 1 {
+		t.Error("full probe must match exact search")
+	}
+}
+
+func TestUntrainedFallsBackToExact(t *testing.T) {
+	ix := buildIndex(t, 100, 16, 3)
+	rng := rand.New(rand.NewSource(3))
+	q, _ := randVec(rng, 16, 3)
+	a, _ := ix.Search(q, 5, 2)
+	e, _ := ix.SearchExact(q, 5)
+	if Recall(a, e) != 1 {
+		t.Error("untrained Search must equal exact")
+	}
+}
+
+func TestIncrementalAddAfterTrain(t *testing.T) {
+	ix := buildIndex(t, 500, 16, 4)
+	if err := ix.Train(8, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Ingest continues after training; new vectors must be findable.
+	probe := make(Vector, 16)
+	for d := range probe {
+		probe[d] = 999
+	}
+	if err := ix.Add(777777, probe); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.Search(probe, 1, 2)
+	if err != nil || len(res) == 0 || res[0].ID != 777777 {
+		t.Fatalf("incremental vector not found: %v, %v", res, err)
+	}
+}
+
+func TestRemoveAndRebuild(t *testing.T) {
+	ix := buildIndex(t, 300, 16, 3)
+	if err := ix.Train(6, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if !ix.Remove(i) {
+			t.Fatalf("remove %d failed", i)
+		}
+	}
+	if ix.Remove(0) {
+		t.Error("double remove should be false")
+	}
+	if ix.Len() != 200 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	// Deleted ids never surface.
+	rng := rand.New(rand.NewSource(4))
+	q, _ := randVec(rng, 16, 3)
+	res, _ := ix.Search(q, 50, 6)
+	for _, r := range res {
+		if r.ID < 100 {
+			t.Fatalf("deleted id %d surfaced", r.ID)
+		}
+	}
+	// Rebuild compacts and retrains; results stay consistent with exact.
+	if err := ix.Rebuild(4, 2); err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := ix.SearchExact(q, 10)
+	approx, _ := ix.Search(q, 10, 6)
+	if Recall(approx, exact) == 0 {
+		t.Error("post-rebuild recall collapsed")
+	}
+}
+
+func TestReAddReplacesVector(t *testing.T) {
+	ix, _ := NewIndex(4)
+	ix.Add(1, Vector{0, 0, 0, 0})
+	ix.Add(1, Vector{10, 10, 10, 10})
+	if ix.Len() != 1 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	res, _ := ix.SearchExact(Vector{10, 10, 10, 10}, 1)
+	if res[0].Dist != 0 {
+		t.Errorf("replacement lost: %v", res)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	ix, _ := NewIndex(4)
+	if err := ix.Train(4, 3, 1); err == nil {
+		t.Error("training an empty index must fail")
+	}
+	ix.Add(1, Vector{1, 2, 3, 4})
+	if err := ix.Train(16, 3, 1); err != nil {
+		t.Errorf("nlist larger than data should clamp: %v", err)
+	}
+}
+
+func BenchmarkIVFSearch(b *testing.B) {
+	ix := buildIndex(b, 5000, 64, 8)
+	ix.Train(32, 5, 1)
+	rng := rand.New(rand.NewSource(5))
+	q, _ := randVec(rng, 64, 8)
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.SearchExact(q, 10)
+		}
+	})
+	b.Run("ivf-nprobe4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.Search(q, 10, 4)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package mme
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gmdb/schema"
+)
+
+func registry(t *testing.T) *schema.Registry {
+	t.Helper()
+	reg := schema.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestSchemaChainIsAddOnly(t *testing.T) {
+	// Each consecutive pair must be a legal evolution; RegisterAll already
+	// enforces it, but check explicitly both ways.
+	for i := 0; i+1 < len(Versions); i++ {
+		from, err := Schema(Versions[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		to, err := Schema(Versions[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := schema.CheckEvolution(from, to); err != nil {
+			t.Errorf("V%d -> V%d: %v", Versions[i], Versions[i+1], err)
+		}
+		if len(to.Root.Fields) <= len(from.Root.Fields) {
+			t.Errorf("V%d -> V%d adds no root fields", Versions[i], Versions[i+1])
+		}
+	}
+	if _, err := Schema(4); err == nil {
+		t.Error("V4 is not in the chain")
+	}
+}
+
+// TestFig8ConversionMatrix reproduces the paper's Fig 8: the MME
+// upgrade/downgrade matrix over V3, V5, V6, V7, V8 — U1..U4 on the
+// superdiagonal, D1..D4 on the subdiagonal, ✗ everywhere else.
+func TestFig8ConversionMatrix(t *testing.T) {
+	reg := registry(t)
+	m := ConversionMatrix(reg)
+	if len(m) != 5 {
+		t.Fatalf("matrix size = %d", len(m))
+	}
+	for i := range m {
+		for j := range m[i] {
+			cell := m[i][j]
+			switch {
+			case i == j:
+				if cell != "-" {
+					t.Errorf("[%d][%d] = %q, want -", i, j, cell)
+				}
+			case j == i+1:
+				want := [4]string{"U1", "U2", "U3", "U4"}[i]
+				if len(cell) < 2 || cell[:2] != want {
+					t.Errorf("[%d][%d] = %q, want %s...", i, j, cell, want)
+				}
+			case j == i-1:
+				want := [4]string{"D1", "D2", "D3", "D4"}[j]
+				if len(cell) < 2 || cell[:2] != want {
+					t.Errorf("[%d][%d] = %q, want %s...", i, j, cell, want)
+				}
+			default:
+				if cell != "X" {
+					t.Errorf("[%d][%d] = %q, want X", i, j, cell)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSessionDeterministicKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	obj, err := GenerateSession(rng, 3, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := Schema(3)
+	key, err := obj.Key(sc)
+	if err != nil || key.Str() != "460000000012345" {
+		t.Errorf("key = %v, %v", key, err)
+	}
+	// Bearers populated.
+	bi := sc.Root.FieldIndex("bearers")
+	if n := len(obj.Root.Values[bi].Records); n < 8 || n > 12 {
+		t.Errorf("bearers = %d", n)
+	}
+}
+
+func TestSessionDeltaPaths(t *testing.T) {
+	d, err := SessionDelta(rand.New(rand.NewSource(1)), 8, "imsi-x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Patches) != 3 || d.Version != 8 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// Applying to a matching object works.
+	obj, _ := GenerateSession(rand.New(rand.NewSource(2)), 8, 1)
+	sc, _ := Schema(8)
+	if err := schema.Apply(obj, d, sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionsGenerateGrowingSchemas(t *testing.T) {
+	prev := 0
+	for _, v := range Versions {
+		sc, err := Schema(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sc.Root.Fields) <= prev {
+			t.Errorf("V%d has %d fields, not more than previous %d", v, len(sc.Root.Fields), prev)
+		}
+		prev = len(sc.Root.Fields)
+	}
+}

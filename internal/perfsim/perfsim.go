@@ -1,0 +1,377 @@
+// Package perfsim is a discrete-event simulator of the FI-MPPDB cluster's
+// transaction paths, used to regenerate the paper's Fig 3 (GTM-Lite
+// scalability) and its ablations.
+//
+// Why a simulator: the paper measured wall-clock throughput on clusters of
+// 1–8 physical machines. This reproduction runs on a single host, where
+// wall-clock concurrency cannot express "8 machines worth" of parallel CPU.
+// The simulator models the same mechanism the paper's experiment exercises
+// — every transaction's sequence of network hops and FCFS service demands
+// at data nodes and at the serialized GTM — and measures throughput in
+// virtual time. The GTM bottleneck, and GTM-lite's removal of it for
+// single-shard transactions, arise from queueing at the single GTM server
+// exactly as in the real system; only absolute numbers differ.
+//
+// The simulation is a closed-loop queueing network: a fixed client
+// population issues transactions back-to-back. Transaction paths:
+//
+//	GTM-lite, single-shard:  CN → DN(work) → done          (no GTM)
+//	GTM-lite, multi-shard:   CN → GTM(begin) → k×DN(work) →
+//	                         k×DN(prepare) → GTM(end) → k×DN(commit)
+//	Baseline, single-shard:  CN → GTM(begin) → DN(work) → GTM(end)
+//	                         (+ extra GTM snapshot ops per statement)
+//	Baseline, multi-shard:   as GTM-lite multi-shard + extra GTM ops
+//
+// Servers are FCFS with deterministic service times; transaction starts are
+// processed in global time order (arrival-order within a transaction's own
+// path is exact; cross-client interleaving at mid-path servers is
+// approximated by start order, which preserves work conservation and
+// therefore saturation throughput).
+package perfsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Mode selects the transaction protocol (mirrors cluster.TxnMode).
+type Mode uint8
+
+// Protocol modes.
+const (
+	GTMLite Mode = iota
+	Baseline
+)
+
+func (m Mode) String() string {
+	if m == Baseline {
+		return "baseline"
+	}
+	return "gtm-lite"
+}
+
+// Params configures one simulation run. All times are in seconds.
+type Params struct {
+	DataNodes int
+	Mode      Mode
+	// SingleShardFraction is the probability a transaction is
+	// single-shard (1.0 for the paper's SS workload, 0.9 for MS).
+	SingleShardFraction float64
+	// ClientsPerDN is the closed-loop population per data node.
+	ClientsPerDN int
+	// Duration is the virtual time horizon.
+	Duration float64
+
+	// GTMService is the serialized service time per GTM request.
+	GTMService float64
+	// BaselineExtraGTMOps adds per-transaction snapshot requests in
+	// baseline mode (the "many-round communication").
+	BaselineExtraGTMOps int
+	// DNWork is the data-node execution time of one transaction leg.
+	DNWork float64
+	// MultiShardFanout is the number of shards a multi-shard transaction
+	// touches (>= 2).
+	MultiShardFanout int
+	// PrepareCost and CommitCost are per-shard 2PC phase costs.
+	PrepareCost float64
+	CommitCost  float64
+	// NetHop is the one-way network latency per message.
+	NetHop float64
+	// CNService is the coordinator's per-transaction parse/route cost
+	// (CNs scale out with the cluster, so this is pure latency, not a
+	// shared server).
+	CNService float64
+
+	Seed int64
+}
+
+// DefaultParams returns the parameter set used for the Fig 3 reproduction:
+// service demands chosen so a data node saturates near 5 k txn/s and the
+// GTM near 13 k baseline transactions/s, reproducing the paper's shape
+// (baseline flattens as shards are added; GTM-lite scales linearly on
+// single-shard work).
+func DefaultParams(dataNodes int, mode Mode, ssFraction float64) Params {
+	return Params{
+		DataNodes:           dataNodes,
+		Mode:                mode,
+		SingleShardFraction: ssFraction,
+		ClientsPerDN:        16,
+		Duration:            5.0,
+		GTMService:          25e-6,
+		BaselineExtraGTMOps: 1,
+		DNWork:              200e-6,
+		MultiShardFanout:    2,
+		PrepareCost:         40e-6,
+		CommitCost:          40e-6,
+		NetHop:              50e-6,
+		CNService:           20e-6,
+		Seed:                1,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Params         Params
+	Completed      int64
+	Throughput     float64 // transactions per virtual second
+	AvgLatency     float64
+	P95Latency     float64
+	GTMUtilization float64
+	DNUtilization  float64 // mean across data nodes
+	GTMRequests    int64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s dn=%d ss=%.0f%%: %.0f txn/s (gtm util %.0f%%, dn util %.0f%%)",
+		r.Params.Mode, r.Params.DataNodes, r.Params.SingleShardFraction*100,
+		r.Throughput, r.GTMUtilization*100, r.DNUtilization*100)
+}
+
+// server is an FCFS single server in virtual time.
+type server struct {
+	free  float64
+	busy  float64
+	count int64
+}
+
+// serve returns the completion time of a request arriving at t.
+func (s *server) serve(t, svc float64) float64 {
+	start := t
+	if s.free > start {
+		start = s.free
+	}
+	s.free = start + svc
+	s.busy += svc
+	s.count++
+	return s.free
+}
+
+// event is one scheduled continuation.
+type event struct {
+	t   float64
+	seq uint64
+	fn  func(now float64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// sim is the event kernel. Requests to a server are scheduled as events at
+// their arrival time, so FCFS order is exact even when a transaction visits
+// the same server several times with other work in between (the GTM begin /
+// end pattern).
+type sim struct {
+	h   eventHeap
+	seq uint64
+}
+
+func (s *sim) at(t float64, fn func(now float64)) {
+	s.seq++
+	heap.Push(&s.h, event{t: t, seq: s.seq, fn: fn})
+}
+
+// serveAt schedules a service request arriving at srv at time t; cont runs
+// at the service completion time.
+func (s *sim) serveAt(srv *server, t, svc float64, cont func(done float64)) {
+	s.at(t, func(now float64) {
+		done := srv.serve(now, svc)
+		s.at(done, func(now float64) { cont(now) })
+	})
+}
+
+// forkServe issues one service request per target server at time t and
+// calls cont when the last completion (plus perLegTail) arrives.
+func (s *sim) forkServe(targets []*server, t, svc, perLegTail float64, cont func(join float64)) {
+	remaining := len(targets)
+	join := t
+	for _, srv := range targets {
+		s.serveAt(srv, t, svc, func(done float64) {
+			done += perLegTail
+			if done > join {
+				join = done
+			}
+			remaining--
+			if remaining == 0 {
+				cont(join)
+			}
+		})
+	}
+}
+
+// Run executes the simulation.
+func Run(p Params) Result {
+	if p.DataNodes < 1 {
+		panic("perfsim: DataNodes must be >= 1")
+	}
+	if p.MultiShardFanout < 2 {
+		p.MultiShardFanout = 2
+	}
+	if p.MultiShardFanout > p.DataNodes {
+		p.MultiShardFanout = p.DataNodes
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	gtm := &server{}
+	dns := make([]*server, p.DataNodes)
+	for i := range dns {
+		dns[i] = &server{}
+	}
+
+	var completed int64
+	var latencySum float64
+	latencies := make([]float64, 0, 1<<16)
+
+	s := &sim{}
+	var startTxn func(t float64)
+	finish := func(start float64) func(done float64) {
+		return func(done float64) {
+			if done < p.Duration {
+				completed++
+				lat := done - start
+				latencySum += lat
+				latencies = append(latencies, lat)
+				startTxn(done)
+			}
+		}
+	}
+
+	startTxn = func(t float64) {
+		if t >= p.Duration {
+			return
+		}
+		if rng.Float64() < p.SingleShardFraction {
+			simSingleShard(s, p, rng, gtm, dns, t, finish(t))
+		} else {
+			simMultiShard(s, p, rng, gtm, dns, t, finish(t))
+		}
+	}
+
+	nClients := p.ClientsPerDN * p.DataNodes
+	for c := 0; c < nClients; c++ {
+		// Stagger starts a little to avoid a thundering herd at t=0.
+		startTxn(float64(c) * p.NetHop / float64(nClients+1))
+	}
+
+	for s.h.Len() > 0 {
+		ev := heap.Pop(&s.h).(event)
+		ev.fn(ev.t)
+	}
+
+	res := Result{
+		Params:      p,
+		Completed:   completed,
+		Throughput:  float64(completed) / p.Duration,
+		GTMRequests: gtm.count,
+	}
+	if completed > 0 {
+		res.AvgLatency = latencySum / float64(completed)
+		sort.Float64s(latencies)
+		res.P95Latency = latencies[int(float64(len(latencies))*0.95)]
+	}
+	// Requests admitted just before the horizon may finish past it; clamp
+	// so utilization stays a fraction of the measured window.
+	res.GTMUtilization = clamp01(gtm.busy / p.Duration)
+	var dnBusy float64
+	for _, dn := range dns {
+		dnBusy += dn.busy
+	}
+	res.DNUtilization = clamp01(dnBusy / (p.Duration * float64(p.DataNodes)))
+	return res
+}
+
+func clamp01(x float64) float64 {
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// simSingleShard schedules one single-shard transaction path.
+func simSingleShard(s *sim, p Params, rng *rand.Rand, gtm *server, dns []*server, t float64, done func(float64)) {
+	shard := rng.Intn(len(dns))
+	t += p.NetHop + p.CNService // client -> CN, CN work
+
+	runDN := func(t float64, after func(float64)) {
+		s.serveAt(dns[shard], t+p.NetHop, p.DNWork, func(d float64) { after(d + p.NetHop) })
+	}
+
+	if p.Mode == GTMLite {
+		// The fast path: no GTM at all.
+		runDN(t, func(d float64) { done(d + p.NetHop) })
+		return
+	}
+	// Baseline: GXID + snapshot(s) from the GTM, then work, then dequeue.
+	gtmOps := 1 + p.BaselineExtraGTMOps
+	var chainGTM func(t float64, n int, after func(float64))
+	chainGTM = func(t float64, n int, after func(float64)) {
+		if n == 0 {
+			after(t)
+			return
+		}
+		s.serveAt(gtm, t+p.NetHop, p.GTMService, func(d float64) {
+			chainGTM(d+p.NetHop, n-1, after)
+		})
+	}
+	chainGTM(t, gtmOps, func(t float64) {
+		runDN(t, func(t float64) {
+			// Dequeue from the GTM active list.
+			s.serveAt(gtm, t+p.NetHop, p.GTMService, func(d float64) {
+				done(d + p.NetHop + p.NetHop)
+			})
+		})
+	})
+}
+
+// simMultiShard schedules one multi-shard transaction path with 2PC.
+func simMultiShard(s *sim, p Params, rng *rand.Rand, gtm *server, dns []*server, t float64, done func(float64)) {
+	k := p.MultiShardFanout
+	first := rng.Intn(len(dns))
+	targets := make([]*server, k)
+	for i := range targets {
+		targets[i] = dns[(first+i)%len(dns)]
+	}
+	t += p.NetHop + p.CNService
+
+	gtmOps := 1 // GXID + global snapshot
+	if p.Mode == Baseline {
+		gtmOps += p.BaselineExtraGTMOps
+	}
+	var chainGTM func(t float64, n int, after func(float64))
+	chainGTM = func(t float64, n int, after func(float64)) {
+		if n == 0 {
+			after(t)
+			return
+		}
+		s.serveAt(gtm, t+p.NetHop, p.GTMService, func(d float64) {
+			chainGTM(d+p.NetHop, n-1, after)
+		})
+	}
+
+	chainGTM(t, gtmOps, func(t float64) {
+		// Parallel work legs.
+		s.forkServe(targets, t+p.NetHop, p.DNWork, p.NetHop, func(join float64) {
+			// 2PC prepare round.
+			s.forkServe(targets, join+p.NetHop, p.PrepareCost, p.NetHop, func(join float64) {
+				// Commit at GTM first (the paper's ordering), then the
+				// commit confirmation round.
+				s.serveAt(gtm, join+p.NetHop, p.GTMService, func(d float64) {
+					s.forkServe(targets, d+p.NetHop, p.CommitCost, p.NetHop, func(join float64) {
+						done(join + p.NetHop)
+					})
+				})
+			})
+		})
+	})
+}

@@ -1,0 +1,147 @@
+package perfsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func run(t *testing.T, dn int, mode Mode, ss float64) Result {
+	t.Helper()
+	p := DefaultParams(dn, mode, ss)
+	p.Duration = 2.0
+	return Run(p)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := run(t, 4, GTMLite, 0.9)
+	b := run(t, 4, GTMLite, 0.9)
+	if a.Throughput != b.Throughput || a.Completed != b.Completed {
+		t.Errorf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestGTMLiteSSAvoidsGTMEntirely(t *testing.T) {
+	r := run(t, 4, GTMLite, 1.0)
+	if r.GTMRequests != 0 {
+		t.Errorf("100%% single-shard GTM-lite made %d GTM requests", r.GTMRequests)
+	}
+	if r.GTMUtilization != 0 {
+		t.Errorf("gtm util = %f", r.GTMUtilization)
+	}
+}
+
+func TestBaselineHitsGTMForEverything(t *testing.T) {
+	r := run(t, 4, Baseline, 1.0)
+	// begin + extra snapshot + end = 3 requests per txn.
+	if r.GTMRequests < 3*r.Completed {
+		t.Errorf("gtm requests = %d for %d txns", r.GTMRequests, r.Completed)
+	}
+}
+
+// TestFig3Shape checks the paper's qualitative result: GTM-lite outperforms
+// baseline and scales out much better, with the largest gap on the 100 %
+// single-shard workload.
+func TestFig3Shape(t *testing.T) {
+	sizes := []int{1, 2, 4, 8}
+	thr := func(mode Mode, ss float64) []float64 {
+		out := make([]float64, len(sizes))
+		for i, n := range sizes {
+			out[i] = run(t, n, mode, ss).Throughput
+		}
+		return out
+	}
+	liteSS := thr(GTMLite, 1.0)
+	baseSS := thr(Baseline, 1.0)
+	liteMS := thr(GTMLite, 0.9)
+	baseMS := thr(Baseline, 0.9)
+
+	// GTM-lite wins at every size.
+	for i := range sizes {
+		if liteSS[i] <= baseSS[i] {
+			t.Errorf("SS @%d nodes: lite %.0f <= baseline %.0f", sizes[i], liteSS[i], baseSS[i])
+		}
+		if liteMS[i] <= baseMS[i] {
+			t.Errorf("MS @%d nodes: lite %.0f <= baseline %.0f", sizes[i], liteMS[i], baseMS[i])
+		}
+	}
+	// GTM-lite SS scales nearly linearly 1 -> 8.
+	if speedup := liteSS[3] / liteSS[0]; speedup < 6 {
+		t.Errorf("gtm-lite SS speedup 1->8 nodes = %.1fx, want >= 6x", speedup)
+	}
+	// Baseline flattens: its 4 -> 8 node gain is small.
+	if gain := baseSS[3] / baseSS[2]; gain > 1.3 {
+		t.Errorf("baseline SS gained %.2fx from 4->8 nodes; GTM should bottleneck it", gain)
+	}
+	// The baseline GTM saturates at 8 nodes.
+	if util := run(t, 8, Baseline, 1.0).GTMUtilization; util < 0.9 {
+		t.Errorf("baseline GTM utilization at 8 nodes = %.2f, want near 1.0", util)
+	}
+	// SS beats MS for GTM-lite ("performed better in 100% single-shard
+	// workload because there is no centralized coordination").
+	for i := range sizes {
+		if liteSS[i] <= liteMS[i] {
+			t.Errorf("@%d nodes: lite SS %.0f <= lite MS %.0f", sizes[i], liteSS[i], liteMS[i])
+		}
+	}
+}
+
+func TestLatencyStatsSane(t *testing.T) {
+	r := run(t, 2, GTMLite, 0.9)
+	if r.AvgLatency <= 0 || r.P95Latency < r.AvgLatency {
+		t.Errorf("latency stats broken: avg=%v p95=%v", r.AvgLatency, r.P95Latency)
+	}
+	// Closed loop with 32 clients: Little's law X = N / (R + Z), Z=0.
+	n := float64(r.Params.ClientsPerDN * r.Params.DataNodes)
+	littles := n / r.AvgLatency
+	if ratio := r.Throughput / littles; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("Little's law violated: X=%.0f, N/R=%.0f", r.Throughput, littles)
+	}
+}
+
+func TestFanoutClampedToCluster(t *testing.T) {
+	p := DefaultParams(1, GTMLite, 0.5)
+	p.Duration = 0.5
+	p.MultiShardFanout = 8 // must clamp to 1 DN... (2 -> 1)
+	r := Run(p)
+	if r.Completed == 0 {
+		t.Error("simulation with clamped fanout produced nothing")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	for _, mode := range []Mode{GTMLite, Baseline} {
+		for _, ss := range []float64{1.0, 0.9, 0.5} {
+			r := run(t, 4, mode, ss)
+			if r.GTMUtilization < 0 || r.GTMUtilization > 1.0001 {
+				t.Errorf("%v ss=%v: gtm util %f out of bounds", mode, ss, r.GTMUtilization)
+			}
+			if r.DNUtilization < 0 || r.DNUtilization > 1.0001 {
+				t.Errorf("%v ss=%v: dn util %f out of bounds", mode, ss, r.DNUtilization)
+			}
+			if r.Throughput <= 0 {
+				t.Errorf("%v ss=%v: zero throughput", mode, ss)
+			}
+		}
+	}
+}
+
+func TestCrossShardFractionSweepMonotone(t *testing.T) {
+	// As the multi-shard fraction grows, GTM-lite throughput must fall
+	// (more coordination). Allow small simulation noise.
+	prev := -1.0
+	for _, ss := range []float64{1.0, 0.9, 0.7, 0.5, 0.3} {
+		r := run(t, 4, GTMLite, ss)
+		if prev > 0 && r.Throughput > prev*1.05 {
+			t.Errorf("throughput rose when ss dropped to %.1f: %.0f -> %.0f", ss, prev, r.Throughput)
+		}
+		prev = r.Throughput
+	}
+}
+
+func ExampleRun() {
+	p := DefaultParams(4, GTMLite, 1.0)
+	p.Duration = 1.0
+	r := Run(p)
+	fmt.Println(r.GTMRequests)
+	// Output: 0
+}

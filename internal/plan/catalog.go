@@ -1,0 +1,226 @@
+// Package plan implements the FI-MPPDB query planner: name resolution,
+// logical-to-physical plan construction, statistics-based cardinality
+// estimation, and the hooks the learning optimizer (internal/planstore)
+// uses to capture and reuse actual cardinalities (paper §II-C).
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/sqlx"
+	"repro/internal/types"
+)
+
+// TableMeta describes one catalog table to the planner.
+type TableMeta struct {
+	Name   string
+	Schema *types.Schema
+	// DistKey is the hash-distribution column position, or -1 for
+	// replicated/local tables.
+	DistKey int
+	Storage sqlx.StorageKind
+	// PKCols are primary-key column positions (may be empty).
+	PKCols []int
+	Stats  *TableStats
+}
+
+// Catalog resolves table names. Implemented by the engine (internal/core)
+// and by test fixtures.
+type Catalog interface {
+	Resolve(name string) (*TableMeta, error)
+}
+
+// Access produces scan operators for catalog tables. The engine implements
+// this against its storage layer; the planner never touches storage
+// directly.
+type Access interface {
+	// Scan returns an operator streaming the table's currently-visible
+	// rows under the calling statement's snapshot.
+	Scan(t *TableMeta) exec.Operator
+}
+
+// PartialAggAccess is an optional Access extension for two-phase
+// aggregation: the engine evaluates the partial aggregate on every
+// partition locally (DN-side reduction) and streams only the partial
+// results to the coordinator, where a final merge aggregate runs. This is
+// the classic MPP optimization behind the paper's "query planning and
+// execution are optimized for large scale parallel processing".
+type PartialAggAccess interface {
+	Access
+	// ScanPartialAgg returns an operator streaming per-partition partial
+	// aggregate rows (groupBy values followed by partial agg results), or
+	// ok=false when the engine cannot push this aggregate down. pred is an
+	// optional pre-aggregation filter evaluated on each partition.
+	ScanPartialAgg(t *TableMeta, pred exec.Expr, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (exec.Operator, bool)
+}
+
+// Hooks supplies the multi-model table-function engines (paper §II-B). A
+// nil hook makes the corresponding table function an error.
+type Hooks struct {
+	// GGraph compiles a Gremlin traversal into a row source.
+	GGraph func(raw string) (exec.Operator, error)
+	// GTimeseries wraps an already-planned inner query with time-series
+	// window semantics.
+	GTimeseries func(inner exec.Operator) (exec.Operator, error)
+	// GSpatial compiles a spatial query expression into a row source.
+	GSpatial func(raw string) (exec.Operator, error)
+}
+
+// Estimator is the learning-optimizer consumer interface: given a
+// canonical step definition it may return a learned cardinality
+// (paper §II-C, Fig 5 "consumer").
+type Estimator interface {
+	LookupStep(stepText string) (float64, bool)
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+// HistogramBuckets is the equi-depth histogram resolution used by Analyze.
+const HistogramBuckets = 32
+
+// Bucket is one equi-depth histogram bucket: Count values <= Hi (and
+// greater than the previous bucket's Hi).
+type Bucket struct {
+	Hi    types.Datum
+	Count int64
+}
+
+// ColStats summarizes one column.
+type ColStats struct {
+	NDV      int64
+	NullFrac float64
+	Min, Max types.Datum
+	Hist     []Bucket // only for orderable kinds; nil otherwise
+}
+
+// TableStats summarizes a table for costing.
+type TableStats struct {
+	Rows int64
+	Cols []ColStats
+}
+
+// AnalyzeRows computes statistics from a full materialized sample. The
+// engine calls it from ANALYZE with all visible rows (tables here are
+// laptop-scale; a production system would sample).
+func AnalyzeRows(schema *types.Schema, rows []types.Row) *TableStats {
+	ts := &TableStats{Rows: int64(len(rows)), Cols: make([]ColStats, schema.Len())}
+	for c := range schema.Columns {
+		var vals []types.Datum
+		nulls := 0
+		distinct := make(map[string]struct{})
+		for _, r := range rows {
+			if r[c].IsNull() {
+				nulls++
+				continue
+			}
+			vals = append(vals, r[c])
+			distinct[r[c].Kind().String()+":"+r[c].String()] = struct{}{}
+		}
+		cs := ColStats{NDV: int64(len(distinct))}
+		if len(rows) > 0 {
+			cs.NullFrac = float64(nulls) / float64(len(rows))
+		}
+		if len(vals) > 0 {
+			sort.Slice(vals, func(i, j int) bool { return types.MustCompare(vals[i], vals[j]) < 0 })
+			cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+			// Equi-depth histogram.
+			nb := HistogramBuckets
+			if len(vals) < nb {
+				nb = len(vals)
+			}
+			per := len(vals) / nb
+			if per == 0 {
+				per = 1
+			}
+			for i := per - 1; i < len(vals); i += per {
+				cs.Hist = append(cs.Hist, Bucket{Hi: vals[i], Count: int64(per)})
+			}
+			// Final partial bucket.
+			if rem := len(vals) % per; rem != 0 {
+				cs.Hist = append(cs.Hist, Bucket{Hi: vals[len(vals)-1], Count: int64(rem)})
+			}
+		}
+		ts.Cols[c] = cs
+	}
+	return ts
+}
+
+// SelectivityLE estimates P(col <= v) from the histogram, falling back to
+// defaults when stats are missing.
+func (cs *ColStats) SelectivityLE(v types.Datum) float64 {
+	if len(cs.Hist) == 0 || cs.Min.IsNull() {
+		return DefaultRangeSelectivity
+	}
+	if c, err := types.Compare(v, cs.Min); err != nil || c < 0 {
+		return 0
+	}
+	if c, err := types.Compare(v, cs.Max); err == nil && c >= 0 {
+		return 1
+	}
+	var total, below int64
+	for _, b := range cs.Hist {
+		total += b.Count
+		if c, err := types.Compare(b.Hi, v); err == nil && c <= 0 {
+			below += b.Count
+		}
+	}
+	if total == 0 {
+		return DefaultRangeSelectivity
+	}
+	// Add half a bucket for the partially-covered bucket.
+	frac := float64(below)/float64(total) + 0.5/float64(len(cs.Hist))
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// SelectivityEq estimates P(col = v).
+func (cs *ColStats) SelectivityEq() float64 {
+	if cs.NDV <= 0 {
+		return DefaultEqSelectivity
+	}
+	return 1 / float64(cs.NDV)
+}
+
+// Default selectivities used when statistics are unavailable — the same
+// magic constants classic System R-style optimizers use.
+const (
+	DefaultEqSelectivity    = 0.005
+	DefaultRangeSelectivity = 1.0 / 3.0
+	DefaultLikeSelectivity  = 0.1
+	DefaultJoinSelectivity  = 0.01
+)
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+// ErrTableNotFound is returned by catalogs for unknown tables.
+type ErrTableNotFound struct{ Name string }
+
+func (e *ErrTableNotFound) Error() string {
+	return fmt.Sprintf("plan: table %q does not exist", e.Name)
+}
+
+// ErrColumnNotFound is returned by the binder for unresolvable columns.
+type ErrColumnNotFound struct{ Table, Column string }
+
+func (e *ErrColumnNotFound) Error() string {
+	if e.Table != "" {
+		return fmt.Sprintf("plan: column %q of table %q does not exist", e.Column, e.Table)
+	}
+	return fmt.Sprintf("plan: column %q does not exist", e.Column)
+}
+
+// ErrAmbiguousColumn is returned when an unqualified column matches more
+// than one FROM item.
+type ErrAmbiguousColumn struct{ Column string }
+
+func (e *ErrAmbiguousColumn) Error() string {
+	return fmt.Sprintf("plan: column reference %q is ambiguous", e.Column)
+}

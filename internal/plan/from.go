@@ -1,0 +1,512 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/sqlx"
+	"repro/internal/types"
+)
+
+// planFromList plans comma-separated FROM items, consuming equi-join
+// conjuncts from the WHERE list (implicit joins, as in the paper's Table I
+// query) and returning the remaining conjuncts.
+func (pc *pctx) planFromList(items []sqlx.TableRef, conjuncts []sqlx.Expr) (exec.Operator, *Scope, []sqlx.Expr, error) {
+	var op exec.Operator
+	var scope *Scope
+	for i, item := range items {
+		iop, iscope, err := pc.planTableRef(item, conjuncts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if i == 0 {
+			op, scope = iop, iscope
+			continue
+		}
+		op, scope, conjuncts, err = pc.joinPair(op, scope, iop, iscope, nil, exec.InnerJoin, conjuncts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	// Scan-pushdown consumed some conjuncts; drop them from the residual
+	// list now (they are marked by planTableRef).
+	var rest []sqlx.Expr
+	for _, c := range conjuncts {
+		if !pc.consumed[c] {
+			rest = append(rest, c)
+		}
+	}
+	return op, scope, rest, nil
+}
+
+// joinPair joins (lop,lscope) with (rop,rscope). Equi-key conditions come
+// from the explicit ON expression and, for inner joins, from the shared
+// conjunct list. Remaining ON conditions become a residual predicate.
+func (pc *pctx) joinPair(lop exec.Operator, lscope *Scope, rop exec.Operator, rscope *Scope, on sqlx.Expr, jt exec.JoinType, conjuncts []sqlx.Expr) (exec.Operator, *Scope, []sqlx.Expr, error) {
+	combined := &Scope{Cols: append(append([]ScopeCol(nil), lscope.Cols...), rscope.Cols...)}
+
+	var candidates []sqlx.Expr
+	onConjs := splitConjuncts(on)
+	candidates = append(candidates, onConjs...)
+	if jt == exec.InnerJoin {
+		for _, c := range conjuncts {
+			if !pc.consumed[c] {
+				candidates = append(candidates, c)
+			}
+		}
+	}
+
+	var leftKeys, rightKeys []exec.Expr
+	var keyPreds []string
+	usedKeys := map[sqlx.Expr]bool{}
+	for _, c := range candidates {
+		b, ok := c.(*sqlx.BinaryOp)
+		if !ok || b.Op != sqlx.OpEq || containsSubquery(c) {
+			continue
+		}
+		lIn, rIn := resolvableIn(b.Left, lscope), resolvableIn(b.Right, rscope)
+		if lIn && rIn {
+			lk, err := pc.compileAgainst(b.Left, lscope)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rk, err := pc.compileAgainst(b.Right, rscope)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			leftKeys = append(leftKeys, lk)
+			rightKeys = append(rightKeys, rk)
+			keyPreds = append(keyPreds, NormalizePredicate(lk.String()+" = "+rk.String()))
+			usedKeys[c] = true
+			continue
+		}
+		if resolvableIn(b.Right, lscope) && resolvableIn(b.Left, rscope) {
+			lk, err := pc.compileAgainst(b.Right, lscope)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rk, err := pc.compileAgainst(b.Left, rscope)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			leftKeys = append(leftKeys, lk)
+			rightKeys = append(rightKeys, rk)
+			keyPreds = append(keyPreds, NormalizePredicate(lk.String()+" = "+rk.String()))
+			usedKeys[c] = true
+		}
+	}
+
+	// Residual ON conjuncts (non-equi) compile against the combined scope.
+	var residual exec.Expr
+	savedScope := pc.scope
+	pc.scope = combined
+	for _, c := range onConjs {
+		if usedKeys[c] {
+			continue
+		}
+		ce, err := pc.compileExpr(c)
+		if err != nil {
+			pc.scope = savedScope
+			return nil, nil, nil, err
+		}
+		if residual == nil {
+			residual = ce
+		} else {
+			residual = &exec.BinOp{Op: "AND", Left: residual, Right: ce}
+		}
+	}
+	pc.scope = savedScope
+
+	// Mark WHERE conjuncts we consumed as join keys.
+	for c := range usedKeys {
+		pc.consumed[c] = true
+	}
+
+	var join exec.Operator
+	if len(leftKeys) > 0 {
+		join = &exec.HashJoin{Type: jt, Left: lop, Right: rop, LeftKeys: leftKeys, RightKeys: rightKeys, ExtraOn: residual}
+	} else {
+		t := jt
+		if t == exec.InnerJoin && residual == nil && on == nil {
+			t = exec.CrossJoin
+		}
+		join = &exec.NestedLoopJoin{Type: t, Left: lop, Right: rop, On: residual}
+	}
+
+	// Instrument the join step for the learning optimizer.
+	lStep, lEst := pc.stepOf(lop)
+	rStep, rEst := pc.stepOf(rop)
+	if lStep != "" && rStep != "" {
+		stepText := JoinStep(lStep, rStep, keyPreds)
+		est := pc.estimateJoin(lEst, rEst, len(leftKeys) > 0)
+		if pc.p.Estimator != nil {
+			if learned, ok := pc.p.Estimator.LookupStep(stepText); ok {
+				est = learned
+			}
+		}
+		c := &exec.Counted{Child: join, StepText: stepText, EstimatedRows: est}
+		*pc.counted = append(*pc.counted, c)
+		join = c
+	}
+
+	return join, combined, conjuncts, nil
+}
+
+// stepOf returns the canonical step text and estimate of an operator if it
+// is an instrumented step (possibly beneath pass-through wrappers).
+func (pc *pctx) stepOf(op exec.Operator) (string, float64) {
+	if c, ok := op.(*exec.Counted); ok {
+		return c.StepText, c.EstimatedRows
+	}
+	return "", 0
+}
+
+// containsSubquery reports whether the AST contains a subquery.
+func containsSubquery(e sqlx.Expr) bool {
+	found := false
+	sqlx.WalkExpr(e, func(x sqlx.Expr) bool {
+		if _, ok := x.(*sqlx.Subquery); ok {
+			found = true
+			return false
+		}
+		if il, ok := x.(*sqlx.InList); ok {
+			for _, item := range il.List {
+				if _, ok := item.(*sqlx.Subquery); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// resolvableIn reports whether every column reference in e resolves within
+// scope (no outer fallback).
+func resolvableIn(e sqlx.Expr, scope *Scope) bool {
+	if containsSubquery(e) {
+		return false
+	}
+	ok := true
+	sqlx.WalkExpr(e, func(x sqlx.Expr) bool {
+		if cr, ok2 := x.(*sqlx.ColumnRef); ok2 {
+			i, err := scope.resolve(cr.Table, cr.Column)
+			if err != nil || i < 0 {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// compileAgainst compiles e with a temporary scope and no outer fallback.
+func (pc *pctx) compileAgainst(e sqlx.Expr, scope *Scope) (exec.Expr, error) {
+	saved, savedOuter := pc.scope, pc.outer
+	pc.scope, pc.outer = scope, nil
+	defer func() { pc.scope, pc.outer = saved, savedOuter }()
+	return pc.compileExpr(e)
+}
+
+// planTableRef plans one FROM item.
+func (pc *pctx) planTableRef(ref sqlx.TableRef, conjuncts []sqlx.Expr) (exec.Operator, *Scope, error) {
+	if pc.consumed == nil {
+		pc.consumed = map[sqlx.Expr]bool{}
+	}
+	switch r := ref.(type) {
+	case *sqlx.BaseTable:
+		return pc.planBaseTable(r, conjuncts)
+	case *sqlx.SubqueryRef:
+		cpc := pc.child()
+		cpc.outer = pc.outer // derived tables are not laterally correlated
+		op, scope, names, err := cpc.planSelect(r.Query)
+		if err != nil {
+			return nil, nil, fmt.Errorf("in derived table %q: %w", r.Alias, err)
+		}
+		alias := strings.ToLower(r.Alias)
+		cols := make([]ScopeCol, len(scope.Cols))
+		for i := range scope.Cols {
+			cols[i] = ScopeCol{Qual: alias, Name: strings.ToLower(names[i]), Kind: scope.Cols[i].Kind, Canon: strings.ToUpper(r.Alias + "." + names[i])}
+		}
+		return op, &Scope{Cols: cols}, nil
+	case *sqlx.TableFunc:
+		return pc.planTableFunc(r)
+	case *sqlx.JoinRef:
+		lop, lscope, err := pc.planTableRef(r.Left, conjuncts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rop, rscope, err := pc.planTableRef(r.Right, conjuncts)
+		if err != nil {
+			return nil, nil, err
+		}
+		var jt exec.JoinType
+		switch r.Kind {
+		case sqlx.JoinLeft:
+			jt = exec.LeftJoin
+		case sqlx.JoinCross:
+			jt = exec.CrossJoin
+		default:
+			jt = exec.InnerJoin
+		}
+		op, scope, _, err := pc.joinPair(lop, lscope, rop, rscope, r.On, jt, conjuncts)
+		return op, scope, err
+	default:
+		return nil, nil, fmt.Errorf("plan: unsupported FROM item %T", ref)
+	}
+}
+
+// planBaseTable resolves CTEs then catalog tables; for catalog tables it
+// pushes down single-table conjuncts into the scan and instruments the
+// step.
+func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.Operator, *Scope, error) {
+	lname := strings.ToLower(bt.Name)
+	alias := strings.ToLower(bt.Alias)
+	if alias == "" {
+		alias = shortName(lname)
+	}
+
+	// CTE reference?
+	if def, ok := pc.ctes[lname]; ok {
+		cols := make([]ScopeCol, len(def.cols))
+		copy(cols, def.cols)
+		for i := range cols {
+			cols[i].Qual = alias
+		}
+		return &exec.MaterialRef{State: def.state, Out: def.schema}, &Scope{Cols: cols}, nil
+	}
+
+	meta, err := pc.p.Catalog.Resolve(bt.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	scope := scopeForTable(meta, alias)
+
+	scan := pc.p.Access.Scan(meta)
+
+	// Push down conjuncts that reference only this table.
+	var preds []exec.Expr
+	var predTexts []string
+	sel := 1.0
+	for _, c := range conjuncts {
+		if pc.consumed[c] || !resolvableIn(c, scope) {
+			continue
+		}
+		ce, err := pc.compileAgainst(c, scope)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds = append(preds, ce)
+		predTexts = append(predTexts, NormalizePredicate(ce.String()))
+		sel *= estimateConjunctSelectivity(meta, scope, c)
+		pc.consumed[c] = true
+	}
+	op := scan
+	if len(preds) > 0 {
+		pred := preds[0]
+		for _, p := range preds[1:] {
+			pred = &exec.BinOp{Op: "AND", Left: pred, Right: p}
+		}
+		op = &exec.Filter{Child: op, Pred: pred}
+	}
+
+	rows := float64(1000)
+	if meta.Stats != nil {
+		rows = float64(meta.Stats.Rows)
+	}
+	est := rows * sel
+	stepText := ScanStep(meta.Name, predTexts)
+	if pc.p.Estimator != nil {
+		if learned, ok := pc.p.Estimator.LookupStep(stepText); ok {
+			est = learned
+		}
+	}
+	c := &exec.Counted{Child: op, StepText: stepText, EstimatedRows: est}
+	*pc.counted = append(*pc.counted, c)
+	var combinedPred exec.Expr
+	if len(preds) > 0 {
+		combinedPred = preds[0]
+		for _, p := range preds[1:] {
+			combinedPred = &exec.BinOp{Op: "AND", Left: combinedPred, Right: p}
+		}
+	}
+	pc.lastScan = &scanInfo{meta: meta, pred: combinedPred, counted: c}
+	return c, scope, nil
+}
+
+// scopeForTable builds the binding scope of a base table under an alias.
+func scopeForTable(meta *TableMeta, alias string) *Scope {
+	cols := make([]ScopeCol, meta.Schema.Len())
+	for i, c := range meta.Schema.Columns {
+		cols[i] = ScopeCol{
+			Qual:     alias,
+			FullQual: strings.ToLower(meta.Name),
+			Name:     strings.ToLower(c.Name),
+			Kind:     c.Kind,
+			Canon:    strings.ToUpper(meta.Name + "." + c.Name),
+		}
+	}
+	return &Scope{Cols: cols}
+}
+
+// shortName returns the last dotted component ("olap.t1" -> "t1") so that
+// both t1.a1 and olap.t1.a1 resolve.
+func shortName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// planTableFunc dispatches the multi-model table expressions (§II-B).
+func (pc *pctx) planTableFunc(tf *sqlx.TableFunc) (exec.Operator, *Scope, error) {
+	alias := strings.ToLower(tf.Alias)
+	if alias == "" {
+		alias = tf.Name
+	}
+	var op exec.Operator
+	switch tf.Name {
+	case "gtimeseries":
+		if pc.p.Hooks.GTimeseries == nil {
+			return nil, nil, fmt.Errorf("plan: time-series engine is not configured")
+		}
+		cpc := pc.child()
+		cpc.outer = pc.outer
+		inner, _, names, err := cpc.planSelect(tf.Query)
+		if err != nil {
+			return nil, nil, fmt.Errorf("in gtimeseries(): %w", err)
+		}
+		op, err = pc.p.Hooks.GTimeseries(inner)
+		if err != nil {
+			return nil, nil, err
+		}
+		return op, scopeFromSchema(op.Schema(), alias, names), nil
+	case "ggraph":
+		if pc.p.Hooks.GGraph == nil {
+			return nil, nil, fmt.Errorf("plan: graph engine is not configured")
+		}
+		var err error
+		op, err = pc.p.Hooks.GGraph(tf.RawArg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("in ggraph(): %w", err)
+		}
+		return op, scopeFromSchema(op.Schema(), alias, nil), nil
+	case "gspatial":
+		if pc.p.Hooks.GSpatial == nil {
+			return nil, nil, fmt.Errorf("plan: spatial engine is not configured")
+		}
+		var err error
+		op, err = pc.p.Hooks.GSpatial(tf.RawArg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("in gspatial(): %w", err)
+		}
+		return op, scopeFromSchema(op.Schema(), alias, nil), nil
+	default:
+		return nil, nil, fmt.Errorf("plan: unknown table function %q", tf.Name)
+	}
+}
+
+func scopeFromSchema(schema *types.Schema, alias string, names []string) *Scope {
+	s := &Scope{Cols: make([]ScopeCol, schema.Len())}
+	for i, c := range schema.Columns {
+		name := c.Name
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		s.Cols[i] = ScopeCol{Qual: alias, Name: strings.ToLower(name), Kind: c.Kind, Canon: strings.ToUpper(alias + "." + name)}
+	}
+	return s
+}
+
+// estimateJoin combines child estimates.
+func (pc *pctx) estimateJoin(l, r float64, equi bool) float64 {
+	if l <= 0 {
+		l = 1000
+	}
+	if r <= 0 {
+		r = 1000
+	}
+	if equi {
+		// Without key NDV information, assume the smaller side is the key
+		// side: |L ⋈ R| ≈ max(L, R).
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return l * r * DefaultJoinSelectivity
+}
+
+// estimateConjunctSelectivity inspects a single-table conjunct's AST.
+func estimateConjunctSelectivity(meta *TableMeta, scope *Scope, e sqlx.Expr) float64 {
+	if meta.Stats == nil {
+		return defaultSelectivityFor(e)
+	}
+	b, ok := e.(*sqlx.BinaryOp)
+	if !ok {
+		return defaultSelectivityFor(e)
+	}
+	col, lit, op := classifyColLit(b, scope)
+	if col < 0 {
+		return defaultSelectivityFor(e)
+	}
+	cs := &meta.Stats.Cols[col]
+	switch op {
+	case sqlx.OpEq:
+		return cs.SelectivityEq()
+	case sqlx.OpNe:
+		return 1 - cs.SelectivityEq()
+	case sqlx.OpLt, sqlx.OpLe:
+		return cs.SelectivityLE(lit)
+	case sqlx.OpGt, sqlx.OpGe:
+		return 1 - cs.SelectivityLE(lit)
+	case sqlx.OpLike:
+		return DefaultLikeSelectivity
+	default:
+		return defaultSelectivityFor(e)
+	}
+}
+
+// classifyColLit recognizes `col OP literal` and `literal OP col` (with the
+// operator flipped) over the given single-table scope.
+func classifyColLit(b *sqlx.BinaryOp, scope *Scope) (int, types.Datum, string) {
+	if cr, ok := b.Left.(*sqlx.ColumnRef); ok {
+		if lit, ok := b.Right.(*sqlx.Literal); ok {
+			if i, err := scope.resolve(cr.Table, cr.Column); err == nil && i >= 0 {
+				return i, lit.Value, b.Op
+			}
+		}
+	}
+	if cr, ok := b.Right.(*sqlx.ColumnRef); ok {
+		if lit, ok := b.Left.(*sqlx.Literal); ok {
+			if i, err := scope.resolve(cr.Table, cr.Column); err == nil && i >= 0 {
+				flip := map[string]string{sqlx.OpLt: sqlx.OpGt, sqlx.OpLe: sqlx.OpGe, sqlx.OpGt: sqlx.OpLt, sqlx.OpGe: sqlx.OpLe, sqlx.OpEq: sqlx.OpEq, sqlx.OpNe: sqlx.OpNe}
+				return i, lit.Value, flip[b.Op]
+			}
+		}
+	}
+	return -1, types.Null, ""
+}
+
+func defaultSelectivityFor(e sqlx.Expr) float64 {
+	switch x := e.(type) {
+	case *sqlx.BinaryOp:
+		switch x.Op {
+		case sqlx.OpEq:
+			return DefaultEqSelectivity
+		case sqlx.OpLike:
+			return DefaultLikeSelectivity
+		default:
+			return DefaultRangeSelectivity
+		}
+	case *sqlx.Between:
+		return DefaultRangeSelectivity * DefaultRangeSelectivity
+	case *sqlx.InList:
+		return DefaultEqSelectivity * float64(len(x.List))
+	default:
+		return DefaultRangeSelectivity
+	}
+}

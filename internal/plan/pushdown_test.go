@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/sqlx"
+	"repro/internal/types"
+)
+
+// aggCatalog wraps fakeCatalog with PartialAggAccess support.
+type aggCatalog struct {
+	*fakeCatalog
+	partialCalls int
+	refuse       bool
+}
+
+func (a *aggCatalog) ScanPartialAgg(meta *TableMeta, pred exec.Expr, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (exec.Operator, bool) {
+	if a.refuse {
+		return nil, false
+	}
+	a.partialCalls++
+	// Single "partition": run the partial aggregate over all rows.
+	var src exec.Operator = a.fakeCatalog.Scan(meta)
+	if pred != nil {
+		src = &exec.Filter{Child: src, Pred: pred}
+	}
+	return &exec.Agg{Child: src, GroupBy: groupBy, Aggs: aggs, Out: out}, true
+}
+
+func TestPartialAggPushdownPlannerSide(t *testing.T) {
+	ac := &aggCatalog{fakeCatalog: newFixture()}
+	p := &Planner{Catalog: ac, Access: ac}
+	rows, plan := planAndRun(t, p, "SELECT a1, count(*), sum(b1) FROM olap.t1 WHERE b1 < 100 GROUP BY a1")
+	if len(rows) != 50 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	if ac.partialCalls != 1 {
+		t.Errorf("pushdown used %d times, want 1", ac.partialCalls)
+	}
+	// The scan step is dropped; only the AGG step remains instrumented.
+	for _, c := range plan.Counted {
+		if strings.HasPrefix(c.StepText, "SCAN(") {
+			t.Errorf("scan step should be removed under pushdown: %s", c.StepText)
+		}
+	}
+}
+
+func TestPartialAggPushdownFallbacks(t *testing.T) {
+	ac := &aggCatalog{fakeCatalog: newFixture()}
+	p := &Planner{Catalog: ac, Access: ac}
+	// avg is not mergeable.
+	rows, _ := planAndRun(t, p, "SELECT avg(b1) FROM olap.t1")
+	if rows[0][0].Float() != 99.5 {
+		t.Errorf("avg = %v", rows[0][0])
+	}
+	// distinct is not mergeable.
+	planAndRun(t, p, "SELECT count(DISTINCT a1) FROM olap.t1")
+	// join input is not a single scan.
+	planAndRun(t, p, "SELECT count(*) FROM olap.t1, olap.t2 WHERE t1.a1 = t2.a2")
+	if ac.partialCalls != 0 {
+		t.Errorf("fallback cases pushed down %d times", ac.partialCalls)
+	}
+	// Engine refusal falls back too.
+	ac.refuse = true
+	rows, _ = planAndRun(t, p, "SELECT count(*) FROM olap.t1")
+	if rows[0][0].Int() != 200 {
+		t.Errorf("count = %v", rows[0][0])
+	}
+}
+
+func TestCompileScalarHelper(t *testing.T) {
+	c := newFixture()
+	p := newPlanner(c)
+	meta, _ := c.Resolve("olap.t1")
+	scope := TableScope(meta, "t1")
+	if i, err := scope.Resolve("t1", "b1"); err != nil || i != 1 {
+		t.Fatalf("Resolve = %d, %v", i, err)
+	}
+	ast, _ := sqlx.ParseExpr("b1 * 2 + abs(a1)")
+	ce, err := p.CompileScalar(ast, scope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ce.Eval(exec.NewCtx(time.Unix(0, 0)), types.Row{types.NewInt(-3), types.NewInt(10)})
+	if err != nil || v.Int() != 23 {
+		t.Errorf("eval = %v, %v", v, err)
+	}
+}
+
+func TestCompileExprShapes(t *testing.T) {
+	// Exercise the remaining compile paths through full queries.
+	p := newPlanner(newFixture())
+	queries := map[string]int{
+		"SELECT a1 FROM olap.t1 WHERE a1 IN (1, 2, 3) AND b1 IS NOT NULL":            12,
+		"SELECT a1 FROM olap.t1 WHERE NOT (a1 BETWEEN 5 AND 49) AND b1 < 50":         5,
+		"SELECT CASE WHEN a1 < 25 THEN 'lo' ELSE 'hi' END FROM olap.t1 WHERE b1 = 0": 1,
+		"SELECT a1 FROM olap.t1 WHERE length('ab' || 'c') = a1 AND b1 < 50":          1,
+		"SELECT a1 FROM olap.t1 WHERE coalesce(NULL, b1) = 7":                        1,
+		"SELECT a1 FROM olap.t1 WHERE -a1 = -3 AND b1 < 50":                          1,
+		"SELECT a1 FROM olap.t1 WHERE b1 < INTERVAL '10 nanoseconds'":                10,
+	}
+	for q, want := range queries {
+		rows, _ := planAndRun(t, p, q)
+		if len(rows) != want {
+			t.Errorf("%q returned %d rows, want %d", q, len(rows), want)
+		}
+	}
+}
+
+func TestErrorTypesRender(t *testing.T) {
+	msgs := []string{
+		(&ErrTableNotFound{Name: "x"}).Error(),
+		(&ErrColumnNotFound{Column: "c"}).Error(),
+		(&ErrColumnNotFound{Table: "t", Column: "c"}).Error(),
+		(&ErrAmbiguousColumn{Column: "c"}).Error(),
+	}
+	for _, m := range msgs {
+		if m == "" {
+			t.Error("empty error message")
+		}
+	}
+}
+
+func TestDefaultSelectivitiesWithoutStats(t *testing.T) {
+	// A catalog without stats uses the classic defaults.
+	c := newFixture()
+	meta := c.tables["olap.t1"].meta
+	saved := meta.Stats
+	meta.Stats = nil
+	defer func() { meta.Stats = saved }()
+	p := newPlanner(c)
+	_, plan := planAndRun(t, p, "SELECT * FROM olap.t1 WHERE b1 > 10 AND a1 IN (1,2) AND b1 BETWEEN 1 AND 5")
+	for _, cn := range plan.Counted {
+		if strings.HasPrefix(cn.StepText, "SCAN(") && cn.EstimatedRows <= 0 {
+			t.Errorf("estimate = %f", cn.EstimatedRows)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// Step text construction for the learning optimizer (paper §II-C, Table I).
+//
+// A step definition is a prefix expression of the LOGICAL operator and its
+// operand(s): SCAN instead of index/table scan, JOIN instead of hash/NL
+// join, so that learned cardinalities transfer across physical plan
+// choices. Join children and predicate conjuncts are sorted so the saved
+// information applies regardless of join or predicate order.
+
+// ScanStep renders SCAN(TABLE[, PREDICATE(p1 AND p2 ...)]) with conjuncts
+// sorted.
+func ScanStep(table string, predicates []string) string {
+	var sb strings.Builder
+	sb.WriteString("SCAN(")
+	sb.WriteString(strings.ToUpper(table))
+	if len(predicates) > 0 {
+		sorted := append([]string(nil), predicates...)
+		sort.Strings(sorted)
+		sb.WriteString(", PREDICATE(")
+		sb.WriteString(strings.Join(sorted, " AND "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// JoinStep renders JOIN(child1, child2, PREDICATE(...)) with the children
+// ordered lexicographically.
+func JoinStep(left, right string, predicates []string) string {
+	if right < left {
+		left, right = right, left
+	}
+	var sb strings.Builder
+	sb.WriteString("JOIN(")
+	sb.WriteString(left)
+	sb.WriteString(", ")
+	sb.WriteString(right)
+	if len(predicates) > 0 {
+		sorted := append([]string(nil), predicates...)
+		sort.Strings(sorted)
+		sb.WriteString(", PREDICATE(")
+		sb.WriteString(strings.Join(sorted, " AND "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// AggStep renders AGG(child, GROUPBY(c1, c2)) with group columns sorted.
+func AggStep(child string, groupBy []string) string {
+	var sb strings.Builder
+	sb.WriteString("AGG(")
+	sb.WriteString(child)
+	if len(groupBy) > 0 {
+		sorted := append([]string(nil), groupBy...)
+		sort.Strings(sorted)
+		sb.WriteString(", GROUPBY(")
+		sb.WriteString(strings.Join(sorted, ", "))
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// StepHash returns the MD5 of the step text, hex-encoded. The paper stores
+// the 32-byte MD5 of the step text instead of the potentially huge text
+// itself; a collision merely yields one wrong cardinality, which is far
+// less likely than a plain mis-estimate (§II-C).
+func StepHash(stepText string) string {
+	sum := md5.Sum([]byte(stepText))
+	return hex.EncodeToString(sum[:])
+}
+
+// NormalizePredicate strips the outermost parentheses the expression
+// printer adds, giving Table I-style "OLAP.T1.B1 > 10" text.
+func NormalizePredicate(s string) string {
+	s = strings.TrimSpace(s)
+	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") && balanced(s[1:len(s)-1]) {
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	return s
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}

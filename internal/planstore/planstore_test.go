@@ -1,0 +1,153 @@
+package planstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func step(text string, est float64, actual int64) *exec.Counted {
+	return &exec.Counted{StepText: text, EstimatedRows: est, ActualRows: actual}
+}
+
+func TestCaptureOnlyDivergentSteps(t *testing.T) {
+	s := New()
+	n := s.Capture([]*exec.Counted{
+		step("SCAN(T1)", 100, 105),              // within 2x: skip
+		step("SCAN(T2, PREDICATE(X))", 50, 100), // exactly 2x: capture
+		step("JOIN(A, B)", 10, 1000),            // way off: capture
+		step("", 1, 100),                        // no step text: skip
+	})
+	if n != 2 {
+		t.Fatalf("captured %d, want 2", n)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, ok := s.LookupStep("SCAN(T1)"); ok {
+		t.Error("non-divergent step must not be stored")
+	}
+	if v, ok := s.LookupStep("JOIN(A, B)"); !ok || v != 1000 {
+		t.Errorf("lookup = %v, %v", v, ok)
+	}
+}
+
+func TestLookupMissAndStats(t *testing.T) {
+	s := New()
+	s.Capture([]*exec.Counted{step("S", 1, 100)})
+	s.LookupStep("S")
+	s.LookupStep("T")
+	st := s.Stats()
+	if st.Lookups != 2 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRefreshUpdatesActual(t *testing.T) {
+	s := New()
+	s.Capture([]*exec.Counted{step("S", 1, 100)})
+	// Data changed: same step, new actual. Refresh even though the original
+	// estimate no longer diverges.
+	s.Capture([]*exec.Counted{step("S", 99, 200)})
+	if v, _ := s.LookupStep("S"); v != 200 {
+		t.Errorf("refreshed actual = %v, want 200", v)
+	}
+	es := s.Entries()
+	if len(es) != 1 || es[0].Updates != 2 {
+		t.Errorf("entries = %+v", es)
+	}
+}
+
+func TestZeroRowHandling(t *testing.T) {
+	s := New()
+	s.Capture([]*exec.Counted{step("EMPTY", 500, 0)})
+	if v, ok := s.LookupStep("EMPTY"); !ok || v != 0 {
+		t.Errorf("zero-actual capture = %v, %v", v, ok)
+	}
+	// 0 estimated, 0 actual: no divergence.
+	if n := s.Capture([]*exec.Counted{step("BOTHZERO", 0, 0)}); n != 0 {
+		t.Error("0/0 must not capture")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New()
+	s.Capacity = 3
+	for i := 0; i < 3; i++ {
+		s.Capture([]*exec.Counted{step(fmt.Sprintf("S%d", i), 1, 100)})
+	}
+	// Touch S0 so S1 becomes the LRU.
+	s.LookupStep("S0")
+	s.Capture([]*exec.Counted{step("S3", 1, 100)})
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if _, ok := s.LookupStep("S1"); ok {
+		t.Error("S1 should have been evicted")
+	}
+	if _, ok := s.LookupStep("S0"); !ok {
+		t.Error("S0 should survive (recently used)")
+	}
+}
+
+func TestCaptureRatioConfigurable(t *testing.T) {
+	s := New()
+	s.CaptureRatio = 10
+	if n := s.Capture([]*exec.Counted{step("S", 10, 50)}); n != 0 {
+		t.Error("5x divergence below a 10x threshold must not capture")
+	}
+	if n := s.Capture([]*exec.Counted{step("S", 10, 100)}); n != 1 {
+		t.Error("10x divergence must capture")
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct {
+		est, act, want float64
+	}{
+		{100, 100, 1},
+		{50, 100, 2},
+		{100, 50, 2},
+		{0, 100, 100}, // clamped to 1
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.act); got != c.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestEntriesSortedSnapshot(t *testing.T) {
+	s := New()
+	s.Capture([]*exec.Counted{step("B", 1, 10), step("A", 1, 10)})
+	es := s.Entries()
+	if len(es) != 2 || es[0].StepText != "A" || es[1].StepText != "B" {
+		t.Errorf("entries = %+v", es)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Error("reset should clear")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				s.Capture([]*exec.Counted{step(fmt.Sprintf("S%d-%d", w, i%10), 1, int64(i))})
+				s.LookupStep(fmt.Sprintf("S%d-%d", w, i%10))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if s.Len() == 0 {
+		t.Error("store should have entries")
+	}
+}

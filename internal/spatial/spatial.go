@@ -1,0 +1,209 @@
+// Package spatial implements the multi-model database's spatial engine
+// (paper §II-B): a planar point index with a uniform grid, supporting
+// bounding-box queries, k-nearest-neighbour search and radius queries —
+// the spatial-temporal primitives the paper's autonomous-vehicle scenario
+// needs (GPS positions of cars, junction locations).
+package spatial
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Item is one indexed point.
+type Item struct {
+	ID   int64
+	X, Y float64
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// Index is a uniform-grid spatial index. Safe for concurrent use.
+type Index struct {
+	cell float64
+
+	mu    sync.RWMutex
+	cells map[cellKey][]Item
+	items map[int64]Item
+}
+
+// NewIndex creates a grid index with the given cell size; the cell size
+// should be on the order of typical query radii.
+func NewIndex(cellSize float64) *Index {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	return &Index{
+		cell:  cellSize,
+		cells: make(map[cellKey][]Item),
+		items: make(map[int64]Item),
+	}
+}
+
+func (ix *Index) keyFor(x, y float64) cellKey {
+	return cellKey{cx: int32(math.Floor(x / ix.cell)), cy: int32(math.Floor(y / ix.cell))}
+}
+
+// Insert adds or moves a point.
+func (ix *Index) Insert(id int64, x, y float64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if old, ok := ix.items[id]; ok {
+		ix.removeFromCellLocked(old)
+	}
+	it := Item{ID: id, X: x, Y: y}
+	ix.items[id] = it
+	k := ix.keyFor(x, y)
+	ix.cells[k] = append(ix.cells[k], it)
+}
+
+// Remove deletes a point; it reports whether the id existed.
+func (ix *Index) Remove(id int64) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	it, ok := ix.items[id]
+	if !ok {
+		return false
+	}
+	delete(ix.items, id)
+	ix.removeFromCellLocked(it)
+	return true
+}
+
+func (ix *Index) removeFromCellLocked(it Item) {
+	k := ix.keyFor(it.X, it.Y)
+	cell := ix.cells[k]
+	for i := range cell {
+		if cell[i].ID == it.ID {
+			cell[i] = cell[len(cell)-1]
+			ix.cells[k] = cell[:len(cell)-1]
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.items)
+}
+
+// Get returns a point by id.
+func (ix *Index) Get(id int64) (Item, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	it, ok := ix.items[id]
+	return it, ok
+}
+
+// BBox returns all points with minX <= x <= maxX and minY <= y <= maxY,
+// ordered by id for determinism.
+func (ix *Index) BBox(minX, minY, maxX, maxY float64) []Item {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	lo := ix.keyFor(minX, minY)
+	hi := ix.keyFor(maxX, maxY)
+	var out []Item
+	for cx := lo.cx; cx <= hi.cx; cx++ {
+		for cy := lo.cy; cy <= hi.cy; cy++ {
+			for _, it := range ix.cells[cellKey{cx, cy}] {
+				if it.X >= minX && it.X <= maxX && it.Y >= minY && it.Y <= maxY {
+					out = append(out, it)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Radius returns all points within distance r of (x, y), nearest first.
+func (ix *Index) Radius(x, y, r float64) []Item {
+	items := ix.BBox(x-r, y-r, x+r, y+r)
+	out := items[:0]
+	for _, it := range items {
+		if dist2(it.X, it.Y, x, y) <= r*r {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return dist2(out[i].X, out[i].Y, x, y) < dist2(out[j].X, out[j].Y, x, y)
+	})
+	return out
+}
+
+func dist2(ax, ay, bx, by float64) float64 {
+	dx, dy := ax-bx, ay-by
+	return dx*dx + dy*dy
+}
+
+// nnHeap is a max-heap on distance for k-NN pruning.
+type nnCand struct {
+	it Item
+	d2 float64
+}
+
+type nnHeap []nnCand
+
+func (h nnHeap) Len() int           { return len(h) }
+func (h nnHeap) Less(i, j int) bool { return h[i].d2 > h[j].d2 }
+func (h nnHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x any)        { *h = append(*h, x.(nnCand)) }
+func (h *nnHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// Nearest returns the k nearest points to (x, y), nearest first. It
+// expands the grid search ring by ring and stops when the ring cannot
+// contain anything closer than the current k-th candidate.
+func (ix *Index) Nearest(x, y float64, k int) []Item {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if k <= 0 || len(ix.items) == 0 {
+		return nil
+	}
+	center := ix.keyFor(x, y)
+	h := &nnHeap{}
+	maxRing := int32(2048) // hard stop for pathological sparse data
+
+	consider := func(ck cellKey) {
+		for _, it := range ix.cells[ck] {
+			d2 := dist2(it.X, it.Y, x, y)
+			if h.Len() < k {
+				heap.Push(h, nnCand{it, d2})
+			} else if d2 < (*h)[0].d2 {
+				heap.Pop(h)
+				heap.Push(h, nnCand{it, d2})
+			}
+		}
+	}
+
+	for ring := int32(0); ring <= maxRing; ring++ {
+		if ring == 0 {
+			consider(center)
+		} else {
+			for cx := center.cx - ring; cx <= center.cx+ring; cx++ {
+				consider(cellKey{cx, center.cy - ring})
+				consider(cellKey{cx, center.cy + ring})
+			}
+			for cy := center.cy - ring + 1; cy <= center.cy+ring-1; cy++ {
+				consider(cellKey{center.cx - ring, cy})
+				consider(cellKey{center.cx + ring, cy})
+			}
+		}
+		// The next ring is at least (ring * cell) away; if we already have
+		// k candidates all closer than that, stop.
+		if h.Len() == k {
+			ringDist := float64(ring) * ix.cell
+			if (*h)[0].d2 <= ringDist*ringDist {
+				break
+			}
+		}
+	}
+	out := make([]Item, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(nnCand).it
+	}
+	return out
+}

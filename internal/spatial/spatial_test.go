@@ -1,0 +1,180 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func gridOf(n int) *Index {
+	ix := NewIndex(10)
+	id := int64(0)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			ix.Insert(id, float64(x), float64(y))
+			id++
+		}
+	}
+	return ix
+}
+
+func TestInsertGetRemove(t *testing.T) {
+	ix := NewIndex(5)
+	ix.Insert(1, 2, 3)
+	if it, ok := ix.Get(1); !ok || it.X != 2 || it.Y != 3 {
+		t.Fatalf("get = %v, %v", it, ok)
+	}
+	// Move.
+	ix.Insert(1, 100, 100)
+	if ix.Len() != 1 {
+		t.Fatalf("len after move = %d", ix.Len())
+	}
+	if got := ix.BBox(0, 0, 10, 10); len(got) != 0 {
+		t.Errorf("old position still indexed: %v", got)
+	}
+	if !ix.Remove(1) || ix.Remove(1) {
+		t.Error("remove semantics broken")
+	}
+	if ix.Len() != 0 {
+		t.Error("len after remove")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	ix := gridOf(20) // points (0..19, 0..19)
+	got := ix.BBox(5, 5, 7, 7)
+	if len(got) != 9 {
+		t.Fatalf("bbox = %d points", len(got))
+	}
+	for _, it := range got {
+		if it.X < 5 || it.X > 7 || it.Y < 5 || it.Y > 7 {
+			t.Errorf("point outside box: %v", it)
+		}
+	}
+	// Box spanning negative space.
+	ix.Insert(9999, -3, -3)
+	if got := ix.BBox(-5, -5, -1, -1); len(got) != 1 || got[0].ID != 9999 {
+		t.Errorf("negative bbox = %v", got)
+	}
+}
+
+func TestRadius(t *testing.T) {
+	ix := gridOf(10)
+	got := ix.Radius(5, 5, 1.5)
+	// (5,5), 4 at distance 1, 4 at distance sqrt(2).
+	if len(got) != 9 {
+		t.Fatalf("radius = %d points", len(got))
+	}
+	if got[0].X != 5 || got[0].Y != 5 {
+		t.Errorf("nearest-first order broken: %v", got[0])
+	}
+}
+
+func TestNearestExactness(t *testing.T) {
+	// Compare grid k-NN against brute force on random data.
+	rng := rand.New(rand.NewSource(7))
+	ix := NewIndex(10)
+	type pt struct{ x, y float64 }
+	pts := make([]pt, 500)
+	for i := range pts {
+		pts[i] = pt{rng.Float64() * 1000, rng.Float64() * 1000}
+		ix.Insert(int64(i), pts[i].x, pts[i].y)
+	}
+	for trial := 0; trial < 20; trial++ {
+		qx, qy := rng.Float64()*1000, rng.Float64()*1000
+		k := 1 + rng.Intn(10)
+		got := ix.Nearest(qx, qy, k)
+		if len(got) != k {
+			t.Fatalf("k-NN returned %d, want %d", len(got), k)
+		}
+		// Brute force.
+		type cand struct {
+			id int64
+			d  float64
+		}
+		var all []cand
+		for i, p := range pts {
+			all = append(all, cand{int64(i), math.Hypot(p.x-qx, p.y-qy)})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		for i := 0; i < k; i++ {
+			gd := math.Hypot(got[i].X-qx, got[i].Y-qy)
+			if math.Abs(gd-all[i].d) > 1e-9 {
+				t.Fatalf("trial %d: k-NN[%d] distance %f, brute force %f", trial, i, gd, all[i].d)
+			}
+		}
+	}
+}
+
+func TestNearestEdgeCases(t *testing.T) {
+	ix := NewIndex(10)
+	if got := ix.Nearest(0, 0, 3); got != nil {
+		t.Error("empty index should return nil")
+	}
+	ix.Insert(1, 5, 5)
+	if got := ix.Nearest(0, 0, 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	got := ix.Nearest(0, 0, 5)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("k > n should return all: %v", got)
+	}
+	// Query far away from all data (ring expansion must still find it).
+	ix.Insert(2, 10000, 10000)
+	got = ix.Nearest(-5000, -5000, 1)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Errorf("far query = %v", got)
+	}
+}
+
+func TestBBoxRadiusConsistencyProperty(t *testing.T) {
+	// Property: Radius(r) ⊆ BBox(r) and every radius result is within r.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := NewIndex(7)
+		for i := 0; i < 200; i++ {
+			ix.Insert(int64(i), rng.Float64()*200-100, rng.Float64()*200-100)
+		}
+		qx, qy, r := rng.Float64()*100, rng.Float64()*100, 5+rng.Float64()*30
+		rad := ix.Radius(qx, qy, r)
+		boxIDs := map[int64]bool{}
+		for _, it := range ix.BBox(qx-r, qy-r, qx+r, qy+r) {
+			boxIDs[it.ID] = true
+		}
+		for _, it := range rad {
+			if !boxIDs[it.ID] {
+				return false
+			}
+			if math.Hypot(it.X-qx, it.Y-qy) > r+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	ix := NewIndex(10)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				ix.Insert(int64(w*200+i), float64(i), float64(w))
+				ix.BBox(0, 0, 50, 50)
+				ix.Nearest(float64(i), float64(w), 3)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if ix.Len() != 800 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}

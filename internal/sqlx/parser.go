@@ -1,0 +1,1266 @@
+package sqlx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Parser is a recursive-descent parser over the lexer's token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.eatOp(";")
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseMulti parses a semicolon-separated script.
+func ParseMulti(src string) ([]Statement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Statement
+	for {
+		for p.eatOp(";") {
+		}
+		if p.atEOF() {
+			return out, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+	}
+}
+
+// ParseExpr parses a standalone scalar expression (used by tests and by the
+// GMDB SQL surface).
+func ParseExpr(src string) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+func newParser(src string) (*Parser, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks, src: src}, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlx: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+// eatKeyword consumes the keyword if present.
+func (p *Parser) eatKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.eatKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) eatOp(op string) bool {
+	if t := p.peek(); t.Kind == TokOp && t.Text == op {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectOp(op string) error {
+	if !p.eatOp(op) {
+		return p.errorf("expected %q, found %s", op, p.peek())
+	}
+	return nil
+}
+
+// parseIdent accepts an identifier or a non-reserved-in-context keyword.
+func (p *Parser) parseIdent() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		p.next()
+		return t.Text, nil
+	}
+	// Allow a few keywords as identifiers where unambiguous (e.g. a column
+	// named "time" lexes as TokIdent already since TIME isn't a keyword;
+	// KEY/ROW/COLUMN may appear as names).
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "KEY", "ROW", "COLUMN", "HASH", "SET", "VALUES", "ALL":
+			p.next()
+			return strings.ToLower(t.Text), nil
+		}
+	}
+	return "", p.errorf("expected identifier, found %s", t)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, p.errorf("expected statement, found %s", t)
+	}
+	switch t.Text {
+	case "CREATE":
+		return p.parseCreateTable()
+	case "DROP":
+		return p.parseDropTable()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "SELECT", "WITH":
+		return p.parseSelect()
+	case "BEGIN":
+		p.next()
+		return &TxControl{Verb: "BEGIN"}, nil
+	case "COMMIT":
+		p.next()
+		return &TxControl{Verb: "COMMIT"}, nil
+	case "ROLLBACK", "ABORT":
+		p.next()
+		return &TxControl{Verb: "ROLLBACK"}, nil
+	case "EXPLAIN":
+		p.next()
+		analyze := p.eatKeyword("ANALYZE")
+		inner, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Stmt: inner, Analyze: analyze}, nil
+	default:
+		return nil, p.errorf("unsupported statement %s", t.Text)
+	}
+}
+
+func (p *Parser) parseCreateTable() (Statement, error) {
+	p.next() // CREATE
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Storage: StorageRow}
+	if p.eatKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		ct.IfNotExists = true
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ct.Name = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		if p.eatKeyword("PRIMARY") {
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			for {
+				col, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			tname, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := types.KindFromName(tname)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			// Swallow optional length like VARCHAR(32).
+			if p.eatOp("(") {
+				for !p.eatOp(")") {
+					if p.atEOF() {
+						return nil, p.errorf("unterminated type length")
+					}
+					p.next()
+				}
+			}
+			// Swallow optional NOT NULL / PRIMARY KEY column constraint.
+			if p.eatKeyword("NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+			}
+			if p.eatKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				ct.PrimaryKey = append(ct.PrimaryKey, col)
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: col, Kind: kind})
+		}
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.eatKeyword("DISTRIBUTE"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return nil, err
+			}
+			if p.eatKeyword("REPLICATION") {
+				ct.Replicated = true
+				continue
+			}
+			if err := p.expectKeyword("HASH"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			ct.DistKey = col
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		case p.eatKeyword("USING"):
+			switch {
+			case p.eatKeyword("ROW"):
+				ct.Storage = StorageRow
+			case p.eatKeyword("COLUMN"):
+				ct.Storage = StorageColumn
+			default:
+				return nil, p.errorf("expected ROW or COLUMN after USING")
+			}
+		default:
+			return ct, nil
+		}
+	}
+}
+
+func (p *Parser) parseDropTable() (Statement, error) {
+	p.next() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	dt := &DropTable{}
+	if p.eatKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		dt.IfExists = true
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	dt.Name = name
+	return dt, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ins.Table = name
+	if p.peek().Kind == TokOp && p.peek().Text == "(" {
+		p.next()
+		for {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if t := p.peek(); t.Kind == TokKeyword && (t.Text == "SELECT" || t.Text == "WITH") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		ins.Query = q
+		return ins, nil
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.eatOp(",") {
+			return ins, nil
+		}
+	}
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	up := &Update{}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	up.Table = name
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, Assignment{Column: col, Value: val})
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		up.Where = w
+	}
+	return up, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	del := &Delete{}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	del.Table = name
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+// parseQualifiedName parses ident[.ident] as a dotted table name (the paper
+// uses schema-qualified names like OLAP.t1).
+func (p *Parser) parseQualifiedName() (string, error) {
+	first, err := p.parseIdent()
+	if err != nil {
+		return "", err
+	}
+	if p.eatOp(".") {
+		second, err := p.parseIdent()
+		if err != nil {
+			return "", err
+		}
+		return first + "." + second, nil
+	}
+	return first, nil
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*Select, error) {
+	sel := &Select{Limit: -1}
+	if p.eatKeyword("WITH") {
+		for {
+			name, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			cte := CTE{Name: name}
+			if p.peek().Kind == TokOp && p.peek().Text == "(" {
+				p.next()
+				for {
+					col, err := p.parseIdent()
+					if err != nil {
+						return nil, err
+					}
+					cte.Columns = append(cte.Columns, col)
+					if !p.eatOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			cte.Query = q
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			sel.CTEs = append(sel.CTEs, cte)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectCore(sel); err != nil {
+		return nil, err
+	}
+	// UNION [ALL] arms.
+	for p.eatKeyword("UNION") {
+		arm := &Select{Limit: -1}
+		all := p.eatKeyword("ALL")
+		if err := p.expectKeyword("SELECT"); err != nil {
+			return nil, err
+		}
+		if err := p.parseSelectCore(arm); err != nil {
+			return nil, err
+		}
+		sel.SetOps = append(sel.SetOps, SetOp{All: all, Query: arm})
+	}
+	if p.eatKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.eatKeyword("DESC") {
+				it.Desc = true
+			} else {
+				p.eatKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, it)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("LIMIT") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.eatKeyword("OFFSET") {
+		n, err := p.parseIntLit()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+// parseSelectCore parses the SELECT..HAVING body of one query block (the
+// part a UNION arm repeats); the caller has already consumed SELECT.
+func (p *Parser) parseSelectCore(sel *Select) error {
+	sel.Distinct = p.eatKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.eatOp(",") {
+			break
+		}
+	}
+	if p.eatKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRefWithJoins()
+			if err != nil {
+				return err
+			}
+			sel.From = append(sel.From, ref)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		sel.Where = w
+	}
+	if p.eatKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+	}
+	if p.eatKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		sel.Having = h
+	}
+	return nil
+}
+
+func (p *Parser) parseIntLit() (int64, error) {
+	t := p.peek()
+	if t.Kind != TokNumber {
+		return 0, p.errorf("expected integer, found %s", t)
+	}
+	p.next()
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errorf("bad integer %q", t.Text)
+	}
+	return n, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	// "*" or "t.*"
+	if p.peek().Kind == TokOp && p.peek().Text == "*" {
+		p.next()
+		return SelectItem{Star: true}, nil
+	}
+	if p.peek().Kind == TokIdent && p.peek2().Kind == TokOp && p.peek2().Text == "." {
+		// Could be t.* — look two ahead.
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+2].Kind == TokOp && p.toks[p.pos+2].Text == "*" {
+			tbl := p.next().Text
+			p.next() // .
+			p.next() // *
+			return SelectItem{Star: true, Table: tbl}, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.eatKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRefWithJoins() (TableRef, error) {
+	left, err := p.parseTableRefPrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind JoinKind
+		switch {
+		case p.eatKeyword("JOIN"):
+			kind = JoinInner
+		case p.eatKeyword("INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinInner
+		case p.eatKeyword("LEFT"):
+			p.eatKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeft
+		case p.eatKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinCross
+		default:
+			return left, nil
+		}
+		right, err := p.parseTableRefPrimary()
+		if err != nil {
+			return nil, err
+		}
+		j := &JoinRef{Kind: kind, Left: left, Right: right}
+		if kind != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		left = j
+	}
+}
+
+// tableFuncs are multi-model table expressions recognized in FROM position.
+var tableFuncs = map[string]bool{"gtimeseries": true, "ggraph": true, "gspatial": true}
+
+func (p *Parser) parseTableRefPrimary() (TableRef, error) {
+	t := p.peek()
+	// (select) AS alias
+	if t.Kind == TokOp && t.Text == "(" {
+		p.next()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ref := &SubqueryRef{Query: q}
+		p.eatKeyword("AS")
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, p.errorf("derived table requires an alias")
+		}
+		ref.Alias = alias
+		return ref, nil
+	}
+	if t.Kind != TokIdent {
+		return nil, p.errorf("expected table reference, found %s", t)
+	}
+	// Table function?
+	if tableFuncs[strings.ToLower(t.Text)] && p.peek2().Kind == TokOp && p.peek2().Text == "(" {
+		name := strings.ToLower(p.next().Text)
+		p.next() // (
+		tf := &TableFunc{Name: name}
+		if name == "gtimeseries" {
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			tf.Query = q
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		} else {
+			// ggraph/gspatial take a raw traversal string or raw token run
+			// up to the matching close paren.
+			raw, err := p.captureRawArg()
+			if err != nil {
+				return nil, err
+			}
+			tf.RawArg = raw
+		}
+		if p.eatKeyword("AS") {
+			alias, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			tf.Alias = alias
+		} else if p.peek().Kind == TokIdent {
+			tf.Alias = p.next().Text
+		}
+		return tf, nil
+	}
+	name, err := p.parseQualifiedName()
+	if err != nil {
+		return nil, err
+	}
+	ref := &BaseTable{Name: name}
+	if p.eatKeyword("AS") {
+		alias, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// captureRawArg consumes tokens (already lexed) until the matching ")" and
+// returns the original source text between the parens. A single string
+// literal argument is returned unquoted, so both ggraph('g.V()...') and
+// ggraph(g.V()...) work.
+func (p *Parser) captureRawArg() (string, error) {
+	if p.peek().Kind == TokString && p.peek2().Kind == TokOp && p.peek2().Text == ")" {
+		s := p.next().Text
+		p.next() // )
+		return s, nil
+	}
+	depth := 1
+	start := p.peek().Pos
+	end := start
+	for depth > 0 {
+		t := p.peek()
+		if t.Kind == TokEOF {
+			return "", p.errorf("unterminated table function argument")
+		}
+		if t.Kind == TokOp {
+			switch t.Text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+				if depth == 0 {
+					end = t.Pos
+					p.next()
+					return strings.TrimSpace(p.src[start:end]), nil
+				}
+			}
+		}
+		p.next()
+	}
+	return "", p.errorf("unterminated table function argument")
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryOp{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.eatKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryOp{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.eatKeyword("NOT") {
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryOp{Op: "NOT", Child: child}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.eatKeyword("IS") {
+		not := p.eatKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{Child: left, Not: not}, nil
+	}
+	// [NOT] IN / BETWEEN / LIKE
+	not := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
+		if n := p.peek2(); n.Kind == TokKeyword && (n.Text == "IN" || n.Text == "BETWEEN" || n.Text == "LIKE") {
+			p.next()
+			not = true
+		}
+	}
+	switch {
+	case p.eatKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.Kind == TokKeyword && (t.Text == "SELECT" || t.Text == "WITH") {
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			// x IN (subquery) is represented as x = ANY via InList with a
+			// single Subquery element; the planner expands it.
+			il := &InList{Child: left, List: []Expr{&Subquery{Query: q}}, Not: not}
+			return il, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.eatOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InList{Child: left, List: list, Not: not}, nil
+	case p.eatKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{Child: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.eatKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &BinaryOp{Op: OpLike, Left: left, Right: pat}
+		if not {
+			e = &UnaryOp{Op: "NOT", Child: e}
+		}
+		return e, nil
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp {
+			return left, nil
+		}
+		var op string
+		switch t.Text {
+		case "=", "<", ">", "<=", ">=":
+			op = t.Text
+		case "<>", "!=":
+			op = OpNe
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryOp{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-" && t.Text != "||") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		op := t.Text
+		if op == "||" {
+			op = OpConcat
+		}
+		left = &BinaryOp{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%") {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryOp{Op: t.Text, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.peek().Kind == TokOp && p.peek().Text == "-" {
+		p.next()
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := child.(*Literal); ok {
+			switch lit.Value.Kind() {
+			case types.KindInt:
+				return &Literal{Value: types.NewInt(-lit.Value.Int())}, nil
+			case types.KindFloat:
+				return &Literal{Value: types.NewFloat(-lit.Value.Float())}, nil
+			}
+		}
+		return &UnaryOp{Op: "-", Child: child}, nil
+	}
+	if p.peek().Kind == TokOp && p.peek().Text == "+" {
+		p.next()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+// intervalUnits maps unit names (singular, lower-case) to nanoseconds.
+var intervalUnits = map[string]int64{
+	"nanosecond":  1,
+	"microsecond": int64(time.Microsecond),
+	"millisecond": int64(time.Millisecond),
+	"second":      int64(time.Second),
+	"minute":      int64(time.Minute),
+	"hour":        int64(time.Hour),
+	"day":         24 * int64(time.Hour),
+	"week":        7 * 24 * int64(time.Hour),
+}
+
+// ParseInterval parses "30 minutes"-style interval text into nanoseconds.
+func ParseInterval(text string) (int64, error) {
+	fields := strings.Fields(strings.ToLower(strings.TrimSpace(text)))
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("sqlx: bad interval %q (want '<n> <unit>')", text)
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sqlx: bad interval count %q", fields[0])
+	}
+	unit := strings.TrimSuffix(fields[1], "s")
+	ns, ok := intervalUnits[unit]
+	if !ok {
+		return 0, fmt.Errorf("sqlx: bad interval unit %q", fields[1])
+	}
+	return n * ns, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.Text)
+			}
+			return &Literal{Value: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.Text)
+		}
+		return &Literal{Value: types.NewInt(n)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Value: types.NewString(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Value: types.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Value: types.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Value: types.NewBool(false)}, nil
+		case "INTERVAL":
+			p.next()
+			s := p.peek()
+			if s.Kind != TokString {
+				return nil, p.errorf("INTERVAL requires a string literal")
+			}
+			p.next()
+			ns, err := ParseInterval(s.Text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			return &IntervalLit{Nanos: ns, Text: s.Text}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TokOp:
+		if t.Text == "(" {
+			p.next()
+			// Scalar subquery?
+			if k := p.peek(); k.Kind == TokKeyword && (k.Text == "SELECT" || k.Text == "WITH") {
+				q, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &Subquery{Query: q}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			// count(*) handled in func call path; bare * invalid here.
+			return nil, p.errorf("unexpected * in expression")
+		}
+		return nil, p.errorf("unexpected %s in expression", t)
+	case TokIdent:
+		// Function call?
+		if p.peek2().Kind == TokOp && p.peek2().Text == "(" {
+			name := p.next().Text
+			p.next() // (
+			fc := &FuncCall{Name: strings.ToLower(name)}
+			if p.peek().Kind == TokOp && p.peek().Text == "*" {
+				p.next()
+				fc.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			if p.eatOp(")") {
+				return fc, nil
+			}
+			fc.Distinct = p.eatKeyword("DISTINCT")
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, a)
+				if !p.eatOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Column ref, possibly qualified: col, tbl.col, or schema.tbl.col.
+		name := p.next().Text
+		if p.eatOp(".") {
+			col, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.eatOp(".") {
+				col2, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				return &ColumnRef{Table: name + "." + col, Column: col2}, nil
+			}
+			return &ColumnRef{Table: name, Column: col}, nil
+		}
+		return &ColumnRef{Column: name}, nil
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	c := &CaseExpr{}
+	if t := p.peek(); !(t.Kind == TokKeyword && t.Text == "WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.eatKeyword("WHEN") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, w)
+		c.Thens = append(c.Thens, th)
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.eatKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,382 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+func newTestTable(t *testing.T, pk bool) (*Table, *txnkit.TxnManager) {
+	t.Helper()
+	txm := txnkit.NewTxnManager()
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindString},
+	)
+	var pkCols []int
+	if pk {
+		pkCols = []int{0}
+	}
+	return NewTable("t", schema, pkCols, txm), txm
+}
+
+// run executes f inside a committed transaction.
+func run(txm *txnkit.TxnManager, f func(xid txnkit.XID, snap *txnkit.Snapshot) error) error {
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	if err := f(xid, &snap); err != nil {
+		txm.Abort(xid)
+		return err
+	}
+	return txm.Commit(xid)
+}
+
+func insertRows(t *testing.T, tbl *Table, txm *txnkit.TxnManager, n int) {
+	t.Helper()
+	err := run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		for i := 0; i < n; i++ {
+			if err := tbl.Insert(xid, snap, types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprintf("v%d", i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func countVisible(tbl *Table, txm *txnkit.TxnManager) int {
+	snap := txm.LocalSnapshot()
+	return tbl.VisibleCount(0, &snap)
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 10)
+	if got := countVisible(tbl, txm); got != 10 {
+		t.Errorf("visible = %d, want 10", got)
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tbl, txm := newTestTable(t, false)
+	err := run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		return tbl.Insert(xid, snap, types.Row{types.NewString("oops"), types.NewString("v")})
+	})
+	if err == nil {
+		t.Error("type mismatch must fail")
+	}
+	err = run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		return tbl.Insert(xid, snap, types.Row{types.NewInt(1)})
+	})
+	if err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestPrimaryKeyUniqueness(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 3)
+	err := run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		return tbl.Insert(xid, snap, types.Row{types.NewInt(1), types.NewString("dup")})
+	})
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("err = %v, want ErrDuplicateKey", err)
+	}
+	// Same key within one transaction also conflicts.
+	err = run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		if err := tbl.Insert(xid, snap, types.Row{types.NewInt(100), types.NewString("a")}); err != nil {
+			return err
+		}
+		return tbl.Insert(xid, snap, types.Row{types.NewInt(100), types.NewString("b")})
+	})
+	if !errors.Is(err, ErrDuplicateKey) {
+		t.Errorf("err = %v, want ErrDuplicateKey", err)
+	}
+	// Deleting then reinserting the same key is allowed.
+	err = run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		if _, err := tbl.Delete(xid, snap, func(r types.Row) bool { return r[0].Int() == 2 }); err != nil {
+			return err
+		}
+		return tbl.Insert(xid, snap, types.Row{types.NewInt(2), types.NewString("reborn")})
+	})
+	if err != nil {
+		t.Errorf("delete+reinsert should succeed: %v", err)
+	}
+}
+
+func TestUpdateCreatesNewVersion(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 5)
+	err := run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		n, err := tbl.Update(xid, snap,
+			func(r types.Row) bool { return r[0].Int() == 3 },
+			func(r types.Row) (types.Row, error) {
+				r[1] = types.NewString("updated")
+				return r, nil
+			})
+		if n != 1 {
+			t.Errorf("updated %d rows, want 1", n)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countVisible(tbl, txm); got != 5 {
+		t.Errorf("visible = %d, want 5", got)
+	}
+	if tbl.VersionCount() != 6 {
+		t.Errorf("versions = %d, want 6", tbl.VersionCount())
+	}
+	snap := txm.LocalSnapshot()
+	found := false
+	tbl.Scan(0, &snap, func(r types.Row) bool {
+		if r[0].Int() == 3 {
+			found = true
+			if r[1].Str() != "updated" {
+				t.Errorf("row 3 value = %q", r[1].Str())
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Error("row 3 vanished")
+	}
+}
+
+func TestDeleteHidesTuple(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 5)
+	err := run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		n, err := tbl.Delete(xid, snap, func(r types.Row) bool { return r[0].Int()%2 == 0 })
+		if n != 3 {
+			t.Errorf("deleted %d, want 3", n)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countVisible(tbl, txm); got != 2 {
+		t.Errorf("visible = %d, want 2", got)
+	}
+}
+
+func TestAbortRollsBackEverything(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 3)
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	tbl.Insert(xid, &snap, types.Row{types.NewInt(99), types.NewString("ghost")})
+	tbl.Delete(xid, &snap, func(r types.Row) bool { return r[0].Int() == 0 })
+	tbl.Update(xid, &snap, func(r types.Row) bool { return r[0].Int() == 1 },
+		func(r types.Row) (types.Row, error) { r[1] = types.NewString("ghost2"); return r, nil })
+	txm.Abort(xid)
+
+	if got := countVisible(tbl, txm); got != 3 {
+		t.Errorf("visible after abort = %d, want 3", got)
+	}
+	s := txm.LocalSnapshot()
+	tbl.Scan(0, &s, func(r types.Row) bool {
+		if v := r[1].Str(); v == "ghost" || v == "ghost2" {
+			t.Errorf("aborted write %q is visible", v)
+		}
+		return true
+	})
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 1)
+
+	t1 := txm.Begin()
+	s1 := txm.LocalSnapshot()
+	t2 := txm.Begin()
+	s2 := txm.LocalSnapshot()
+
+	if _, err := tbl.Delete(t1, &s1, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tbl.Delete(t2, &s2, nil)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Errorf("err = %v, want ErrWriteConflict", err)
+	}
+	// After t1 aborts, t2 can take over.
+	txm.Abort(t1)
+	if _, err := tbl.Delete(t2, &s2, nil); err != nil {
+		t.Errorf("takeover after abort failed: %v", err)
+	}
+	txm.Commit(t2)
+}
+
+func TestLookupEqUsesIndexAndFallback(t *testing.T) {
+	tbl, txm := newTestTable(t, true) // pk index on col 0
+	insertRows(t, tbl, txm, 100)
+	snap := txm.LocalSnapshot()
+
+	n := 0
+	tbl.LookupEq(0, &snap, 0, types.NewInt(42), func(r types.Row) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("indexed lookup found %d rows", n)
+	}
+	// Column 1 has no index: fallback full scan.
+	n = 0
+	tbl.LookupEq(0, &snap, 1, types.NewString("v7"), func(r types.Row) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("fallback lookup found %d rows", n)
+	}
+}
+
+func TestCreateIndexBackfills(t *testing.T) {
+	tbl, txm := newTestTable(t, false)
+	insertRows(t, tbl, txm, 50)
+	tbl.CreateIndex(1)
+	snap := txm.LocalSnapshot()
+	n := 0
+	tbl.LookupEq(0, &snap, 1, types.NewString("v9"), func(r types.Row) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("found %d rows via backfilled index", n)
+	}
+}
+
+func TestVacuumReclaimsDeadVersions(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 10)
+	// Delete half, update two.
+	err := run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+		_, err := tbl.Delete(xid, snap, func(r types.Row) bool { return r[0].Int() < 5 })
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aborted insert adds a dead version too.
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	tbl.Insert(xid, &snap, types.Row{types.NewInt(777), types.NewString("x")})
+	txm.Abort(xid)
+
+	before := tbl.VersionCount()
+	horizon := txm.LocalSnapshot().Xmax
+	removed := tbl.Vacuum(horizon)
+	if removed != 6 { // 5 deleted + 1 aborted
+		t.Errorf("vacuum removed %d, want 6", removed)
+	}
+	if tbl.VersionCount() != before-6 {
+		t.Errorf("version count after vacuum = %d", tbl.VersionCount())
+	}
+	if got := countVisible(tbl, txm); got != 5 {
+		t.Errorf("visible after vacuum = %d, want 5", got)
+	}
+	// Index still works after rebuild.
+	s := txm.LocalSnapshot()
+	n := 0
+	tbl.LookupEq(0, &s, 0, types.NewInt(7), func(r types.Row) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("index lookup after vacuum found %d", n)
+	}
+}
+
+func TestSnapshotScanStability(t *testing.T) {
+	tbl, txm := newTestTable(t, true)
+	insertRows(t, tbl, txm, 5)
+	oldSnap := txm.LocalSnapshot()
+	insertRows2 := func(base int) {
+		run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+			return tbl.Insert(xid, snap, types.Row{types.NewInt(int64(base)), types.NewString("late")})
+		})
+	}
+	insertRows2(100)
+	insertRows2(101)
+	if got := tbl.VisibleCount(0, &oldSnap); got != 5 {
+		t.Errorf("old snapshot sees %d rows, want 5", got)
+	}
+	if got := countVisible(tbl, txm); got != 7 {
+		t.Errorf("new snapshot sees %d rows, want 7", got)
+	}
+}
+
+// Property: after any sequence of committed inserts and deletes, the number
+// of visible rows equals inserts minus deletes of distinct keys.
+func TestVisibleCountProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		tbl, txm := newTestTable(t, false)
+		live := 0
+		key := 0
+		for _, ins := range ops {
+			if ins || live == 0 {
+				k := key
+				key++
+				run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+					return tbl.Insert(xid, snap, types.Row{types.NewInt(int64(k)), types.NewString("p")})
+				})
+				live++
+			} else {
+				// Delete exactly one visible row (the smallest id).
+				run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+					deleted := false
+					_, err := tbl.Delete(xid, snap, func(r types.Row) bool {
+						if deleted {
+							return false
+						}
+						deleted = true
+						return true
+					})
+					return err
+				})
+				live--
+			}
+		}
+		return countVisible(tbl, txm) == live
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	tbl, txm := newTestTable(t, false)
+	insertRows(t, tbl, txm, 100)
+	done := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			var err error
+			for i := 0; i < 50; i++ {
+				err = run(txm, func(xid txnkit.XID, snap *txnkit.Snapshot) error {
+					return tbl.Insert(xid, snap, types.Row{types.NewInt(int64(1000 + w*50 + i)), types.NewString("c")})
+				})
+				if err != nil {
+					break
+				}
+			}
+			done <- err
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				snap := txm.LocalSnapshot()
+				n := tbl.VisibleCount(0, &snap)
+				if n < 100 {
+					done <- fmt.Errorf("reader saw %d rows, want >= 100", n)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := countVisible(tbl, txm); got != 300 {
+		t.Errorf("final visible = %d, want 300", got)
+	}
+}

