@@ -1,5 +1,5 @@
 // Package repro_test holds the benchmark harness that regenerates every
-// table and figure of the paper's evaluation (experiment ids E1–E10 in
+// table and figure of the paper's evaluation (experiment ids E1–E12 in
 // DESIGN.md). Run with:
 //
 //	go test -bench=. -benchmem
@@ -24,6 +24,7 @@ import (
 	"repro/internal/gmdb/schema"
 	"repro/internal/mme"
 	"repro/internal/perfsim"
+	"repro/internal/rebalance"
 	"repro/internal/tpcc"
 )
 
@@ -317,6 +318,52 @@ func BenchmarkEdgeSync(b *testing.B) {
 		b.ReportMetric(float64(res.SimTime)/float64(time.Millisecond), "sim-ms")
 		b.ReportMetric(float64(res.Bytes), "bytes")
 	})
+}
+
+// ---------------------------------------------------------------------------
+// E11 — online cluster expansion
+// ---------------------------------------------------------------------------
+
+// BenchmarkExpansion measures a live 2 -> 4 shard expansion of a loaded
+// TPC-C-like cluster: wall-clock per full rebalance, plus the migration
+// volume (buckets and rows moved). Queries stay online throughout; the
+// fibench "expand" experiment additionally measures throughput during the
+// migration window.
+func BenchmarkExpansion(b *testing.B) {
+	var moved, rows int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, err := core.Open(core.Options{DataNodes: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := tpcc.DefaultConfig(8, 0.9)
+		if err := tpcc.Load(db.Cluster(), cfg); err != nil {
+			b.Fatal(err)
+		}
+		before, err := db.Cluster().TableChecksum("customer")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		p, err := db.Expand(4, rebalance.Options{MaxConcurrentMoves: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		after, err := db.Cluster().TableChecksum("customer")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if after != before {
+			b.Fatalf("customer checksum changed: %+v -> %+v", before, after)
+		}
+		moved, rows = p.Moved, p.RowsCopied
+		db.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(moved), "buckets-moved")
+	b.ReportMetric(float64(rows), "rows-copied")
 }
 
 // ---------------------------------------------------------------------------

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand]
 //	        [-duration seconds]
 package main
 
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp")
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand")
 	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
 	flag.Parse()
 
@@ -44,9 +44,10 @@ func main() {
 	})
 	run("sync", func() error { experiments.EdgeSync(w, 6, 20); return nil })
 	run("mpp", func() error { return experiments.MPPExtensions(w) })
+	run("expand", func() error { return experiments.Expand(w, 300) })
 
 	switch *exp {
-	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp":
+	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand":
 	default:
 		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestBucketMapMatchesLegacyHashMod proves routing stability: whenever the
+// node count divides NumBuckets (every power-of-two cluster up to 256), the
+// bucket map places every key on exactly the node the old `hash % N` formula
+// chose, so data laid out before this refactor stays where queries look.
+func TestBucketMapMatchesLegacyHashMod(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		m, err := NewBucketMap(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 5000; k++ {
+			key := types.NewInt(int64(k))
+			legacy := int(types.Hash(key) % uint64(n))
+			if got := m.DNFor(key); got != legacy {
+				t.Fatalf("n=%d key=%d: bucket map routes to dn%d, legacy hash%%N to dn%d", n, k, got, legacy)
+			}
+		}
+		for k := 0; k < 1000; k++ {
+			key := types.NewString(fmt.Sprintf("key-%d", k))
+			legacy := int(types.Hash(key) % uint64(n))
+			if got := m.DNFor(key); got != legacy {
+				t.Fatalf("n=%d string key %d: got dn%d, want dn%d", n, k, got, legacy)
+			}
+		}
+	}
+}
+
+// TestPlanExpansionMinimalMovement checks the elasticity property: growing a
+// k-node cluster by one node moves at most ceil(NumBuckets/(k+1)) buckets,
+// and only the planned buckets change owner.
+func TestPlanExpansionMinimalMovement(t *testing.T) {
+	for k := 1; k <= 8; k++ {
+		m, err := NewBucketMap(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := m.Owners()
+		total := k + 1
+		moves := m.PlanExpansion(k, total)
+		ceil := (NumBuckets + total - 1) / total
+		if len(moves) > ceil {
+			t.Errorf("k=%d: plan moves %d buckets, max allowed ceil(256/%d)=%d", k, len(moves), total, ceil)
+		}
+		planned := map[int]bool{}
+		for _, b := range moves {
+			planned[b] = true
+		}
+		for _, b := range moves {
+			m.Set(b, k)
+		}
+		after := m.Owners()
+		for b := 0; b < NumBuckets; b++ {
+			if planned[b] {
+				if after[b] != k {
+					t.Errorf("k=%d bucket %d: planned but owned by dn%d", k, b, after[b])
+				}
+			} else if after[b] != before[b] {
+				t.Errorf("k=%d bucket %d: moved dn%d->dn%d without being planned", k, b, before[b], after[b])
+			}
+		}
+		// Applying the plan balances the map: bucket counts differ by <= 1.
+		counts := m.Counts(total)
+		mn, mx := counts[0], counts[0]
+		for _, n := range counts {
+			if n < mn {
+				mn = n
+			}
+			if n > mx {
+				mx = n
+			}
+		}
+		if mx-mn > 1 {
+			t.Errorf("k=%d: unbalanced after expansion, counts=%v", k, counts)
+		}
+	}
+}
+
+// TestPlanExpansionDeterministic: the same map yields the same plan, and
+// planning does not mutate the map.
+func TestPlanExpansionDeterministic(t *testing.T) {
+	m, err := NewBucketMap(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Owners()
+	p1 := m.PlanExpansion(3, 4)
+	p2 := m.PlanExpansion(3, 4)
+	if len(p1) != len(p2) {
+		t.Fatalf("plans differ in length: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("plans diverge at %d: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+	after := m.Owners()
+	for b := range before {
+		if before[b] != after[b] {
+			t.Fatalf("PlanExpansion mutated bucket %d", b)
+		}
+	}
+}

@@ -13,6 +13,12 @@
 // The "machines" are in-process: each data node owns an independent
 // transaction manager and storage partitions, and an optional per-hop
 // latency models the network.
+//
+// Routing goes through a fixed-size hash-bucket map (BucketMap) instead of
+// a direct hash % N, which is what makes online expansion possible:
+// AddDataNode registers new shards at runtime and MoveBucket migrates one
+// bucket of data with a copy / freeze / drain / delta / flip protocol (see
+// rebalance.go in this package, and internal/rebalance for orchestration).
 package cluster
 
 import (
@@ -53,7 +59,9 @@ func (m TxnMode) String() string {
 
 // Config configures a cluster.
 type Config struct {
-	// DataNodes is the number of shards (>= 1).
+	// DataNodes is the number of shards at creation (>= 1); AddDataNode can
+	// grow the cluster afterwards, so DataNodeCount is the authoritative
+	// live count.
 	DataNodes int
 	// Mode selects GTM-lite or baseline transaction management.
 	Mode TxnMode
@@ -69,16 +77,32 @@ type Config struct {
 	BaselineSnapshotsPerStatement int
 }
 
+// tableParts holds the per-DN partitions of one table; exactly one slice is
+// non-nil depending on the table's storage kind. The set is copy-on-write:
+// AddDataNode swaps in a grown set while in-flight statements keep reading
+// the one they loaded.
+type tableParts struct {
+	rows []*storage.Table
+	cols []*colstore.Table
+}
+
 // TableInfo is the coordinator's catalog entry for one table.
 type TableInfo struct {
 	Meta *plan.TableMeta
-	// rowParts/colParts hold the per-DN partitions; exactly one is non-nil
-	// depending on Meta.Storage.
-	rowParts []*storage.Table
-	colParts []*colstore.Table
+	// parts is the copy-on-write partition set (see tableParts).
+	parts atomic.Pointer[tableParts]
 	// replicated tables keep a full copy on every DN.
 	replicated bool
 }
+
+// rowParts returns the current row partitions (nil for columnar tables).
+func (ti *TableInfo) rowParts() []*storage.Table { return ti.parts.Load().rows }
+
+// colParts returns the current columnar partitions (nil for row tables).
+func (ti *TableInfo) colParts() []*colstore.Table { return ti.parts.Load().cols }
+
+// columnar reports whether the table uses columnar storage.
+func (ti *TableInfo) columnar() bool { return ti.parts.Load().cols != nil }
 
 // DataNode is one shared-nothing shard.
 type DataNode struct {
@@ -90,11 +114,38 @@ type DataNode struct {
 type Cluster struct {
 	cfg Config
 	gtm *gtm.GTM
-	dns []*DataNode
+	// dns is the live data-node set, copy-on-write so hot paths (routing,
+	// commit confirmations) read it without locks. Grown only by
+	// AddDataNode; existing entries are never replaced or removed.
+	dns atomic.Pointer[[]*DataNode]
 
 	mu       sync.RWMutex
 	tables   map[string]*TableInfo
 	virtuals map[string]*VirtualTable
+
+	// routeMu orders statements against routing changes: every statement
+	// holds the read side for its whole execution, so the bucket map it
+	// routes and filters with is immutable until the statement finishes.
+	// AddDataNode and bucket cutover (freeze / flip) take the write side
+	// briefly. Commit/abort paths deliberately take no route lock, so
+	// in-flight transactions can always settle while a cutover drains.
+	// Lock order: routeMu before mu.
+	routeMu sync.RWMutex
+	// bmap is the bucket -> data node routing map. Guarded by routeMu.
+	bmap *BucketMap
+	// frozen marks buckets in their cutover window: writes to them fail
+	// with ErrBucketMigrating instead of blocking. Guarded by routeMu.
+	frozen      [NumBuckets]bool
+	frozenCount int
+	// migrating claims buckets with an in-flight move. Guarded by routeMu.
+	migrating [NumBuckets]bool
+	// filterByBucket turns on per-row bucket-ownership filtering in every
+	// scan path. It is set (permanently) before the first bucket copy
+	// begins, so rows that exist on a shard whose bucket the map assigns
+	// elsewhere — half-copied or retired by a migration — are never
+	// visible. Until the first expansion scans skip the per-row hash
+	// entirely. Guarded by routeMu.
+	filterByBucket bool
 
 	// Learning optimizer (paper §II-C). Store is always present; the two
 	// flags make the before/after experiment (E6) togglable.
@@ -109,6 +160,16 @@ type Cluster struct {
 	// Hooks plugs in the multi-model table-function engines (§II-B);
 	// internal/multimodel installs them.
 	Hooks plan.Hooks
+
+	// MoveHook, when set, is called at named stages of a bucket move
+	// ("copied", "frozen", "flipped"). Test hook for failure injection;
+	// set it before starting any moves.
+	MoveHook func(stage string, bucket, target int)
+
+	// DrainTimeout bounds how long a bucket cutover (or node addition)
+	// waits for in-flight transactions to settle before giving up with a
+	// retryable error. 0 means the 5s default.
+	DrainTimeout time.Duration
 
 	// Coordinator-failure failpoints (test hooks; see the Failpoint*
 	// methods).
@@ -127,6 +188,10 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.BaselineSnapshotsPerStatement == 0 {
 		cfg.BaselineSnapshotsPerStatement = 1
 	}
+	bmap, err := NewBucketMap(cfg.DataNodes)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		gtm:       gtm.New(cfg.GTMServiceTime),
@@ -135,25 +200,35 @@ func New(cfg Config) (*Cluster, error) {
 		downNodes: map[int]bool{},
 		Store:     planstore.New(),
 		Clock:     time.Now,
+		bmap:      bmap,
 	}
+	nodes := make([]*DataNode, cfg.DataNodes)
 	for i := 0; i < cfg.DataNodes; i++ {
-		c.dns = append(c.dns, &DataNode{ID: i, Txm: txnkit.NewTxnManager()})
+		nodes[i] = &DataNode{ID: i, Txm: txnkit.NewTxnManager()}
 	}
+	c.dns.Store(&nodes)
 	return c, nil
 }
 
-// Config returns the cluster configuration.
+// Config returns the cluster configuration (DataNodes is the creation-time
+// count; see DataNodeCount for the live one).
 func (c *Cluster) Config() Config { return c.cfg }
 
 // GTMStats returns the GTM request counters (the Fig 3 bottleneck metric).
 func (c *Cluster) GTMStats() gtm.Stats { return c.gtm.Stats() }
 
+// nodes returns the live data-node set (immutable snapshot).
+func (c *Cluster) nodes() []*DataNode { return *c.dns.Load() }
+
+// node returns one data node by id.
+func (c *Cluster) node(id int) *DataNode { return (*c.dns.Load())[id] }
+
 // DataNodeCount returns the number of shards.
-func (c *Cluster) DataNodeCount() int { return len(c.dns) }
+func (c *Cluster) DataNodeCount() int { return len(c.nodes()) }
 
 // DataNodes exposes the shards for monitoring (autonomous housekeeping,
-// tests).
-func (c *Cluster) DataNodes() []*DataNode { return c.dns }
+// tests). The returned slice is an immutable snapshot.
+func (c *Cluster) DataNodes() []*DataNode { return c.nodes() }
 
 // hop models one network message.
 func (c *Cluster) hop() {
@@ -162,9 +237,88 @@ func (c *Cluster) hop() {
 	}
 }
 
-// shardFor routes a distribution-key datum to a data node.
+// shardFor routes a distribution-key datum to a data node through the
+// bucket map. Callers must hold routeMu (statements hold the read side for
+// their whole execution).
 func (c *Cluster) shardFor(key types.Datum) int {
-	return int(types.Hash(key) % uint64(len(c.dns)))
+	return c.bmap.dn[BucketOf(key)]
+}
+
+// writeTarget routes one row's distribution key for a write. Writes into a
+// bucket frozen for cutover fail with ErrBucketMigrating (retryable)
+// rather than block, so the cutover drain can never deadlock against a
+// stalled writer. Caller must hold routeMu.
+func (c *Cluster) writeTarget(key types.Datum) (int, error) {
+	b := BucketOf(key)
+	if c.frozenCount > 0 && c.frozen[b] {
+		return 0, fmt.Errorf("%w (bucket %d)", ErrBucketMigrating, b)
+	}
+	return c.bmap.dn[b], nil
+}
+
+// needsBucketFilter reports whether scans of ti must apply per-row bucket
+// ownership filtering. Caller must hold routeMu.
+func (c *Cluster) needsBucketFilter(ti *TableInfo) bool {
+	return c.filterByBucket && !ti.replicated && ti.Meta.DistKey >= 0
+}
+
+// ownershipFilter returns a predicate keeping only rows whose bucket the
+// routing map assigns to dnID. Scans apply it so rows a migration has
+// copied in (but not yet cut over) or retired (but not yet reaped) are
+// never visible — no duplicates, no torn buckets. It returns nil until the
+// first migration starts, keeping pre-expansion scans free of the per-row
+// hash. Caller must hold routeMu.
+func (c *Cluster) ownershipFilter(ti *TableInfo, dnID int) func(types.Row) bool {
+	if !c.needsBucketFilter(ti) {
+		return nil
+	}
+	dk := ti.Meta.DistKey
+	return func(r types.Row) bool { return c.bmap.dn[BucketOf(r[dk])] == dnID }
+}
+
+// victimGuard returns a per-row check for UPDATE/DELETE victim selection on
+// dnID: rows whose bucket is not owned by this partition are migration
+// phantoms (silently skipped), and rows in a bucket frozen for cutover fail
+// the statement with ErrBucketMigrating. nil until the first migration
+// starts. Caller must hold routeMu.
+func (c *Cluster) victimGuard(ti *TableInfo, dnID int) func(types.Row) (bool, error) {
+	if !c.needsBucketFilter(ti) {
+		return nil
+	}
+	dk := ti.Meta.DistKey
+	return func(r types.Row) (bool, error) {
+		b := BucketOf(r[dk])
+		if c.bmap.dn[b] != dnID {
+			return false, nil
+		}
+		if c.frozen[b] {
+			return false, fmt.Errorf("%w (bucket %d)", ErrBucketMigrating, b)
+		}
+		return true, nil
+	}
+}
+
+// BucketOwners returns a copy of the routing map (bucket -> data node id).
+func (c *Cluster) BucketOwners() []int {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	return c.bmap.Owners()
+}
+
+// RouteKey reports the data node a distribution-key datum currently routes
+// to (monitoring and tests).
+func (c *Cluster) RouteKey(key types.Datum) int {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	return c.bmap.DNFor(key)
+}
+
+// ExpansionPlan returns the buckets that should migrate to newDN to
+// rebalance the current map (see BucketMap.PlanExpansion).
+func (c *Cluster) ExpansionPlan(newDN int) []int {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	return c.bmap.PlanExpansion(newDN, c.DataNodeCount())
 }
 
 // VirtualTable is an engine-backed read-only table (the multi-model
@@ -270,13 +424,15 @@ func (c *Cluster) createTable(ct *sqlx.CreateTable) error {
 		},
 		replicated: replicated,
 	}
-	for _, dn := range c.dns {
+	parts := &tableParts{}
+	for _, dn := range c.nodes() {
 		if ct.Storage == sqlx.StorageColumn {
-			ti.colParts = append(ti.colParts, colstore.NewTable(key, schema, dn.Txm))
+			parts.cols = append(parts.cols, colstore.NewTable(key, schema, dn.Txm))
 		} else {
-			ti.rowParts = append(ti.rowParts, storage.NewTable(key, schema, pkCols, dn.Txm))
+			parts.rows = append(parts.rows, storage.NewTable(key, schema, pkCols, dn.Txm))
 		}
 	}
+	ti.parts.Store(parts)
 	c.tables[key] = ti
 	return nil
 }
@@ -303,11 +459,13 @@ func (c *Cluster) Analyze(table string) error {
 	if err != nil {
 		return err
 	}
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
 	var rows []types.Row
 	if ti.replicated {
 		rows = c.partitionRows(ti, 0, 0, nil)
 	} else {
-		for dnID := range c.dns {
+		for dnID := 0; dnID < c.DataNodeCount(); dnID++ {
 			rows = append(rows, c.partitionRows(ti, dnID, 0, nil)...)
 		}
 	}
@@ -316,23 +474,31 @@ func (c *Cluster) Analyze(table string) error {
 }
 
 // partitionRows reads all rows of one partition visible to a fresh local
-// snapshot (xid/snap may be overridden by passing snap != nil).
+// snapshot (xid/snap may be overridden by passing snap != nil), applying
+// the bucket-ownership filter so migrated-away or half-copied rows are
+// excluded. Callers must hold routeMu (or run quiesced).
 func (c *Cluster) partitionRows(ti *TableInfo, dnID int, xid txnkit.XID, snap *txnkit.Snapshot) []types.Row {
-	dn := c.dns[dnID]
+	dn := c.node(dnID)
 	if snap == nil {
 		s := dn.Txm.LocalSnapshot()
 		snap = &s
 	}
+	owns := c.ownershipFilter(ti, dnID)
 	var out []types.Row
-	if ti.colParts != nil {
-		ti.colParts[dnID].ScanRows(xid, snap, func(r types.Row) bool {
-			out = append(out, r)
+	parts := ti.parts.Load()
+	if parts.cols != nil {
+		parts.cols[dnID].ScanRows(xid, snap, func(r types.Row) bool {
+			if owns == nil || owns(r) {
+				out = append(out, r)
+			}
 			return true
 		})
 		return out
 	}
-	ti.rowParts[dnID].Scan(xid, snap, func(r types.Row) bool {
-		out = append(out, r.Clone())
+	parts.rows[dnID].Scan(xid, snap, func(r types.Row) bool {
+		if owns == nil || owns(r) {
+			out = append(out, r.Clone())
+		}
 		return true
 	})
 	return out
@@ -345,7 +511,7 @@ func (c *Cluster) partitionRows(ti *TableInfo, dnID int, xid txnkit.XID, snap *t
 // coordinator is gone) rolls the leg back — the presumed-abort rule.
 // It returns (committed, aborted) leg counts.
 func (c *Cluster) RecoverInDoubt() (committed, aborted int) {
-	for _, dn := range c.dns {
+	for _, dn := range c.nodes() {
 		for gxid, xid := range dn.Txm.PreparedGlobals() {
 			decidedCommit, known := c.gtm.Outcome(gxid)
 			switch {
@@ -389,7 +555,7 @@ func (c *Cluster) FailpointCrashBeforeGTMCommit(enable bool) {
 // node (the background housekeeping GTM-lite needs so LCOs stay small).
 func (c *Cluster) TruncateLCOs() {
 	horizon := c.gtm.OldestActive()
-	for _, dn := range c.dns {
+	for _, dn := range c.nodes() {
 		dn.Txm.TruncateLCO(horizon)
 	}
 }
@@ -403,7 +569,8 @@ var ErrNodeDown = errors.New("cluster: required data node is down")
 // that need the node's hash partitions fail with ErrNodeDown; writes to
 // replicated tables fail too (all copies must stay consistent). This is
 // the availability model of replicated dimension tables; per-shard standby
-// replication is documented as out of scope.
+// replication is documented as out of scope. Bucket moves touching a down
+// node abort with a retryable error and leave the bucket on its source.
 func (c *Cluster) SetDataNodeDown(id int, down bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -464,13 +631,14 @@ func (c *Cluster) BloatReport() map[string]BloatInfo {
 	defer c.mu.RUnlock()
 	out := map[string]BloatInfo{}
 	for name, ti := range c.tables {
-		if ti.rowParts == nil {
+		parts := ti.parts.Load()
+		if parts.rows == nil {
 			continue
 		}
 		var info BloatInfo
-		for dnID, part := range ti.rowParts {
+		for dnID, part := range parts.rows {
 			info.Versions += part.VersionCount()
-			snap := c.dns[dnID].Txm.LocalSnapshot()
+			snap := c.node(dnID).Txm.LocalSnapshot()
 			info.Visible += part.VisibleCount(0, &snap)
 		}
 		out[name] = info
@@ -482,7 +650,7 @@ func (c *Cluster) BloatReport() map[string]BloatInfo {
 // resolution across all data nodes.
 func (c *Cluster) InDoubtCount() int {
 	n := 0
-	for _, dn := range c.dns {
+	for _, dn := range c.nodes() {
 		n += len(dn.Txm.PreparedGlobals())
 	}
 	return n
@@ -494,8 +662,8 @@ func (c *Cluster) Vacuum() int {
 	defer c.mu.RUnlock()
 	total := 0
 	for _, ti := range c.tables {
-		for dnID, part := range ti.rowParts {
-			horizon := c.dns[dnID].Txm.LocalSnapshot().Xmin
+		for dnID, part := range ti.parts.Load().rows {
+			horizon := c.node(dnID).Txm.LocalSnapshot().Xmin
 			total += part.Vacuum(horizon)
 		}
 	}

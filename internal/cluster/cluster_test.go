@@ -56,8 +56,8 @@ func TestRowsSpreadAcrossShards(t *testing.T) {
 	}
 	nonEmpty := 0
 	total := 0
-	for dnID, part := range ti.rowParts {
-		snap := c.dns[dnID].Txm.LocalSnapshot()
+	for dnID, part := range ti.rowParts() {
+		snap := c.node(dnID).Txm.LocalSnapshot()
 		n := part.VisibleCount(0, &snap)
 		total += n
 		if n > 0 {
@@ -241,8 +241,8 @@ func TestReplicatedTable(t *testing.T) {
 	mustExec(t, s, "INSERT INTO dim VALUES (1, 'one'), (2, 'two')")
 	// Every DN holds a full copy.
 	ti, _ := c.tableInfo("dim")
-	for dnID, part := range ti.rowParts {
-		snap := c.dns[dnID].Txm.LocalSnapshot()
+	for dnID, part := range ti.rowParts() {
+		snap := c.node(dnID).Txm.LocalSnapshot()
 		if n := part.VisibleCount(0, &snap); n != 2 {
 			t.Errorf("dn%d has %d rows, want 2", dnID, n)
 		}
@@ -258,7 +258,7 @@ func TestReplicatedTable(t *testing.T) {
 	}
 	// Update applies to all copies.
 	mustExec(t, s, "UPDATE dim SET name = 'TWO' WHERE k = 2")
-	for dnID := range ti.rowParts {
+	for dnID := range ti.rowParts() {
 		rows := c.partitionRows(ti, dnID, 0, nil)
 		seen := false
 		for _, r := range rows {

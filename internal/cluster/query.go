@@ -56,12 +56,12 @@ func (a *stmtAccess) targetsFor(ti *TableInfo) []int {
 		if ids := a.s.c.liveNodes(a.t.sortedDNs()); len(ids) > 0 {
 			return ids[:1]
 		}
-		if live := a.s.c.liveNodes(allDNs(len(a.s.c.dns))); len(live) > 0 {
+		if live := a.s.c.liveNodes(allDNs(a.s.c.DataNodeCount())); len(live) > 0 {
 			return live[:1]
 		}
 		return []int{0} // nothing live: the scan will surface the error
 	}
-	return allDNs(len(a.s.c.dns))
+	return allDNs(a.s.c.DataNodeCount())
 }
 
 // Scan implements plan.Access.
@@ -93,15 +93,19 @@ func (a *stmtAccess) Scan(meta *plan.TableMeta) exec.Operator {
 				return
 			}
 			a.s.c.hop()
+			owns := a.s.c.ownershipFilter(ti, dnID)
 			counted := func(r types.Row) bool {
+				if owns != nil && !owns(r) {
+					return true // migration phantom: skip, keep scanning
+				}
 				a.rowsShipped++
 				return emit(r)
 			}
-			if ti.colParts != nil {
-				ti.colParts[dnID].ScanRows(xid, snap, counted)
+			if ti.columnar() {
+				ti.colParts()[dnID].ScanRows(xid, snap, counted)
 			} else {
 				stop := false
-				ti.rowParts[dnID].Scan(xid, snap, func(r types.Row) bool {
+				ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
 					if !counted(r.Clone()) {
 						stop = true
 						return false
@@ -136,9 +140,10 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 		}
 		// Vectorized fast path: columnar partition, no filter, and every
 		// expression a bare column reference -> aggregate directly over the
-		// decoded column vectors.
+		// decoded column vectors. Bucket-ownership filtering is per-row, so
+		// once a migration has started the row-at-a-time fallback runs.
 		var vp *vecPlan
-		if ti.colParts != nil && pred == nil {
+		if ti.columnar() && pred == nil && !a.s.c.needsBucketFilter(ti) {
 			vp, _ = buildVecPlan(meta.Schema.Len(), groupBy, aggs, out)
 		}
 		ctx := exec.NewCtx(a.s.c.Clock())
@@ -150,7 +155,7 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 				return
 			}
 			if vp != nil {
-				rows := runVectorizedPartialAgg(ti.colParts[dnID], xid, snap, vp)
+				rows := runVectorizedPartialAgg(ti.colParts()[dnID], xid, snap, vp)
 				a.s.c.hop()
 				for _, r := range rows {
 					a.rowsShipped++
@@ -163,13 +168,20 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 			// Partition-local pipeline: scan -> filter -> partial agg. All
 			// of it evaluates "on the data node"; only the aggregate's
 			// output crosses to the coordinator.
+			owns := a.s.c.ownershipFilter(ti, dnID)
 			var src exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
-				if ti.colParts != nil {
-					ti.colParts[dnID].ScanRows(xid, snap, emitRow)
+				emitOwned := func(r types.Row) bool {
+					if owns != nil && !owns(r) {
+						return true
+					}
+					return emitRow(r)
+				}
+				if ti.columnar() {
+					ti.colParts()[dnID].ScanRows(xid, snap, emitOwned)
 					return
 				}
-				ti.rowParts[dnID].Scan(xid, snap, func(r types.Row) bool {
-					return emitRow(r.Clone())
+				ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
+					return emitOwned(r.Clone())
 				})
 			})
 			if pred != nil {
@@ -345,7 +357,7 @@ func (s *Session) routeSelect(t *txn, sel *sqlx.Select, access *stmtAccess) []in
 	case unrouted || len(shards) == 0:
 		// Clear per-table routing: a scatter statement scans everything.
 		access.routed = map[string][]int{}
-		return allDNs(len(s.c.dns))
+		return allDNs(s.c.DataNodeCount())
 	default:
 		out := make([]int, 0, len(shards))
 		for sh := range shards {

@@ -1,0 +1,519 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/storage"
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// ErrRebalanceRetry wraps transient bucket-move failures (target or source
+// node down, drain timeout, concurrent move of the same bucket). The move
+// left the bucket on its source node and can simply be retried.
+var ErrRebalanceRetry = errors.New("cluster: bucket move interrupted; retry")
+
+// ErrBucketMigrating is returned to writers that hit a bucket inside its
+// cutover freeze window. The window is bounded by the drain plus one delta
+// application; clients retry the statement (the TPC-C driver counts these
+// as aborts, like write conflicts).
+var ErrBucketMigrating = errors.New("cluster: bucket is frozen for migration cutover; retry")
+
+const defaultDrainTimeout = 5 * time.Second
+
+func (c *Cluster) drainTimeout() time.Duration {
+	if c.DrainTimeout > 0 {
+		return c.DrainTimeout
+	}
+	return defaultDrainTimeout
+}
+
+// AddDataNode registers a fresh shard — its own transaction manager (and
+// therefore its own LCO) and empty partitions of every table — and returns
+// its id. Replicated tables are copied onto the new node under the route
+// barrier, so the new replica is complete before any statement can route to
+// it. The new node owns no buckets until MoveBucket assigns it some.
+func (c *Cluster) AddDataNode() (int, error) {
+	// The write side of routeMu is a barrier: no statement is in flight
+	// while we hold it, and none can start until we release it. Commit and
+	// abort paths take no route lock, so in-flight transactions can still
+	// settle — which is exactly what the replicated-table drain below
+	// waits for.
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	old := c.nodes()
+	id := len(old)
+	dn := &DataNode{ID: id, Txm: txnkit.NewTxnManager()}
+
+	// Uncommitted replicated-table writes would be missed by the snapshot
+	// copy below and could never reach the new replica afterwards. Wait for
+	// them to settle before changing anything; on timeout the cluster is
+	// untouched and the caller can retry.
+	deadline := time.Now().Add(c.drainTimeout())
+	for _, ti := range c.tables {
+		if !ti.replicated {
+			continue
+		}
+		src := c.firstLiveLocked(len(old))
+		if src < 0 {
+			return 0, fmt.Errorf("cluster: no live node to copy replicated table %q from: %w", ti.Meta.Name, ErrRebalanceRetry)
+		}
+		if err := waitSettled(ti.parts.Load(), src, nil, deadline); err != nil {
+			return 0, fmt.Errorf("cluster: replicated table %q: %w", ti.Meta.Name, err)
+		}
+	}
+
+	// Grow every table's partition set first: a reader may only see the new
+	// node once its partitions exist (len(parts) >= len(dns) always).
+	type undo struct {
+		ti  *TableInfo
+		old *tableParts
+	}
+	var undos []undo
+	rollback := func() {
+		for _, u := range undos {
+			u.ti.parts.Store(u.old)
+		}
+	}
+	for _, ti := range c.tables {
+		p := ti.parts.Load()
+		np := &tableParts{}
+		if p.cols != nil {
+			np.cols = append(append([]*colstore.Table(nil), p.cols...),
+				colstore.NewTable(ti.Meta.Name, ti.Meta.Schema, dn.Txm))
+		} else {
+			np.rows = append(append([]*storage.Table(nil), p.rows...),
+				storage.NewTable(ti.Meta.Name, ti.Meta.Schema, ti.Meta.PKCols, dn.Txm))
+		}
+		undos = append(undos, undo{ti, p})
+		ti.parts.Store(np)
+	}
+
+	// Materialize replicated tables on the new node before publishing it.
+	for _, ti := range c.tables {
+		if !ti.replicated {
+			continue
+		}
+		src := c.firstLiveLocked(len(old))
+		if err := c.copyReplica(ti, src, id, dn); err != nil {
+			rollback()
+			return 0, fmt.Errorf("cluster: copying replicated table %q to dn%d: %w", ti.Meta.Name, id, err)
+		}
+	}
+
+	grown := make([]*DataNode, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = dn
+	c.dns.Store(&grown)
+	return id, nil
+}
+
+// firstLiveLocked returns the lowest live node id < n, or -1. Caller holds
+// c.mu.
+func (c *Cluster) firstLiveLocked(n int) int {
+	for i := 0; i < n; i++ {
+		if !c.downNodes[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// copyReplica snapshots table ti on node src and inserts every visible row
+// into the (empty) partition on the new node in one local transaction.
+func (c *Cluster) copyReplica(ti *TableInfo, src, dst int, dstDN *DataNode) error {
+	rows := c.rawVisibleRows(ti, src, c.node(src), nil)
+	parts := ti.parts.Load()
+	xid := dstDN.Txm.Begin()
+	snap := dstDN.Txm.LocalSnapshot()
+	for _, r := range rows {
+		var err error
+		if parts.cols != nil {
+			err = parts.cols[dst].Insert(xid, r)
+		} else {
+			err = parts.rows[dst].Insert(xid, &snap, r)
+		}
+		if err != nil {
+			_ = dstDN.Txm.Abort(xid)
+			return err
+		}
+	}
+	return dstDN.Txm.Commit(xid)
+}
+
+// rawVisibleRows returns the rows of one partition visible to a fresh local
+// snapshot matching pred (nil = all), without the bucket-ownership filter —
+// the migration machinery needs to see copied-but-not-cut-over rows that
+// ordinary scans hide.
+func (c *Cluster) rawVisibleRows(ti *TableInfo, dnID int, dn *DataNode, pred func(types.Row) bool) []types.Row {
+	snap := dn.Txm.LocalSnapshot()
+	parts := ti.parts.Load()
+	var out []types.Row
+	if parts.cols != nil {
+		parts.cols[dnID].ScanRows(0, &snap, func(r types.Row) bool {
+			if pred == nil || pred(r) {
+				out = append(out, r)
+			}
+			return true
+		})
+		return out
+	}
+	parts.rows[dnID].Scan(0, &snap, func(r types.Row) bool {
+		if pred == nil || pred(r) {
+			out = append(out, r.Clone())
+		}
+		return true
+	})
+	return out
+}
+
+// waitSettled polls one partition until no version matching pred has an
+// active or prepared transaction stamp, or deadline passes.
+func waitSettled(parts *tableParts, dnID int, pred func(types.Row) bool, deadline time.Time) error {
+	for {
+		var n int
+		if parts.cols != nil {
+			n = parts.cols[dnID].UnsettledCount(pred)
+		} else {
+			n = parts.rows[dnID].UnsettledCount(pred)
+		}
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain timed out with %d unsettled versions on dn%d: %w", n, dnID, ErrRebalanceRetry)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// moveHook fires the test hook if installed.
+func (c *Cluster) moveHook(stage string, bucket, target int) {
+	if c.MoveHook != nil {
+		c.MoveHook(stage, bucket, target)
+	}
+}
+
+// MoveBucket migrates one hash bucket to the target data node while
+// statements keep flowing:
+//
+//  1. live copy — under a fresh GTM-lite (local) snapshot per table, sync
+//     the target's bucket contents to the source's (multiset diff, so a
+//     retried move never duplicates rows);
+//  2. freeze — writes to the bucket now fail retryably instead of
+//     blocking; reads keep hitting the source;
+//  3. drain — wait until no version in the bucket has an unsettled
+//     (active/prepared) transaction stamp, so the final snapshot is
+//     complete;
+//  4. delta — one more sync applies everything that landed during the
+//     copy;
+//  5. flip — reassign the bucket in the routing map and unfreeze, under
+//     the route barrier so no statement ever sees a half-flipped view;
+//  6. reap — physically drop the retired source rows (row storage;
+//     columnar partitions are append-only, their retired rows simply stay
+//     invisible behind the bucket-ownership filter).
+//
+// Failures (down nodes, drain timeout) abort the move with an error
+// wrapping ErrRebalanceRetry: the bucket stays on its source, copied rows
+// stay invisible on the target, and a retry is safe.
+func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
+	if bucket < 0 || bucket >= NumBuckets {
+		return 0, fmt.Errorf("cluster: bucket %d out of range [0,%d)", bucket, NumBuckets)
+	}
+	if target < 0 || target >= c.DataNodeCount() {
+		return 0, fmt.Errorf("cluster: move target dn%d does not exist", target)
+	}
+
+	// Claim the bucket and (permanently) enable bucket-ownership filtering.
+	// Taking the write lock here is also a barrier: once we proceed, no
+	// statement started under filterByBucket=false is still running, so
+	// every scan that could observe our copies filters them out.
+	c.routeMu.Lock()
+	source := c.bmap.dn[bucket]
+	if source == target {
+		c.routeMu.Unlock()
+		return 0, nil
+	}
+	if c.migrating[bucket] {
+		c.routeMu.Unlock()
+		return 0, fmt.Errorf("cluster: bucket %d move already in flight: %w", bucket, ErrRebalanceRetry)
+	}
+	c.migrating[bucket] = true
+	c.filterByBucket = true
+	c.routeMu.Unlock()
+
+	frozen := false
+	defer func() {
+		c.routeMu.Lock()
+		c.migrating[bucket] = false
+		if frozen {
+			c.frozen[bucket] = false
+			c.frozenCount--
+		}
+		c.routeMu.Unlock()
+	}()
+
+	tables := c.distributedTables()
+	srcDN, tgtDN := c.node(source), c.node(target)
+
+	fail := func(stage string, err error) (int, error) {
+		// Leave the map untouched; physically drop whatever the copy
+		// already landed on the target (row storage — harmless even if a
+		// concurrent retry re-copies, thanks to the multiset sync).
+		c.reapBucket(tables, target, bucket)
+		if errors.Is(err, ErrRebalanceRetry) {
+			return 0, fmt.Errorf("cluster: move bucket %d dn%d->dn%d failed at %s: %w", bucket, source, target, stage, err)
+		}
+		return 0, fmt.Errorf("cluster: move bucket %d dn%d->dn%d failed at %s: %v: %w", bucket, source, target, stage, err, ErrRebalanceRetry)
+	}
+
+	if c.nodeDown(source) || c.nodeDown(target) {
+		return fail("start", ErrNodeDown)
+	}
+
+	// Phase 1: live copy under traffic.
+	copied := 0
+	for _, ti := range tables {
+		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN)
+		if err != nil {
+			return fail("copy", err)
+		}
+		copied += n
+	}
+	c.moveHook("copied", bucket, target)
+	if c.nodeDown(source) || c.nodeDown(target) {
+		return fail("copy", ErrNodeDown)
+	}
+
+	// Phase 2: freeze the bucket.
+	c.routeMu.Lock()
+	c.frozen[bucket] = true
+	c.frozenCount++
+	c.routeMu.Unlock()
+	frozen = true
+	c.moveHook("frozen", bucket, target)
+
+	// Phase 3: drain in-flight transactions touching the bucket.
+	dk := func(ti *TableInfo) func(types.Row) bool {
+		col := ti.Meta.DistKey
+		return func(r types.Row) bool { return BucketOf(r[col]) == bucket }
+	}
+	deadline := time.Now().Add(c.drainTimeout())
+	for _, ti := range tables {
+		if err := waitSettled(ti.parts.Load(), source, dk(ti), deadline); err != nil {
+			return fail("drain", err)
+		}
+	}
+
+	// Phase 4: final delta while frozen.
+	if c.nodeDown(target) {
+		return fail("delta", ErrNodeDown)
+	}
+	for _, ti := range tables {
+		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN)
+		if err != nil {
+			return fail("delta", err)
+		}
+		copied += n
+	}
+
+	// Phase 5: flip the map and unfreeze atomically. The write lock waits
+	// out every in-flight statement, so none straddles the flip.
+	c.routeMu.Lock()
+	c.bmap.dn[bucket] = target
+	c.frozen[bucket] = false
+	c.frozenCount--
+	frozen = false
+	c.routeMu.Unlock()
+	c.moveHook("flipped", bucket, target)
+
+	// Phase 6: reap retired source rows. After the flip barrier no snapshot
+	// can reach them (new statements filter by ownership), so physical
+	// removal is safe.
+	c.reapBucket(tables, source, bucket)
+	return copied, nil
+}
+
+// distributedTables snapshots the hash-distributed stored tables.
+func (c *Cluster) distributedTables() []*TableInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*TableInfo
+	for _, ti := range c.tables {
+		if !ti.replicated && ti.Meta.DistKey >= 0 {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// reapBucket physically removes the bucket's rows from one node's row
+// partitions. Columnar partitions are append-only: their stale rows stay,
+// permanently invisible behind the bucket-ownership filter.
+func (c *Cluster) reapBucket(tables []*TableInfo, dnID, bucket int) {
+	for _, ti := range tables {
+		parts := ti.parts.Load()
+		if parts.rows == nil {
+			continue
+		}
+		col := ti.Meta.DistKey
+		parts.rows[dnID].Reap(func(r types.Row) bool { return BucketOf(r[col]) == bucket })
+	}
+}
+
+// syncBucketTable makes the target partition's bucket contents equal to the
+// source's, as of fresh local snapshots, inside one target-local
+// transaction. It is a multiset diff — deletes extra target rows first,
+// then inserts missing ones — which makes both the initial copy and the
+// post-freeze delta the same idempotent operation, and returns the number
+// of rows inserted.
+func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, srcDN, tgtDN *DataNode) (int, error) {
+	col := ti.Meta.DistKey
+	inBucket := func(r types.Row) bool { return BucketOf(r[col]) == bucket }
+	srcRows := c.rawVisibleRows(ti, source, srcDN, inBucket)
+	tgtRows := c.rawVisibleRows(ti, target, tgtDN, inBucket)
+
+	have := make(map[string]int, len(tgtRows))
+	for _, r := range tgtRows {
+		have[encodeRow(r)]++
+	}
+	var inserts []types.Row
+	for _, r := range srcRows {
+		k := encodeRow(r)
+		if have[k] > 0 {
+			have[k]--
+		} else {
+			inserts = append(inserts, r)
+		}
+	}
+	deletes := 0
+	for _, n := range have {
+		deletes += n
+	}
+	if len(inserts) == 0 && deletes == 0 {
+		return 0, nil
+	}
+
+	parts := ti.parts.Load()
+	if parts.cols != nil {
+		// Columnar tables are append-only (no SQL UPDATE/DELETE), so the
+		// target can never hold rows the source lost.
+		if deletes > 0 {
+			return 0, fmt.Errorf("cluster: columnar bucket sync found %d rows on target absent from source (table %q)", deletes, ti.Meta.Name)
+		}
+		xid := tgtDN.Txm.Begin()
+		for _, r := range inserts {
+			if err := parts.cols[target].Insert(xid, r); err != nil {
+				_ = tgtDN.Txm.Abort(xid)
+				return 0, err
+			}
+		}
+		return len(inserts), tgtDN.Txm.Commit(xid)
+	}
+
+	xid := tgtDN.Txm.Begin()
+	snap := tgtDN.Txm.LocalSnapshot()
+	if deletes > 0 {
+		// Delete before insert: an updated row shares its primary key with
+		// the stale copy, so the stale version must be stamped dead (by
+		// this same transaction) before the new version passes the PK
+		// uniqueness check.
+		if _, err := parts.rows[target].Delete(xid, &snap, func(r types.Row) bool {
+			if !inBucket(r) {
+				return false
+			}
+			k := encodeRow(r)
+			if have[k] > 0 {
+				have[k]--
+				return true
+			}
+			return false
+		}); err != nil {
+			_ = tgtDN.Txm.Abort(xid)
+			return 0, err
+		}
+	}
+	for _, r := range inserts {
+		if err := parts.rows[target].Insert(xid, &snap, r); err != nil {
+			_ = tgtDN.Txm.Abort(xid)
+			return 0, err
+		}
+	}
+	return len(inserts), tgtDN.Txm.Commit(xid)
+}
+
+// encodeRow serializes a row to a comparable key (kind-tagged so 1 and "1"
+// differ); used for multiset diffs and checksums.
+func encodeRow(r types.Row) string {
+	var b strings.Builder
+	for _, d := range r {
+		b.WriteByte(byte(d.Kind()))
+		b.WriteString(d.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// TableDigest is an order-independent summary of a table's visible
+// contents: the row count and a commutative sum of per-row hashes. Two
+// digests are equal iff the visible multisets of rows are equal (modulo
+// hash collisions).
+type TableDigest struct {
+	Rows int64
+	Sum  uint64
+}
+
+// TableChecksum digests the cluster-wide visible contents of a table under
+// fresh local snapshots. Distributed tables sum their owned rows across all
+// shards; replicated tables digest one live replica.
+func (c *Cluster) TableChecksum(name string) (TableDigest, error) {
+	ti, err := c.tableInfo(name)
+	if err != nil {
+		return TableDigest{}, err
+	}
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	var ids []int
+	if ti.replicated {
+		live := c.liveNodes(allDNs(c.DataNodeCount()))
+		if len(live) == 0 {
+			return TableDigest{}, ErrNodeDown
+		}
+		ids = live[:1]
+	} else {
+		ids = allDNs(c.DataNodeCount())
+	}
+	var d TableDigest
+	for _, dnID := range ids {
+		for _, r := range c.partitionRows(ti, dnID, 0, nil) {
+			h := fnv.New64a()
+			_, _ = h.Write([]byte(encodeRow(r)))
+			d.Rows++
+			d.Sum += h.Sum64()
+		}
+	}
+	return d, nil
+}
+
+// DNVisibleRows counts the owned, visible rows of a table on one shard
+// (route-coverage checks in tests and experiments).
+func (c *Cluster) DNVisibleRows(name string, dnID int) (int, error) {
+	ti, err := c.tableInfo(name)
+	if err != nil {
+		return 0, err
+	}
+	if dnID < 0 || dnID >= c.DataNodeCount() {
+		return 0, fmt.Errorf("cluster: dn%d does not exist", dnID)
+	}
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	return len(c.partitionRows(ti, dnID, 0, nil)), nil
+}

@@ -44,7 +44,7 @@ func TestRecoveryCommitsDecidedTransactions(t *testing.T) {
 
 	// The legs are in doubt: short-timeout readers hit the UPGRADE wait
 	// because the global snapshot says committed.
-	for _, dn := range c.dns {
+	for _, dn := range c.DataNodes() {
 		dn.Txm.UpgradeTimeout = 50 * time.Millisecond
 	}
 	committed, aborted := c.RecoverInDoubt()
@@ -94,7 +94,7 @@ func TestInDoubtBlocksReadersUntilRecovery(t *testing.T) {
 	// read half a transfer. After recovery the wait resolves instantly.
 	c, _ := setupTransfer(t)
 	crashCommit(t, c, true)
-	for _, dn := range c.dns {
+	for _, dn := range c.DataNodes() {
 		dn.Txm.UpgradeTimeout = 80 * time.Millisecond
 	}
 	s := c.NewSession()

@@ -75,7 +75,7 @@ func (t *txn) ensureGlobal() {
 	for dnID, xid := range t.xids {
 		// Registration failures can only happen on settled transactions,
 		// which cannot be in t.xids.
-		if err := t.c.dns[dnID].Txm.RegisterGlobal(xid, t.gxid); err != nil {
+		if err := t.c.node(dnID).Txm.RegisterGlobal(xid, t.gxid); err != nil {
 			panic(fmt.Sprintf("cluster: escalation failed: %v", err))
 		}
 	}
@@ -94,7 +94,7 @@ func (t *txn) touch(dnID int) txnkit.XID {
 	} else if len(t.xids) >= 1 {
 		t.ensureGlobal() // GTM-lite: second shard -> escalate
 	}
-	dn := t.c.dns[dnID]
+	dn := t.c.node(dnID)
 	var xid txnkit.XID
 	if t.global {
 		xid = dn.Txm.BeginGlobal(t.gxid)
@@ -142,7 +142,7 @@ func (t *txn) refreshGlobalSnapshot() {
 // local snapshot on the GTM-lite fast path, a merged snapshot (Algorithm 1)
 // when the transaction is global.
 func (t *txn) snapshotFor(dnID int) (*txnkit.Snapshot, error) {
-	dn := t.c.dns[dnID]
+	dn := t.c.node(dnID)
 	if !t.global {
 		s := dn.Txm.LocalSnapshot()
 		return &s, nil
@@ -170,7 +170,7 @@ func (t *txn) commit() error {
 		// GTM-lite single-shard fast path: no GTM, no 2PC.
 		for _, dnID := range ids {
 			t.c.hop()
-			if err := t.c.dns[dnID].Txm.Commit(t.xids[dnID]); err != nil {
+			if err := t.c.node(dnID).Txm.Commit(t.xids[dnID]); err != nil {
 				return err
 			}
 		}
@@ -179,7 +179,7 @@ func (t *txn) commit() error {
 	// Phase 1: prepare every leg.
 	for _, dnID := range ids {
 		t.c.hop()
-		if err := t.c.dns[dnID].Txm.Prepare(t.xids[dnID]); err != nil {
+		if err := t.c.node(dnID).Txm.Prepare(t.xids[dnID]); err != nil {
 			t.abortLocked()
 			return fmt.Errorf("cluster: prepare failed on dn%d: %w", dnID, err)
 		}
@@ -201,7 +201,7 @@ func (t *txn) commit() error {
 	// Phase 2: commit confirmations to data nodes.
 	for _, dnID := range ids {
 		t.c.hop()
-		if err := t.c.dns[dnID].Txm.Commit(t.xids[dnID]); err != nil {
+		if err := t.c.node(dnID).Txm.Commit(t.xids[dnID]); err != nil {
 			return err
 		}
 	}
@@ -222,7 +222,7 @@ func (t *txn) abortLocked() {
 		t.c.hop()
 		// Abort errors (already settled) are unreachable through the
 		// session API; ignore defensively.
-		_ = t.c.dns[dnID].Txm.Abort(xid)
+		_ = t.c.node(dnID).Txm.Abort(xid)
 	}
 	if t.global {
 		t.c.hop()
@@ -325,6 +325,11 @@ func (s *Session) execInTxn(stmt sqlx.Statement) (*Result, error) {
 }
 
 func (s *Session) execStatement(t *txn, stmt sqlx.Statement) (*Result, error) {
+	// Pin the routing view: the bucket map (and freeze set) cannot change
+	// while this statement runs, so every row it touches routes and filters
+	// consistently. Commit/abort run outside the pin.
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
 	switch st := stmt.(type) {
 	case *sqlx.Insert:
 		return s.execInsert(t, st)
@@ -349,6 +354,8 @@ func (s *Session) execExplain(ex *sqlx.Explain) (*Result, error) {
 		t = s.newTxn()
 		defer t.abort()
 	}
+	s.c.routeMu.RLock()
+	defer s.c.routeMu.RUnlock()
 	p, access, err := s.planSelect(t, sel)
 	if err != nil {
 		return nil, err
@@ -468,9 +475,13 @@ func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
 		}
 		var targets []int
 		if ti.replicated {
-			targets = allDNs(len(s.c.dns))
+			targets = allDNs(s.c.DataNodeCount())
 		} else {
-			targets = []int{s.c.shardFor(full[ti.Meta.DistKey])}
+			dnID, err := s.c.writeTarget(full[ti.Meta.DistKey])
+			if err != nil {
+				return nil, err
+			}
+			targets = []int{dnID}
 		}
 		if err := s.c.requireLive(targets); err != nil {
 			return nil, err
@@ -483,10 +494,10 @@ func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
 				return nil, err
 			}
 			s.c.hop()
-			if ti.colParts != nil {
-				err = ti.colParts[dnID].Insert(xid, full)
+			if ti.columnar() {
+				err = ti.colParts()[dnID].Insert(xid, full)
 			} else {
-				err = ti.rowParts[dnID].Insert(xid, snap, full)
+				err = ti.rowParts()[dnID].Insert(xid, snap, full)
 			}
 			if err != nil {
 				return nil, err
@@ -509,13 +520,13 @@ func allDNs(n int) []int {
 // the given WHERE clause.
 func (s *Session) routeWrite(ti *TableInfo, where sqlx.Expr) []int {
 	if ti.replicated {
-		return allDNs(len(s.c.dns))
+		return allDNs(s.c.DataNodeCount())
 	}
 	scope := plan.TableScope(ti.Meta, shortAlias(ti.Meta.Name))
 	if shard, ok := routeByDistKey(s.c, ti, scope, where); ok {
 		return []int{shard}
 	}
-	return allDNs(len(s.c.dns))
+	return allDNs(s.c.DataNodeCount())
 }
 
 // routeByDistKey looks for a top-level `distkey = <literal>` conjunct.
@@ -564,7 +575,7 @@ func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ti.colParts != nil {
+	if ti.columnar() {
 		return nil, fmt.Errorf("cluster: UPDATE is not supported on columnar table %q (use row storage)", up.Table)
 	}
 	pl := s.planner(t)
@@ -612,8 +623,19 @@ func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
 		}
 		s.c.hop()
 		var evalErr error
-		n, err := ti.rowParts[dnID].Update(xid, snap,
+		guard := s.c.victimGuard(ti, dnID)
+		n, err := ti.rowParts()[dnID].Update(xid, snap,
 			func(r types.Row) bool {
+				if guard != nil {
+					ok, err := guard(r)
+					if err != nil {
+						evalErr = err
+						return false
+					}
+					if !ok {
+						return false
+					}
+				}
 				if pred == nil {
 					return true
 				}
@@ -654,7 +676,7 @@ func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ti.colParts != nil {
+	if ti.columnar() {
 		return nil, fmt.Errorf("cluster: DELETE is not supported on columnar table %q (use row storage)", del.Table)
 	}
 	pl := s.planner(t)
@@ -681,7 +703,18 @@ func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
 		}
 		s.c.hop()
 		var evalErr error
-		n, err := ti.rowParts[dnID].Delete(xid, snap, func(r types.Row) bool {
+		guard := s.c.victimGuard(ti, dnID)
+		n, err := ti.rowParts()[dnID].Delete(xid, snap, func(r types.Row) bool {
+			if guard != nil {
+				ok, err := guard(r)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !ok {
+					return false
+				}
+			}
 			if pred == nil {
 				return true
 			}

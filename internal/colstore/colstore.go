@@ -567,6 +567,51 @@ func (t *Table) ScanRows(xid txnkit.XID, snap *txnkit.Snapshot, fn func(types.Ro
 	})
 }
 
+// rowAt materializes one segment row (slow path; used only for the rare
+// unsettled rows UnsettledCount must inspect).
+func (s *Segment) rowAt(schema *types.Schema, i int) types.Row {
+	out := make(types.Row, len(s.cols))
+	var vec Vector
+	for c := range s.cols {
+		s.decode(c, i, i+1, &vec)
+		out[c] = vec.DatumAt(0)
+	}
+	return out
+}
+
+// UnsettledCount counts rows matching pred (nil = all) whose insert stamp
+// belongs to a transaction that is still active or prepared. Columnar tables
+// are append-only, so insert stamps are the only stamps to settle. The
+// rebalancer polls this to zero before taking a bucket's final delta.
+func (t *Table) UnsettledCount(pred func(types.Row) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	unsettled := func(x txnkit.XID) bool {
+		st := t.txm.Status(x)
+		return st == txnkit.StatusActive || st == txnkit.StatusPrepared
+	}
+	n := 0
+	for _, seg := range t.segments {
+		for i, x := range seg.xmins {
+			if !unsettled(x) {
+				continue
+			}
+			if pred == nil || pred(seg.rowAt(t.schema, i)) {
+				n++
+			}
+		}
+	}
+	for i, x := range t.bufXmins {
+		if !unsettled(x) {
+			continue
+		}
+		if pred == nil || pred(t.buf[i]) {
+			n++
+		}
+	}
+	return n
+}
+
 // VisibleCount counts rows visible to (xid, snap).
 func (t *Table) VisibleCount(xid txnkit.XID, snap *txnkit.Snapshot) int {
 	n := 0

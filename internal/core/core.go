@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/multimodel"
 	"repro/internal/planstore"
+	"repro/internal/rebalance"
 	"repro/internal/spatial"
 	"repro/internal/tseries"
 )
@@ -159,3 +160,17 @@ func (db *DB) SetLearning(capture, use bool) {
 // GTMRequests reports the total number of GTM requests served — the Fig 3
 // bottleneck metric.
 func (db *DB) GTMRequests() int64 { return db.cluster.GTMStats().Total() }
+
+// AddDataNode registers a fresh shard at runtime and returns its id. The
+// new node serves replicated tables immediately but owns no hash buckets
+// until a rebalance (see Expand) migrates some onto it.
+func (db *DB) AddDataNode() (int, error) { return db.cluster.AddDataNode() }
+
+// Expand grows the cluster to total shards and rebalances hash buckets onto
+// the new nodes while queries and transactions keep running — the paper's
+// MPP elasticity story. It returns the rebalance progress counters.
+func (db *DB) Expand(total int, opt rebalance.Options) (rebalance.Progress, error) {
+	r := rebalance.New(db.cluster, opt)
+	err := r.ExpandTo(total)
+	return r.Progress(), err
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md's experiment index E1–E10). cmd/fibench is a
+// evaluation (see DESIGN.md's experiment index E1–E12). cmd/fibench is a
 // thin CLI over these functions and bench_test.go wraps them as Go
 // benchmarks; both print the same tables.
 package experiments
@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"time"
 
+	"repro/internal/autonomous"
 	"repro/internal/benchfmt"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/gmdb/schema"
 	"repro/internal/mme"
 	"repro/internal/perfsim"
+	"repro/internal/rebalance"
 	"repro/internal/tpcc"
 )
 
@@ -424,7 +427,128 @@ func EdgeSync(w io.Writer, devices, keysPerDevice int) {
 		})
 }
 
-// MPPExtensions (E11) prints the exchange-volume and vectorized-execution
+// Expand (E11) measures online cluster expansion: TPC-C-like traffic runs
+// before, during and after a live 2 -> 4 shard rebalance, with per-table
+// checksum verification, the rebalance counters, and the resulting data
+// spread across shards.
+func Expand(w io.Writer, txnsPerPhase int) error {
+	c, err := cluster.New(cluster.Config{DataNodes: 2, Mode: cluster.ModeGTMLite})
+	if err != nil {
+		return err
+	}
+	cfg := tpcc.DefaultConfig(8, 0.9)
+	if err := tpcc.Load(c, cfg); err != nil {
+		return err
+	}
+	// item is the only table TPC-C never writes, so its checksum must come
+	// through the migration bit-identical; the mutated fixed-cardinality
+	// tables must at least keep their exact row counts.
+	fixed := []string{"warehouse", "district", "customer", "stock"}
+	beforeCounts := map[string]cluster.TableDigest{}
+	for _, tb := range fixed {
+		d, err := c.TableChecksum(tb)
+		if err != nil {
+			return err
+		}
+		beforeCounts[tb] = d
+	}
+	itemBefore, err := c.TableChecksum("item")
+	if err != nil {
+		return err
+	}
+
+	var rows [][]string
+	drv := tpcc.NewDriver(c, cfg, 1)
+	phase := func(name string, run func() error) error {
+		pre := drv.Stats
+		start := time.Now()
+		if err := run(); err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+		committed := drv.Stats.Committed - pre.Committed
+		aborted := drv.Stats.Aborted - pre.Aborted
+		rows = append(rows, []string{
+			name,
+			benchfmt.F(float64(committed) / elapsed),
+			fmt.Sprintf("%d", committed),
+			fmt.Sprintf("%d", aborted),
+			fmt.Sprintf("%d", c.DataNodeCount()),
+		})
+		return nil
+	}
+
+	if err := phase("before", func() error { return drv.Run(txnsPerPhase) }); err != nil {
+		return err
+	}
+
+	// Expansion in the background; the driver keeps issuing transactions
+	// until the last bucket flips. Migration-window aborts (frozen buckets)
+	// land in the aborted column — that is the cost of staying online.
+	store := autonomous.NewInfoStore(nil)
+	r := rebalance.New(c, rebalance.Options{MaxConcurrentMoves: 2, Metrics: store})
+	var expErr error
+	if err := phase("during expansion", func() error {
+		done := make(chan struct{})
+		go func() {
+			expErr = r.ExpandTo(4)
+			close(done)
+		}()
+		for {
+			select {
+			case <-done:
+				return nil
+			default:
+				if err := drv.RunOne(); err != nil {
+					return err
+				}
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if expErr != nil {
+		return expErr
+	}
+
+	if err := phase("after", func() error { return drv.Run(txnsPerPhase) }); err != nil {
+		return err
+	}
+
+	verified := "OK"
+	if d, err := c.TableChecksum("item"); err != nil {
+		return err
+	} else if d != itemBefore {
+		verified = "item checksum MISMATCH"
+	}
+	for _, tb := range fixed {
+		d, err := c.TableChecksum(tb)
+		if err != nil {
+			return err
+		}
+		if d.Rows != beforeCounts[tb].Rows {
+			verified = fmt.Sprintf("%s row count changed %d -> %d", tb, beforeCounts[tb].Rows, d.Rows)
+			break
+		}
+	}
+	p := r.Progress()
+	owned := make([]int, c.DataNodeCount())
+	for _, dn := range c.BucketOwners() {
+		owned[dn]++
+	}
+	var spread []string
+	for dn, n := range owned {
+		spread = append(spread, fmt.Sprintf("dn%d=%d", dn, n))
+	}
+	benchfmt.Table(w, "Online expansion 2 -> 4 shards under TPC-C-like load (E11)",
+		[]string{"phase", "txn/s", "committed", "aborted", "shards"}, rows)
+	fmt.Fprintf(w, "buckets moved %d/%d, rows copied %d, retries %d, data verification %s\n",
+		p.Moved, p.Planned, p.RowsCopied, p.Retries, verified)
+	fmt.Fprintf(w, "hash buckets per shard: %s\n\n", strings.Join(spread, " "))
+	return nil
+}
+
+// MPPExtensions (E12) prints the exchange-volume and vectorized-execution
 // ablations on the live engine.
 func MPPExtensions(w io.Writer) error {
 	db, err := core.Open(core.Options{DataNodes: 4})
@@ -472,7 +596,7 @@ func MPPExtensions(w io.Writer) error {
 			time.Since(start).Round(time.Microsecond).String(),
 		})
 	}
-	benchfmt.Table(w, "MPP extensions — two-phase & vectorized aggregation over 10k rows @4 shards (E11)",
+	benchfmt.Table(w, "MPP extensions — two-phase & vectorized aggregation over 10k rows @4 shards (E12)",
 		[]string{"plan shape", "rows shipped to CN", "result rows", "latency"}, rows)
 	return nil
 }

@@ -1,0 +1,198 @@
+// Package rebalance orchestrates online cluster expansion: it drives the
+// per-bucket migration primitive of internal/cluster (copy / freeze / drain
+// / delta / flip) across a whole expansion plan with a bounded worker pool,
+// per-move retries, optional throttling, and progress metrics.
+//
+// The paper's FI-MPPDB is a shared-nothing MPP cluster whose elasticity
+// story is exactly this: add data nodes, then migrate hash buckets to them
+// in the background while transactions keep flowing.
+package rebalance
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Metrics receives rebalance observability samples. *autonomous.InfoStore
+// satisfies it, so the autopilot can watch expansions.
+type Metrics interface {
+	Record(metric string, value float64)
+}
+
+// Options tunes a Rebalancer.
+type Options struct {
+	// MaxConcurrentMoves bounds in-flight bucket moves (default 4). Each
+	// move briefly freezes one bucket, so this is the blast-radius knob.
+	MaxConcurrentMoves int
+	// Throttle sleeps between finishing one move and starting the next on
+	// each worker (0 = full speed), bounding migration I/O pressure.
+	Throttle time.Duration
+	// MaxRetries re-runs a bucket move that failed retryably — target or
+	// source down, drain timeout — this many times (default 3).
+	MaxRetries int
+	// RetryBackoff sleeps before each retry (default 10ms).
+	RetryBackoff time.Duration
+	// Metrics, when set, receives rebalance.buckets_moved,
+	// rebalance.rows_copied (cumulative counts) and rebalance.move_ms
+	// (per-move latency).
+	Metrics Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrentMoves <= 0 {
+		o.MaxConcurrentMoves = 4
+	}
+	if o.MaxRetries <= 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 10 * time.Millisecond
+	}
+	return o
+}
+
+// Move is one planned bucket migration.
+type Move struct {
+	Bucket int
+	Target int
+}
+
+// Progress is a point-in-time snapshot of a rebalance.
+type Progress struct {
+	// Planned counts buckets submitted for migration.
+	Planned int
+	// Moved counts buckets whose cutover committed.
+	Moved int
+	// Failed counts buckets given up on after MaxRetries.
+	Failed int
+	// RowsCopied totals rows shipped to targets (copy + delta phases).
+	RowsCopied int
+	// Retries counts extra attempts spent on retryable failures.
+	Retries int
+}
+
+// Rebalancer migrates buckets on a cluster.
+type Rebalancer struct {
+	c   *cluster.Cluster
+	opt Options
+
+	mu   sync.Mutex
+	prog Progress
+}
+
+// New builds a Rebalancer.
+func New(c *cluster.Cluster, opt Options) *Rebalancer {
+	return &Rebalancer{c: c, opt: opt.withDefaults()}
+}
+
+// Progress returns the current counters.
+func (r *Rebalancer) Progress() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.prog
+}
+
+func (r *Rebalancer) record(metric string, v float64) {
+	if r.opt.Metrics != nil {
+		r.opt.Metrics.Record(metric, v)
+	}
+}
+
+// MoveBuckets runs the given moves through a worker pool, retrying each
+// retryable failure up to MaxRetries times. It returns the joined errors of
+// buckets that never made it; nil means every bucket migrated.
+func (r *Rebalancer) MoveBuckets(moves []Move) error {
+	r.mu.Lock()
+	r.prog.Planned += len(moves)
+	r.mu.Unlock()
+
+	work := make(chan Move)
+	errCh := make(chan error, len(moves))
+	var wg sync.WaitGroup
+	for w := 0; w < r.opt.MaxConcurrentMoves; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for mv := range work {
+				errCh <- r.moveOne(mv)
+				if r.opt.Throttle > 0 {
+					time.Sleep(r.opt.Throttle)
+				}
+			}
+		}()
+	}
+	for _, mv := range moves {
+		work <- mv
+	}
+	close(work)
+	wg.Wait()
+	close(errCh)
+
+	var errs []error
+	for err := range errCh {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// moveOne migrates one bucket with retries.
+func (r *Rebalancer) moveOne(mv Move) error {
+	var lastErr error
+	for attempt := 0; attempt <= r.opt.MaxRetries; attempt++ {
+		if attempt > 0 {
+			r.mu.Lock()
+			r.prog.Retries++
+			r.mu.Unlock()
+			time.Sleep(r.opt.RetryBackoff)
+		}
+		start := time.Now()
+		rows, err := r.c.MoveBucket(mv.Bucket, mv.Target)
+		if err == nil {
+			r.mu.Lock()
+			r.prog.Moved++
+			r.prog.RowsCopied += rows
+			moved, copied := r.prog.Moved, r.prog.RowsCopied
+			r.mu.Unlock()
+			r.record("rebalance.buckets_moved", float64(moved))
+			r.record("rebalance.rows_copied", float64(copied))
+			r.record("rebalance.move_ms", float64(time.Since(start).Microseconds())/1000)
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, cluster.ErrRebalanceRetry) {
+			break // non-retryable: bad bucket/target, plan bug
+		}
+	}
+	r.mu.Lock()
+	r.prog.Failed++
+	r.mu.Unlock()
+	return fmt.Errorf("rebalance: bucket %d -> dn%d: %w", mv.Bucket, mv.Target, lastErr)
+}
+
+// ExpandTo grows the cluster to total data nodes, adding one node at a time
+// and rebalancing its fair share of buckets onto it before adding the next.
+// Data keeps serving throughout; on error the routing map reflects exactly
+// the moves that committed.
+func (r *Rebalancer) ExpandTo(total int) error {
+	for r.c.DataNodeCount() < total {
+		id, err := r.c.AddDataNode()
+		if err != nil {
+			return fmt.Errorf("rebalance: adding node %d: %w", r.c.DataNodeCount(), err)
+		}
+		plan := r.c.ExpansionPlan(id)
+		moves := make([]Move, len(plan))
+		for i, b := range plan {
+			moves[i] = Move{Bucket: b, Target: id}
+		}
+		if err := r.MoveBuckets(moves); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package rebalance
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/autonomous"
+	"repro/internal/cluster"
+	"repro/internal/tpcc"
+)
+
+func newCluster(t *testing.T, dns int) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{DataNodes: dns, Mode: cluster.ModeGTMLite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func checksum(t *testing.T, c *cluster.Cluster, table string) cluster.TableDigest {
+	t.Helper()
+	d, err := c.TableChecksum(table)
+	if err != nil {
+		t.Fatalf("TableChecksum(%s): %v", table, err)
+	}
+	return d
+}
+
+func count(t *testing.T, c *cluster.Cluster, table string) int64 {
+	t.Helper()
+	res, err := c.NewSession().Exec("SELECT count(*) FROM " + table)
+	if err != nil {
+		t.Fatalf("count %s: %v", table, err)
+	}
+	return res.Rows[0][0].Int()
+}
+
+// TestExpandToRebalances: growing 2 -> 4 shards moves data without changing
+// any table's contents, balances the bucket map, and reports progress and
+// metrics into the autonomous information store.
+func TestExpandToRebalances(t *testing.T) {
+	c := newCluster(t, 2)
+	s := c.NewSession()
+	if _, err := s.Exec("CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i*3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := checksum(t, c, "kv")
+
+	store := autonomous.NewInfoStore(nil)
+	r := New(c, Options{MaxConcurrentMoves: 4, Metrics: store})
+	if err := r.ExpandTo(4); err != nil {
+		t.Fatal(err)
+	}
+	if c.DataNodeCount() != 4 {
+		t.Fatalf("DataNodeCount = %d, want 4", c.DataNodeCount())
+	}
+	if after := checksum(t, c, "kv"); after != before {
+		t.Fatalf("checksum changed: %+v -> %+v", before, after)
+	}
+
+	// Every shard owns a reasonable share of the 256 buckets.
+	counts := make([]int, 4)
+	for _, dn := range c.BucketOwners() {
+		counts[dn]++
+	}
+	for dn, n := range counts {
+		if n < cluster.NumBuckets/4-1 || n > cluster.NumBuckets/4+1 {
+			t.Errorf("dn%d owns %d buckets, want ~%d", dn, n, cluster.NumBuckets/4)
+		}
+	}
+	// Data landed on every shard.
+	for dn := 0; dn < 4; dn++ {
+		if n, err := c.DNVisibleRows("kv", dn); err != nil || n == 0 {
+			t.Errorf("dn%d holds %d rows (err %v)", dn, n, err)
+		}
+	}
+
+	p := r.Progress()
+	if p.Moved == 0 || p.Moved != p.Planned || p.Failed != 0 {
+		t.Errorf("progress = %+v", p)
+	}
+	// Half the buckets migrate in a 2 -> 4 expansion, so roughly half the
+	// 500 rows should have shipped.
+	if p.RowsCopied < 150 {
+		t.Errorf("RowsCopied = %d, want roughly half of the 500 rows", p.RowsCopied)
+	}
+	if v, ok := store.Last("rebalance.buckets_moved"); !ok || int(v) != p.Moved {
+		t.Errorf("buckets_moved metric = %v (ok=%v), want %d", v, ok, p.Moved)
+	}
+	if v, ok := store.Last("rebalance.rows_copied"); !ok || int(v) != p.RowsCopied {
+		t.Errorf("rows_copied metric = %v (ok=%v), want %d", v, ok, p.RowsCopied)
+	}
+	if _, ok := store.Last("rebalance.move_ms"); !ok {
+		t.Error("no move latency samples recorded")
+	}
+}
+
+// TestExpansionUnderLoad is the acceptance test for online expansion: TPC-C
+// style traffic (including multi-shard transactions) runs concurrently with
+// a full 2 -> 4 shard expansion. Afterwards every invariant must hold, table
+// growth must reconcile exactly with committed transactions, and queries
+// must route to all four shards. Run with -race in CI.
+func TestExpansionUnderLoad(t *testing.T) {
+	c := newCluster(t, 2)
+	cfg := tpcc.DefaultConfig(8, 0.9) // 10% multi-shard transactions
+	if err := tpcc.Load(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	staticTables := []string{"warehouse", "district", "customer", "stock", "item"}
+	staticCounts := map[string]int64{}
+	for _, tb := range staticTables {
+		staticCounts[tb] = count(t, c, tb)
+	}
+	ordersBefore := count(t, c, "orders")
+	linesBefore := count(t, c, "order_line")
+
+	// Drivers hammer the cluster until the expansion finishes.
+	const nDrivers = 4
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	drivers := make([]*tpcc.Driver, nDrivers)
+	for i := range drivers {
+		drivers[i] = tpcc.NewDriver(c, cfg, int64(i+1))
+	}
+	for _, d := range drivers {
+		wg.Add(1)
+		go func(d *tpcc.Driver) {
+			defer wg.Done()
+			for !stop.Load() {
+				if err := d.RunOne(); err != nil {
+					t.Errorf("driver: %v", err)
+					return
+				}
+			}
+		}(d)
+	}
+
+	r := New(c, Options{MaxConcurrentMoves: 2})
+	err := r.ExpandTo(4)
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("ExpandTo under load: %v", err)
+	}
+	if p := r.Progress(); p.Failed != 0 || p.Moved != p.Planned {
+		t.Fatalf("progress = %+v", p)
+	}
+
+	// Global consistency: money conservation and order-line integrity.
+	if err := tpcc.CheckInvariants(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// No lost or duplicated rows: static tables kept their exact row counts,
+	// and growth tables grew by exactly the committed transaction output.
+	for _, tb := range staticTables {
+		if n := count(t, c, tb); n != staticCounts[tb] {
+			t.Errorf("%s: %d rows after expansion, want %d", tb, n, staticCounts[tb])
+		}
+	}
+	var newOrders, newLines int64
+	for _, d := range drivers {
+		newOrders += d.Stats.NewOrders
+		newLines += d.Stats.OrderLines
+	}
+	if n := count(t, c, "orders"); n != ordersBefore+newOrders {
+		t.Errorf("orders = %d, want %d + %d committed", n, ordersBefore, newOrders)
+	}
+	if n := count(t, c, "order_line"); n != linesBefore+newLines {
+		t.Errorf("order_line = %d, want %d + %d committed", n, linesBefore, newLines)
+	}
+
+	// Post-expansion routing reaches all 4 shards. TPC-C has only 8 distinct
+	// warehouse keys, so prove coverage with the bucket map plus a synthetic
+	// wide key range.
+	owned := make([]int, 4)
+	for _, dn := range c.BucketOwners() {
+		owned[dn]++
+	}
+	for dn, n := range owned {
+		if n == 0 {
+			t.Errorf("dn%d owns no buckets after expansion", dn)
+		}
+	}
+	s := c.NewSession()
+	if _, err := s.Exec("CREATE TABLE coverage (k BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO coverage VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for dn := 0; dn < 4; dn++ {
+		if n, err := c.DNVisibleRows("coverage", dn); err != nil || n == 0 {
+			t.Errorf("post-expansion writes skip dn%d (rows=%d err=%v)", dn, n, err)
+		}
+	}
+
+	// Sanity: the workload really exercised both transaction classes.
+	var committed, multi int64
+	for _, d := range drivers {
+		committed += d.Stats.Committed
+		multi += d.Stats.MultiShard
+	}
+	if committed == 0 || multi == 0 {
+		t.Errorf("workload too idle: committed=%d multiShard=%d", committed, multi)
+	}
+	t.Logf("expansion under load: %d committed (%d multi-shard), progress %+v",
+		committed, multi, r.Progress())
+}
+
+// TestMoveBucketsRetriesTransientFailure: a target that is down for the
+// first attempt only costs a retry, not the move.
+func TestMoveBucketsRetriesTransientFailure(t *testing.T) {
+	c := newCluster(t, 2)
+	s := c.NewSession()
+	if _, err := s.Exec("CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.AddDataNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucket := c.ExpansionPlan(id)[0]
+
+	// Down the target after the first attempt's copy phase and revive it
+	// shortly after; the retry (after a generous backoff) finds it healthy.
+	var sabotaged atomic.Bool
+	c.MoveHook = func(stage string, b, target int) {
+		if stage == "copied" && sabotaged.CompareAndSwap(false, true) {
+			c.SetDataNodeDown(target, true)
+			time.AfterFunc(20*time.Millisecond, func() {
+				c.SetDataNodeDown(target, false)
+			})
+		}
+	}
+	r := New(c, Options{MaxConcurrentMoves: 1, RetryBackoff: 150 * time.Millisecond})
+	if err := r.MoveBuckets([]Move{{Bucket: bucket, Target: id}}); err != nil {
+		t.Fatalf("MoveBuckets did not recover: %v", err)
+	}
+	if !sabotaged.Load() {
+		t.Fatal("sabotage hook never fired")
+	}
+	if got := r.Progress(); got.Retries == 0 || got.Moved != 1 || got.Failed != 0 {
+		t.Fatalf("progress = %+v, want 1 moved with >=1 retry", got)
+	}
+	if c.BucketOwners()[bucket] != id {
+		t.Fatalf("bucket %d not on dn%d", bucket, id)
+	}
+}

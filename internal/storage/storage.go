@@ -300,6 +300,65 @@ func (t *Table) Vacuum(horizon txnkit.XID) int {
 	return removed
 }
 
+// UnsettledCount counts heap versions matching pred (nil = all) whose xmin
+// or xmax belongs to a transaction that is still active or prepared. The
+// rebalancer drains a bucket by polling this to zero: a complete snapshot
+// of the bucket exists only once no stamp can still flip.
+func (t *Table) UnsettledCount(pred func(types.Row) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	unsettled := func(x txnkit.XID) bool {
+		if x == 0 {
+			return false
+		}
+		st := t.txm.Status(x)
+		return st == txnkit.StatusActive || st == txnkit.StatusPrepared
+	}
+	n := 0
+	for i := range t.heap {
+		tp := &t.heap[i]
+		if pred != nil && !pred(tp.Row) {
+			continue
+		}
+		if unsettled(tp.Xmin) || unsettled(tp.Xmax) {
+			n++
+		}
+	}
+	return n
+}
+
+// Reap physically removes every heap version matching pred, regardless of
+// visibility, and rebuilds the indexes. It is the rebalancer's cleanup after
+// a bucket cutover (retired source rows) or an aborted move (half-copied
+// target rows): at those points the routing map guarantees no snapshot can
+// reach the rows. It returns the number of versions removed.
+func (t *Table) Reap(pred func(types.Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.heap[:0]
+	removed := 0
+	for _, tp := range t.heap {
+		if pred(tp.Row) {
+			removed++
+			continue
+		}
+		kept = append(kept, tp)
+	}
+	if removed == 0 {
+		return 0
+	}
+	t.heap = kept
+	for col := range t.indexes {
+		idx := make(map[uint64][]int)
+		for slot, tp := range t.heap {
+			h := types.Hash(tp.Row[col])
+			idx[h] = append(idx[h], slot)
+		}
+		t.indexes[col] = idx
+	}
+	return removed
+}
+
 // VersionCount reports the raw number of heap versions (visible or not).
 func (t *Table) VersionCount() int {
 	t.mu.RLock()

@@ -56,6 +56,11 @@ type Stats struct {
 	Aborted     int64
 	SingleShard int64
 	MultiShard  int64
+	// NewOrders / OrderLines count committed NewOrder transactions and the
+	// order lines they inserted, so tests can reconcile table growth against
+	// driver activity (e.g. across an online expansion).
+	NewOrders  int64
+	OrderLines int64
 }
 
 // InitialBalance is each customer's starting balance; used by the
@@ -153,8 +158,9 @@ func (d *Driver) RunOne() error {
 		multiShard = true
 	}
 	var err error
+	lines := 0
 	if d.rng.Float64() < d.cfg.NewOrderWeight {
-		err = d.newOrder(home, remote)
+		lines, err = d.newOrder(home, remote)
 	} else {
 		err = d.payment(home, remote)
 	}
@@ -165,6 +171,10 @@ func (d *Driver) RunOne() error {
 		return nil
 	}
 	d.Stats.Committed++
+	if lines > 0 {
+		d.Stats.NewOrders++
+		d.Stats.OrderLines += int64(lines)
+	}
 	if multiShard || d.sess.LastTxnWasGlobal {
 		d.Stats.MultiShard++
 	} else {
@@ -210,7 +220,7 @@ func (d *Driver) payment(home, remote int) error {
 // newOrder reads the district, allocates an order id, inserts the order and
 // its lines and decrements stock; remote != home makes one line's stock
 // update hit another shard.
-func (d *Driver) newOrder(home, remote int) error {
+func (d *Driver) newOrder(home, remote int) (int, error) {
 	dist := d.rng.Intn(d.cfg.DistrictsPerWarehouse)
 	cust := d.rng.Intn(d.cfg.CustomersPerDistrict)
 	nLines := 1 + d.rng.Intn(3)
@@ -220,11 +230,11 @@ func (d *Driver) newOrder(home, remote int) error {
 		return err
 	}
 	if err := exec("BEGIN"); err != nil {
-		return err
+		return 0, err
 	}
-	abort := func(err error) error {
+	abort := func(err error) (int, error) {
 		d.sess.Exec("ROLLBACK")
-		return err
+		return 0, err
 	}
 	res, err := d.sess.Exec(fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_w_id = %d AND d_id = %d", home, dist))
 	if err != nil || len(res.Rows) != 1 {
@@ -251,7 +261,10 @@ func (d *Driver) newOrder(home, remote int) error {
 			return abort(err)
 		}
 	}
-	return exec("COMMIT")
+	if err := exec("COMMIT"); err != nil {
+		return 0, err
+	}
+	return nLines, nil
 }
 
 // CheckInvariants validates global consistency after a run:
