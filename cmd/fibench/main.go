@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel]
 //	        [-duration seconds]
 package main
 
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand")
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel")
 	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
 	flag.Parse()
 
@@ -45,9 +45,10 @@ func main() {
 	run("sync", func() error { experiments.EdgeSync(w, 6, 20); return nil })
 	run("mpp", func() error { return experiments.MPPExtensions(w) })
 	run("expand", func() error { return experiments.Expand(w, 300) })
+	run("parallel", func() error { return experiments.Parallel(w) })
 
 	switch *exp {
-	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand":
+	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel":
 	default:
 		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -24,6 +24,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -171,6 +172,17 @@ type Cluster struct {
 	// retryable error. 0 means the 5s default.
 	DrainTimeout time.Duration
 
+	// ParallelDegree caps how many data-node fragments of one statement
+	// execute concurrently. 0 (the default) means GOMAXPROCS; 1 forces the
+	// sequential scan path. Results are identical at every degree (the
+	// exchange merges fragments in DN order).
+	ParallelDegree int
+	// DisableSegmentPrune turns off zone-map segment pruning on columnar
+	// scans (ablation knob for E13).
+	DisableSegmentPrune bool
+	// hops counts network messages (see Hops).
+	hops atomic.Int64
+
 	// Coordinator-failure failpoints (test hooks; see the Failpoint*
 	// methods).
 	failCrashAfterGTM  atomic.Bool
@@ -230,11 +242,46 @@ func (c *Cluster) DataNodeCount() int { return len(c.nodes()) }
 // tests). The returned slice is an immutable snapshot.
 func (c *Cluster) DataNodes() []*DataNode { return c.nodes() }
 
-// hop models one network message.
+// hop models one network message. Safe for concurrent fragments.
 func (c *Cluster) hop() {
+	c.hops.Add(1)
 	if c.cfg.HopLatency > 0 {
 		time.Sleep(c.cfg.HopLatency)
 	}
+}
+
+// Hops returns the cumulative count of modeled network messages.
+func (c *Cluster) Hops() int64 { return c.hops.Load() }
+
+// SetHopLatency changes the simulated per-message latency. Experiments use
+// it to bulk-load data for free and then measure queries under the cost
+// model. Callers must be quiesced: it races with in-flight statements.
+func (c *Cluster) SetHopLatency(d time.Duration) { c.cfg.HopLatency = d }
+
+// parallelDegree resolves the effective fragment concurrency.
+func (c *Cluster) parallelDegree() int {
+	if c.ParallelDegree > 0 {
+		return c.ParallelDegree
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// TableScanStats aggregates zone-map scan counters across a columnar
+// table's partitions (zero stats for row tables).
+func (c *Cluster) TableScanStats(name string) (colstore.ScanStats, error) {
+	c.mu.RLock()
+	ti, ok := c.tables[name]
+	c.mu.RUnlock()
+	if !ok {
+		return colstore.ScanStats{}, fmt.Errorf("cluster: unknown table %q", name)
+	}
+	var st colstore.ScanStats
+	for _, p := range ti.colParts() {
+		if p != nil {
+			st.Add(p.ScanStats())
+		}
+	}
+	return st, nil
 }
 
 // shardFor routes a distribution-key datum to a data node through the

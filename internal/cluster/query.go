@@ -3,6 +3,8 @@ package cluster
 import (
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -12,20 +14,23 @@ import (
 )
 
 // stmtAccess implements plan.Access for one statement: scans gather rows
-// from the routed data nodes under the statement's per-DN snapshots.
+// from the routed data nodes under the statement's per-DN snapshots. Its
+// state is shared by the statement's concurrent DN fragments, so the
+// snapshot cache is mutex-guarded and the counters are atomic.
 type stmtAccess struct {
 	s *Session
 	t *txn
 	// routed maps table name -> data nodes to scan; tables absent from the
-	// map scan the default set.
+	// map scan the default set. Written only during routing, before any
+	// fragment starts.
 	routed map[string][]int
-	snaps  map[int]*txnkit.Snapshot
-	// scanErr records snapshot errors surfaced during Open (the Source
-	// callback cannot return one).
-	scanErr error
+
+	mu    sync.Mutex // guards snaps
+	snaps map[int]*txnkit.Snapshot
+
 	// rowsShipped counts rows that crossed a partition -> coordinator
 	// boundary; two-phase aggregation exists to shrink this number.
-	rowsShipped int64
+	rowsShipped atomic.Int64
 }
 
 func (s *Session) newStmtAccess(t *txn) *stmtAccess {
@@ -33,7 +38,11 @@ func (s *Session) newStmtAccess(t *txn) *stmtAccess {
 }
 
 // snapshotFor lazily acquires and caches the statement snapshot on a DN.
+// The lock is held across acquisition so concurrent fragments of one
+// statement can never read through two different snapshots on one DN.
 func (a *stmtAccess) snapshotFor(dnID int) (*txnkit.Snapshot, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if snap, ok := a.snaps[dnID]; ok {
 		return snap, nil
 	}
@@ -66,141 +75,160 @@ func (a *stmtAccess) targetsFor(ti *TableInfo) []int {
 
 // Scan implements plan.Access.
 func (a *stmtAccess) Scan(meta *plan.TableMeta) exec.Operator {
-	return exec.NewSource(meta.Name, meta.Schema, func(emit func(types.Row) bool) {
-		if vt, ok := a.s.c.virtualTable(meta.Name); ok {
+	return a.scan(meta, nil)
+}
+
+// ScanPred implements plan.PredicateAccess: same rows as Scan, but the
+// pushed predicate lets DN-side scans skip segments via zone maps.
+func (a *stmtAccess) ScanPred(meta *plan.TableMeta, pred exec.Expr) (exec.Operator, bool) {
+	return a.scan(meta, pred), true
+}
+
+// scan builds the fan-out scan: one fragment per routed data node, run
+// through an ordered Exchange so results are identical at every parallel
+// degree. pred (possibly nil) is only a segment-skip hint — the planner's
+// Filter still evaluates it per row.
+func (a *stmtAccess) scan(meta *plan.TableMeta, pred exec.Expr) exec.Operator {
+	if vt, ok := a.s.c.virtualTable(meta.Name); ok {
+		return exec.NewSource(meta.Name, meta.Schema, func(emit func(types.Row) bool) {
 			for _, r := range vt.Scan() {
 				if !emit(r) {
 					return
 				}
 			}
-			return
-		}
+		})
+	}
+	return exec.NewParallelSource(meta.Name, meta.Schema, a.s.c.parallelDegree(), func() ([]exec.Fragment, error) {
 		ti, err := a.s.c.tableInfo(meta.Name)
 		if err != nil {
-			a.scanErr = err
-			return
+			return nil, err
 		}
 		targets := a.targetsFor(ti)
 		if err := a.s.c.requireLive(targets); err != nil {
-			a.scanErr = err
-			return
+			return nil, err
 		}
-		for _, dnID := range targets {
-			xid := a.t.touch(dnID)
-			snap, err := a.snapshotFor(dnID)
-			if err != nil {
-				a.scanErr = err
-				return
-			}
-			a.s.c.hop()
-			owns := a.s.c.ownershipFilter(ti, dnID)
-			counted := func(r types.Row) bool {
-				if owns != nil && !owns(r) {
-					return true // migration phantom: skip, keep scanning
+		keep := a.s.c.segmentPruner(pred)
+		frags := make([]exec.Fragment, len(targets))
+		for i, dnID := range targets {
+			dnID := dnID
+			frags[i] = func(_ *exec.Ctx, emit func(types.Row) bool) error {
+				xid := a.t.touch(dnID)
+				snap, err := a.snapshotFor(dnID)
+				if err != nil {
+					return err
 				}
-				a.rowsShipped++
-				return emit(r)
-			}
-			if ti.columnar() {
-				ti.colParts()[dnID].ScanRows(xid, snap, counted)
-			} else {
-				stop := false
-				ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
-					if !counted(r.Clone()) {
-						stop = true
-						return false
+				a.s.c.hop()
+				owns := a.s.c.ownershipFilter(ti, dnID)
+				counted := func(r types.Row) bool {
+					if owns != nil && !owns(r) {
+						return true // migration phantom: skip, keep scanning
 					}
-					return true
-				})
-				if stop {
-					return
+					a.rowsShipped.Add(1)
+					return emit(r)
 				}
+				if ti.columnar() {
+					ti.colParts()[dnID].ScanRowsWhere(xid, snap, keep, counted)
+				} else {
+					ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
+						return counted(r.Clone())
+					})
+				}
+				return nil
 			}
 		}
+		return frags, nil
 	})
 }
 
 // ScanPartialAgg implements plan.PartialAggAccess: the partial aggregate
 // runs against each partition's rows locally (modelling DN-side
 // reduction), and only the partial result rows ship to the coordinator.
+// Each DN's scan+aggregate is one Exchange fragment, so the reductions run
+// in parallel across data nodes.
 func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (exec.Operator, bool) {
 	if _, isVirtual := a.s.c.virtualTable(meta.Name); isVirtual {
 		return nil, false // virtual tables are engine-local; nothing to push
 	}
-	return exec.NewSource(meta.Name+":partial-agg", out, func(emit func(types.Row) bool) {
+	return exec.NewParallelSource(meta.Name+":partial-agg", out, a.s.c.parallelDegree(), func() ([]exec.Fragment, error) {
 		ti, err := a.s.c.tableInfo(meta.Name)
 		if err != nil {
-			a.scanErr = err
-			return
+			return nil, err
 		}
 		targets := a.targetsFor(ti)
 		if err := a.s.c.requireLive(targets); err != nil {
-			a.scanErr = err
-			return
+			return nil, err
 		}
-		// Vectorized fast path: columnar partition, no filter, and every
+		// Vectorized fast path: columnar partition and every group/agg
 		// expression a bare column reference -> aggregate directly over the
-		// decoded column vectors. Bucket-ownership filtering is per-row, so
+		// decoded column vectors (the predicate, if any, evaluates row-wise
+		// over the projection). Bucket-ownership filtering is per-row, so
 		// once a migration has started the row-at-a-time fallback runs.
 		var vp *vecPlan
-		if ti.columnar() && pred == nil && !a.s.c.needsBucketFilter(ti) {
-			vp, _ = buildVecPlan(meta.Schema.Len(), groupBy, aggs, out)
+		if ti.columnar() && !a.s.c.needsBucketFilter(ti) {
+			vp, _ = buildVecPlan(meta.Schema.Len(), pred, groupBy, aggs, out)
 		}
-		ctx := exec.NewCtx(a.s.c.Clock())
-		for _, dnID := range targets {
-			xid := a.t.touch(dnID)
-			snap, err := a.snapshotFor(dnID)
-			if err != nil {
-				a.scanErr = err
-				return
-			}
-			if vp != nil {
-				rows := runVectorizedPartialAgg(ti.colParts()[dnID], xid, snap, vp)
-				a.s.c.hop()
-				for _, r := range rows {
-					a.rowsShipped++
-					if !emit(r) {
+		keep := a.s.c.segmentPruner(pred)
+		frags := make([]exec.Fragment, len(targets))
+		for i, dnID := range targets {
+			dnID := dnID
+			frags[i] = func(ctx *exec.Ctx, emit func(types.Row) bool) error {
+				xid := a.t.touch(dnID)
+				snap, err := a.snapshotFor(dnID)
+				if err != nil {
+					return err
+				}
+				if vp != nil {
+					rows, err := runVectorizedPartialAgg(ti.colParts()[dnID], xid, snap, vp, keep, ctx)
+					if err != nil {
+						return err
+					}
+					a.s.c.hop()
+					for _, r := range rows {
+						a.rowsShipped.Add(1)
+						if !emit(r) {
+							return nil
+						}
+					}
+					return nil
+				}
+				// Partition-local pipeline: scan -> filter -> partial agg.
+				// All of it evaluates "on the data node"; only the
+				// aggregate's output crosses to the coordinator.
+				owns := a.s.c.ownershipFilter(ti, dnID)
+				var src exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
+					emitOwned := func(r types.Row) bool {
+						if owns != nil && !owns(r) {
+							return true
+						}
+						return emitRow(r)
+					}
+					if ti.columnar() {
+						ti.colParts()[dnID].ScanRowsWhere(xid, snap, keep, emitOwned)
 						return
 					}
-				}
-				continue
-			}
-			// Partition-local pipeline: scan -> filter -> partial agg. All
-			// of it evaluates "on the data node"; only the aggregate's
-			// output crosses to the coordinator.
-			owns := a.s.c.ownershipFilter(ti, dnID)
-			var src exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
-				emitOwned := func(r types.Row) bool {
-					if owns != nil && !owns(r) {
-						return true
-					}
-					return emitRow(r)
-				}
-				if ti.columnar() {
-					ti.colParts()[dnID].ScanRows(xid, snap, emitOwned)
-					return
-				}
-				ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
-					return emitOwned(r.Clone())
+					ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
+						return emitOwned(r.Clone())
+					})
 				})
-			})
-			if pred != nil {
-				src = &exec.Filter{Child: src, Pred: pred}
-			}
-			partial := &exec.Agg{Child: src, GroupBy: groupBy, Aggs: aggs, Out: out}
-			rows, err := exec.Collect(ctx, partial)
-			if err != nil {
-				a.scanErr = err
-				return
-			}
-			a.s.c.hop()
-			for _, r := range rows {
-				a.rowsShipped++
-				if !emit(r) {
-					return
+				if pred != nil {
+					src = &exec.Filter{Child: src, Pred: pred}
 				}
+				partial := &exec.Agg{Child: src, GroupBy: groupBy, Aggs: aggs, Out: out}
+				rows, err := exec.Collect(ctx, partial)
+				if err != nil {
+					return err
+				}
+				a.s.c.hop()
+				for _, r := range rows {
+					a.rowsShipped.Add(1)
+					if !emit(r) {
+						return nil
+					}
+				}
+				return nil
 			}
 		}
+		return frags, nil
 	}), true
 }
 
@@ -240,14 +268,11 @@ func (s *Session) execSelect(t *txn, sel *sqlx.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if access.scanErr != nil {
-		return nil, access.scanErr
-	}
 	// Learning optimizer producer (paper §II-C).
 	if s.c.CaptureSteps && s.c.Store != nil {
 		s.c.Store.Capture(p.Counted)
 	}
-	return &Result{Columns: p.OutputNames, Rows: rows, Plan: p, RowsShipped: access.rowsShipped}, nil
+	return &Result{Columns: p.OutputNames, Rows: rows, Plan: p, RowsShipped: access.rowsShipped.Load()}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -364,14 +389,10 @@ func (s *Session) routeSelect(t *txn, sel *sqlx.Select, access *stmtAccess) []in
 			out = append(out, sh)
 		}
 		sort.Ints(out)
-		if len(out) > 1 {
-			// Multiple single-shard tables on different shards: scatter is
-			// still required for correctness of joins between them only if
-			// tables were routed to different shards; keep the routed map
-			// (each table scans only its shard) and touch both.
-			return out
-		}
-		// Deduplicate routed lists.
+		// Deduplicate routed lists in every branch: a table referenced
+		// twice (self-join, repeated CTE use) must not be scanned twice.
+		// When len(out) > 1 the statement touches multiple shards but each
+		// table still scans only its own routed (deduplicated) shard set.
 		for name, list := range access.routed {
 			access.routed[name] = dedupInts(list)
 		}

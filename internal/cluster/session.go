@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
@@ -49,8 +50,15 @@ func (c *Cluster) NewSession() *Session { return &Session{c: c} }
 
 // txn is the coordinator-side transaction state.
 type txn struct {
-	c      *Cluster
-	mode   TxnMode
+	c    *Cluster
+	mode TxnMode
+	// mu guards xids, global, gxid and gsnap against concurrent fragment
+	// start: parallel Exchange fragments of one statement may begin legs
+	// on different data nodes simultaneously. Commit, abort and the
+	// post-statement reads (sortedDNs, LastTxnWasGlobal) run after every
+	// fragment has joined — Exchange.Open waits for its workers — so they
+	// read without the lock.
+	mu     sync.Mutex
 	xids   map[int]txnkit.XID
 	global bool
 	gxid   txnkit.GXID
@@ -63,8 +71,9 @@ func (s *Session) newTxn() *txn {
 	return &txn{c: s.c, mode: s.c.cfg.Mode, xids: make(map[int]txnkit.XID)}
 }
 
-// ensureGlobal escalates the transaction to a global (GTM-managed) one.
-func (t *txn) ensureGlobal() {
+// ensureGlobalLocked escalates the transaction to a global (GTM-managed)
+// one. Caller holds t.mu.
+func (t *txn) ensureGlobalLocked() {
 	if t.global {
 		return
 	}
@@ -86,13 +95,19 @@ func (t *txn) ensureGlobal() {
 // escalates to a global transaction. In baseline mode every transaction is
 // global from the first touch.
 func (t *txn) touch(dnID int) txnkit.XID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.touchLocked(dnID)
+}
+
+func (t *txn) touchLocked(dnID int) txnkit.XID {
 	if xid, ok := t.xids[dnID]; ok {
 		return xid
 	}
 	if t.mode == ModeBaseline {
-		t.ensureGlobal()
+		t.ensureGlobalLocked()
 	} else if len(t.xids) >= 1 {
-		t.ensureGlobal() // GTM-lite: second shard -> escalate
+		t.ensureGlobalLocked() // GTM-lite: second shard -> escalate
 	}
 	dn := t.c.node(dnID)
 	var xid txnkit.XID
@@ -108,6 +123,8 @@ func (t *txn) touch(dnID int) txnkit.XID {
 // touchSet pre-touches a set of data nodes, escalating once if the set is
 // larger than one.
 func (t *txn) touchSet(dnIDs []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(dnIDs) > 1 || (len(dnIDs) == 1 && len(t.xids) > 0 && t.xids[dnIDs[0]] == 0) {
 		needsEscalate := len(dnIDs) > 1
 		for _, id := range dnIDs {
@@ -116,17 +133,19 @@ func (t *txn) touchSet(dnIDs []int) {
 			}
 		}
 		if needsEscalate && t.mode == ModeGTMLite {
-			t.ensureGlobal()
+			t.ensureGlobalLocked()
 		}
 	}
 	for _, id := range dnIDs {
-		t.touch(id)
+		t.touchLocked(id)
 	}
 }
 
 // refreshGlobalSnapshot implements baseline mode's per-statement snapshot
 // round trips (the "many-round communication" the paper removes).
 func (t *txn) refreshGlobalSnapshot() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.global {
 		return
 	}
@@ -143,11 +162,14 @@ func (t *txn) refreshGlobalSnapshot() {
 // when the transaction is global.
 func (t *txn) snapshotFor(dnID int) (*txnkit.Snapshot, error) {
 	dn := t.c.node(dnID)
-	if !t.global {
+	t.mu.Lock()
+	global, gsnap := t.global, t.gsnap
+	t.mu.Unlock()
+	if !global {
 		s := dn.Txm.LocalSnapshot()
 		return &s, nil
 	}
-	s, err := dn.Txm.MergeSnapshot(t.gsnap)
+	s, err := dn.Txm.MergeSnapshot(gsnap)
 	if err != nil {
 		return nil, err
 	}
@@ -379,9 +401,6 @@ func (s *Session) execExplain(ex *sqlx.Explain) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if access.scanErr != nil {
-		return nil, access.scanErr
-	}
 	elapsed := time.Since(start)
 	var rows []types.Row
 	for _, c := range p.Counted {
@@ -393,11 +412,11 @@ func (s *Session) execExplain(ex *sqlx.Explain) (*Result, error) {
 	}
 	rows = append(rows, types.Row{
 		types.NewString(fmt.Sprintf("TOTAL (%d result rows, %v, %d rows shipped)",
-			len(resultRows), elapsed.Round(time.Microsecond), access.rowsShipped)),
+			len(resultRows), elapsed.Round(time.Microsecond), access.rowsShipped.Load())),
 		types.Null,
 		types.NewInt(int64(len(resultRows))),
 	})
-	return &Result{Columns: []string{"step", "estimated_rows", "actual_rows"}, Rows: rows, Plan: p, RowsShipped: access.rowsShipped}, nil
+	return &Result{Columns: []string{"step", "estimated_rows", "actual_rows"}, Rows: rows, Plan: p, RowsShipped: access.rowsShipped.Load()}, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -15,7 +15,8 @@ import (
 // interpreter in the inner loop.
 
 // vecPlan describes a vectorizable partial aggregate: positions are into
-// the scanned projection, not the table schema.
+// the scanned projection, not the table schema. A vecPlan is immutable
+// after buildVecPlan, so parallel fragments share one safely.
 type vecPlan struct {
 	scanCols  []int // table columns to decode, in projection order
 	groupIdx  []int // projection positions of the group-by columns
@@ -23,13 +24,18 @@ type vecPlan struct {
 	aggKinds  []exec.AggKind
 	out       *types.Schema
 	tableCols int
+	// pred, when non-nil, filters rows before accumulation. Its ColRefs
+	// index the table schema; eval materializes a sparse schema-width row
+	// from the projection.
+	pred exec.Expr
 }
 
 // buildVecPlan inspects the compiled aggregate; ok is false when any
-// expression is not a bare column reference (the generic row path handles
-// those).
-func buildVecPlan(schemaLen int, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (*vecPlan, bool) {
-	p := &vecPlan{out: out, tableCols: schemaLen}
+// group/agg expression is not a bare column reference (the generic row
+// path handles those). pred may be any partition-pure predicate over table
+// columns — its referenced columns join the scan projection.
+func buildVecPlan(schemaLen int, pred exec.Expr, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (*vecPlan, bool) {
+	p := &vecPlan{out: out, tableCols: schemaLen, pred: pred}
 	proj := map[int]int{} // table col -> projection position
 	need := func(tableCol int) int {
 		if pos, ok := proj[tableCol]; ok {
@@ -39,6 +45,22 @@ func buildVecPlan(schemaLen int, groupBy []exec.Expr, aggs []exec.AggSpec, out *
 		proj[tableCol] = pos
 		p.scanCols = append(p.scanCols, tableCol)
 		return pos
+	}
+	if pred != nil {
+		ok := true
+		exec.WalkExpr(pred, func(x exec.Expr) bool {
+			if cr, isRef := x.(*exec.ColRef); isRef {
+				if cr.Index >= schemaLen {
+					ok = false
+					return false
+				}
+				need(cr.Index)
+			}
+			return true
+		})
+		if !ok {
+			return nil, false
+		}
 	}
 	for _, g := range groupBy {
 		cr, ok := g.(*exec.ColRef)
@@ -87,13 +109,33 @@ func newVecAccum(key types.Row, nAggs int) *vecAccum {
 
 // runVectorizedPartialAgg aggregates one columnar partition; it returns
 // the partial rows (group key columns then agg values), matching what the
-// generic exec.Agg emits so the coordinator-side merge is identical.
-func runVectorizedPartialAgg(tbl *colstore.Table, xid txnkit.XID, snap *txnkit.Snapshot, p *vecPlan) []types.Row {
+// generic exec.Agg emits so the coordinator-side merge is identical. keep
+// is the zone-map segment filter (nil scans everything); ctx evaluates
+// p.pred.
+func runVectorizedPartialAgg(tbl *colstore.Table, xid txnkit.XID, snap *txnkit.Snapshot, p *vecPlan, keep func(*colstore.Segment) bool, ctx *exec.Ctx) ([]types.Row, error) {
 	groups := map[string]*vecAccum{}
 	var order []string
+	var predRow types.Row // reused sparse row for predicate evaluation
+	var scanErr error
 
-	tbl.ScanBatches(xid, snap, p.scanCols, func(b *colstore.Batch) bool {
+	tbl.ScanBatchesWhere(xid, snap, p.scanCols, keep, func(b *colstore.Batch) bool {
 		for i := 0; i < b.N; i++ {
+			if p.pred != nil {
+				if predRow == nil {
+					predRow = make(types.Row, p.tableCols)
+				}
+				for j, c := range p.scanCols {
+					predRow[c] = b.Cols[j].DatumAt(i)
+				}
+				match, err := exec.EvalBool(p.pred, ctx, predRow)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !match {
+					continue
+				}
+			}
 			// Group key.
 			var acc *vecAccum
 			if len(p.groupIdx) == 0 {
@@ -160,6 +202,9 @@ func runVectorizedPartialAgg(tbl *colstore.Table, xid txnkit.XID, snap *txnkit.S
 		}
 		return true
 	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
 
 	// A global aggregate over an empty partition still emits its identity
 	// row (count=0, sums NULL), mirroring exec.Agg.
@@ -199,5 +244,5 @@ func runVectorizedPartialAgg(tbl *colstore.Table, xid txnkit.XID, snap *txnkit.S
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }

@@ -50,7 +50,8 @@ func TestVectorizedAggMatchesRowPath(t *testing.T) {
 	if r[0].Int() != 300 || r[1].Str() != "n0" || r[2].Str() != "n4" {
 		t.Errorf("global agg = %v", r)
 	}
-	// WHERE forces the generic path; results must agree.
+	// WHERE stays on the vectorized path (predicate evaluated per row over
+	// the projection); results must agree with the generic path.
 	res = mustExec(t, s, "SELECT count(*) FROM cf WHERE vi < 100")
 	if res.Rows[0][0].Int() != 100 {
 		t.Errorf("filtered count = %v", res.Rows[0][0])
@@ -82,12 +83,12 @@ func TestVectorizedAggNulls(t *testing.T) {
 func TestBuildVecPlanRejections(t *testing.T) {
 	out := types.NewSchema(types.Column{Name: "x", Kind: types.KindInt})
 	// Non-column group expression.
-	if _, ok := buildVecPlan(3, []exec.Expr{&exec.BinOp{Op: "+", Left: &exec.ColRef{Index: 0}, Right: &exec.Const{Value: types.NewInt(1)}}}, nil, out); ok {
+	if _, ok := buildVecPlan(3, nil, []exec.Expr{&exec.BinOp{Op: "+", Left: &exec.ColRef{Index: 0}, Right: &exec.Const{Value: types.NewInt(1)}}}, nil, out); ok {
 		t.Error("computed group expr must not vectorize")
 	}
 	// Non-column agg argument.
 	specs := []exec.AggSpec{{Kind: exec.AggSum, Arg: &exec.Func{Name: "abs", Args: []exec.Expr{&exec.ColRef{Index: 0}}}}}
-	if _, ok := buildVecPlan(3, nil, specs, out); ok {
+	if _, ok := buildVecPlan(3, nil, nil, specs, out); ok {
 		t.Error("computed agg arg must not vectorize")
 	}
 	// Plain shape vectorizes, sharing projections.
@@ -96,7 +97,7 @@ func TestBuildVecPlanRejections(t *testing.T) {
 		{Kind: exec.AggSum, Arg: &exec.ColRef{Index: 2}},
 		{Kind: exec.AggMin, Arg: &exec.ColRef{Index: 2}},
 	}
-	p, ok := buildVecPlan(3, []exec.Expr{&exec.ColRef{Index: 1}}, specs, out)
+	p, ok := buildVecPlan(3, nil, []exec.Expr{&exec.ColRef{Index: 1}}, specs, out)
 	if !ok {
 		t.Fatal("plain shape must vectorize")
 	}

@@ -12,6 +12,7 @@ package colstore
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/txnkit"
 	"repro/internal/types"
@@ -132,15 +133,29 @@ type column struct {
 }
 
 // Segment is an immutable set of compressed columns plus MVCC insert
-// stamps.
+// stamps and per-column zone maps (min/max over non-NULL values, recorded
+// at seal time) that scans use to skip segments a predicate cannot match.
 type Segment struct {
 	rows  int
 	cols  []column
 	xmins []txnkit.XID
+	// mins/maxs are the zone maps; Null marks columns without one
+	// (unorderable kind or no non-NULL values).
+	mins, maxs []types.Datum
 }
 
 // Rows returns the segment's row count.
 func (s *Segment) Rows() int { return s.rows }
+
+// ColRange returns the sealed min/max of column c. ok is false when the
+// segment has no zone map for that column, in which case the segment must
+// be scanned.
+func (s *Segment) ColRange(c int) (min, max types.Datum, ok bool) {
+	if c >= len(s.mins) || s.mins[c].IsNull() {
+		return types.Null, types.Null, false
+	}
+	return s.mins[c], s.maxs[c], true
+}
 
 // CompressedValues reports how many physical values column c stores after
 // compression (for stats and compression-ratio tests).
@@ -186,7 +201,10 @@ func seal(schema *types.Schema, rows []types.Row, xmins []txnkit.XID) *Segment {
 	n := len(rows)
 	seg := &Segment{rows: n, xmins: append([]txnkit.XID(nil), xmins...)}
 	seg.cols = make([]column, schema.Len())
+	seg.mins = make([]types.Datum, schema.Len())
+	seg.maxs = make([]types.Datum, schema.Len())
 	for c := range schema.Columns {
+		seg.mins[c], seg.maxs[c] = zoneMap(rows, c)
 		kind := schema.Columns[c].Kind
 		col := column{kind: kind}
 		var nulls []bool
@@ -275,6 +293,33 @@ func seal(schema *types.Schema, rows []types.Row, xmins []txnkit.XID) *Segment {
 		seg.cols[c] = col
 	}
 	return seg
+}
+
+// zoneMap computes the min/max of column c over non-NULL values; both are
+// Null when the column holds no non-NULL values or an unorderable kind.
+func zoneMap(rows []types.Row, c int) (min, max types.Datum) {
+	min, max = types.Null, types.Null
+	for _, r := range rows {
+		v := r[c]
+		if v.IsNull() {
+			continue
+		}
+		if min.IsNull() {
+			min, max = v, v
+			continue
+		}
+		cl, err := types.Compare(v, min)
+		if err != nil {
+			return types.Null, types.Null // unorderable kind: no zone map
+		}
+		if cl < 0 {
+			min = v
+		}
+		if ch, _ := types.Compare(v, max); ch > 0 {
+			max = v
+		}
+	}
+	return min, max
 }
 
 func countRuns(vals []int64) int {
@@ -367,6 +412,37 @@ type Table struct {
 	buf      []types.Row
 	bufXmins []txnkit.XID
 	txm      *txnkit.TxnManager
+
+	// Zone-map effectiveness counters, atomic because parallel query
+	// fragments (and concurrent statements) scan partitions concurrently.
+	segsScanned atomic.Int64
+	segsPruned  atomic.Int64
+	rowsScanned atomic.Int64
+}
+
+// ScanStats reports cumulative zone-map scan counters for one partition.
+type ScanStats struct {
+	// SegmentsScanned / SegmentsPruned count sealed segments read vs
+	// skipped by zone maps; RowsScanned counts physical rows read
+	// (segment rows plus delta-buffer rows, before MVCC filtering).
+	SegmentsScanned, SegmentsPruned, RowsScanned int64
+}
+
+// Add accumulates other into s (cluster-level aggregation across
+// partitions).
+func (s *ScanStats) Add(other ScanStats) {
+	s.SegmentsScanned += other.SegmentsScanned
+	s.SegmentsPruned += other.SegmentsPruned
+	s.RowsScanned += other.RowsScanned
+}
+
+// ScanStats returns the partition's counters.
+func (t *Table) ScanStats() ScanStats {
+	return ScanStats{
+		SegmentsScanned: t.segsScanned.Load(),
+		SegmentsPruned:  t.segsPruned.Load(),
+		RowsScanned:     t.rowsScanned.Load(),
+	}
 }
 
 // NewTable creates an empty columnar table bound to the node's transaction
@@ -431,6 +507,15 @@ func (t *Table) Segments() []*Segment {
 // projecting only cols (nil means all columns). fn returning false stops
 // the scan.
 func (t *Table) ScanBatches(xid txnkit.XID, snap *txnkit.Snapshot, cols []int, fn func(*Batch) bool) {
+	t.ScanBatchesWhere(xid, snap, cols, nil, fn)
+}
+
+// ScanBatchesWhere is ScanBatches with segment-level zone-map pruning:
+// sealed segments for which keep returns false are skipped without
+// decoding. keep must be conservative — returning false asserts no row of
+// the segment can satisfy the query predicate. The delta buffer has no
+// zone maps and is always scanned. A nil keep scans everything.
+func (t *Table) ScanBatchesWhere(xid txnkit.XID, snap *txnkit.Snapshot, cols []int, keep func(*Segment) bool, fn func(*Batch) bool) {
 	if cols == nil {
 		cols = make([]int, t.schema.Len())
 		for i := range cols {
@@ -444,6 +529,12 @@ func (t *Table) ScanBatches(xid txnkit.XID, snap *txnkit.Snapshot, cols []int, f
 	t.mu.RUnlock()
 
 	for _, seg := range segs {
+		if keep != nil && !keep(seg) {
+			t.segsPruned.Add(1)
+			continue
+		}
+		t.segsScanned.Add(1)
+		t.rowsScanned.Add(int64(seg.rows))
 		for lo := 0; lo < seg.rows; lo += BatchSize {
 			hi := lo + BatchSize
 			if hi > seg.rows {
@@ -486,8 +577,10 @@ func (t *Table) ScanBatches(xid txnkit.XID, snap *txnkit.Snapshot, cols []int, f
 			}
 		}
 	}
-	// Delta buffer: materialize as one batch.
+	// Delta buffer: materialize as one batch. It has no zone maps and is
+	// never pruned.
 	if len(buf) > 0 {
+		t.rowsScanned.Add(int64(len(buf)))
 		batch := &Batch{Cols: make([]*Vector, len(cols))}
 		for v, c := range cols {
 			batch.Cols[v] = &Vector{Kind: t.schema.Columns[c].Kind}
@@ -557,7 +650,13 @@ func appendDatum(v *Vector, d types.Datum) {
 
 // ScanRows adapts ScanBatches to the row-at-a-time executor.
 func (t *Table) ScanRows(xid txnkit.XID, snap *txnkit.Snapshot, fn func(types.Row) bool) {
-	t.ScanBatches(xid, snap, nil, func(b *Batch) bool {
+	t.ScanRowsWhere(xid, snap, nil, fn)
+}
+
+// ScanRowsWhere is ScanRows with segment-level zone-map pruning (see
+// ScanBatchesWhere for keep's contract).
+func (t *Table) ScanRowsWhere(xid txnkit.XID, snap *txnkit.Snapshot, keep func(*Segment) bool, fn func(types.Row) bool) {
+	t.ScanBatchesWhere(xid, snap, nil, keep, func(b *Batch) bool {
 		for i := 0; i < b.N; i++ {
 			if !fn(b.Row(i)) {
 				return false

@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// exchangeBuffer is the bounded-channel capacity of a streaming Exchange:
+// enough slack that producers stay busy while the consumer drains, small
+// enough that a slow consumer backpressures the fragments.
+const exchangeBuffer = 256
+
+// Fragment is one partition's share of an Exchange: it emits rows until
+// exhausted (or until emit returns false, which signals cancellation) and
+// returns the fragment's error. In the cluster, one fragment is one data
+// node's scan or partial aggregate.
+type Fragment func(ctx *Ctx, emit func(types.Row) bool) error
+
+// Exchange fans a set of fragments out across worker goroutines and merges
+// their output into one stream — the intra-query parallelism operator of an
+// MPP plan. Properties:
+//
+//   - Parallel caps concurrent fragments. Degree <= 1 runs them inline on
+//     the caller's goroutine in fragment order, byte-identical to a
+//     sequential loop (the degree-1 path tests and EXPLAIN rely on).
+//   - Ordered buffers each fragment's rows and concatenates them in
+//     fragment order, so output is deterministic at any degree. Unordered
+//     streams rows through a bounded channel as they are produced.
+//   - The first fragment error (or panic, converted to an error) cancels
+//     the siblings — their emit returns false — and is the one error
+//     surfaced from Open/Next. Close always joins every worker, so no
+//     fragment outlives the operator.
+//
+// Fragments run on worker goroutines under forked contexts, so they must be
+// partition-pure: no outer-row references and no shared mutable state
+// beyond what they synchronize themselves.
+type Exchange struct {
+	Name string
+	Out  *types.Schema
+	// Plan produces the fragment set; it is re-invoked on every Open (like
+	// Source.ScanFn) so the operator can be re-executed, and its error is
+	// returned from Open — the place for catalog lookups and liveness
+	// checks that a callback-style Source could not fail from.
+	Plan func() ([]Fragment, error)
+	// Parallel is the max number of concurrently running fragments;
+	// values <= 1 select the sequential inline path.
+	Parallel int
+	// Ordered selects the deterministic merge (see type comment).
+	Ordered bool
+
+	// materialized output (sequential and ordered modes)
+	rows []types.Row
+	pos  int
+
+	// streaming state (unordered mode)
+	ch     chan types.Row
+	done   chan struct{}
+	closed sync.Once
+	wg     sync.WaitGroup
+
+	errOnce   sync.Once
+	err       error
+	streaming bool
+}
+
+// NewParallelSource builds an ordered Exchange over a lazily-planned
+// fragment set: the drop-in parallel replacement for NewSource over
+// per-partition scan closures. Ordered merging keeps results identical to
+// the sequential loop at every degree.
+func NewParallelSource(name string, schema *types.Schema, degree int, plan func() ([]Fragment, error)) *Exchange {
+	return &Exchange{Name: name, Out: schema, Plan: plan, Parallel: degree, Ordered: true}
+}
+
+// Schema implements Operator.
+func (e *Exchange) Schema() *types.Schema { return e.Out }
+
+// setErr records the first fragment error and cancels the siblings.
+func (e *Exchange) setErr(err error) {
+	e.errOnce.Do(func() {
+		e.err = err
+		close(e.done)
+	})
+}
+
+// canceled reports whether a sibling already failed or Close ran.
+func (e *Exchange) canceled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// runFragment invokes f with panic-to-error recovery: a panicking DN
+// fragment must surface as a query error, not tear down the process with
+// siblings mid-flight.
+func runFragment(ctx *Ctx, f Fragment, emit func(types.Row) bool) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("exec: exchange fragment panicked: %v", p)
+		}
+	}()
+	return f(ctx, emit)
+}
+
+// fork returns an independent evaluation context for one worker: fragments
+// share the statement clock but must not share the outer-row stack.
+func (c *Ctx) fork() *Ctx { return &Ctx{Now: c.Now} }
+
+// Open implements Operator.
+func (e *Exchange) Open(ctx *Ctx) error {
+	frags, err := e.Plan()
+	if err != nil {
+		return err
+	}
+	e.rows = e.rows[:0]
+	e.pos = 0
+	e.err = nil
+	e.errOnce = sync.Once{}
+	e.closed = sync.Once{}
+	e.done = make(chan struct{})
+	e.streaming = false
+
+	degree := e.Parallel
+	if degree > len(frags) {
+		degree = len(frags)
+	}
+	if degree <= 1 || len(frags) <= 1 {
+		// Sequential path: the exact pre-exchange loop.
+		for _, f := range frags {
+			if err := runFragment(ctx, f, func(r types.Row) bool {
+				e.rows = append(e.rows, r)
+				return true
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if e.Ordered {
+		return e.openOrdered(ctx, frags, degree)
+	}
+	e.openStreaming(ctx, frags, degree)
+	return nil
+}
+
+// openOrdered runs fragments concurrently into per-fragment buffers, then
+// concatenates them in fragment order. It returns only after every worker
+// has exited.
+func (e *Exchange) openOrdered(ctx *Ctx, frags []Fragment, degree int) error {
+	bufs := make([][]types.Row, len(frags))
+	work := make(chan int)
+	for w := 0; w < degree; w++ {
+		e.wg.Add(1)
+		fctx := ctx.fork()
+		go func() {
+			defer e.wg.Done()
+			for idx := range work {
+				if e.canceled() {
+					continue // drain remaining indexes without running them
+				}
+				emit := func(r types.Row) bool {
+					bufs[idx] = append(bufs[idx], r)
+					return !e.canceled()
+				}
+				if err := runFragment(fctx, frags[idx], emit); err != nil {
+					e.setErr(err)
+				}
+			}
+		}()
+	}
+	for i := range frags {
+		work <- i
+	}
+	close(work)
+	e.wg.Wait()
+	if e.err != nil {
+		return e.err
+	}
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	if cap(e.rows) < n {
+		e.rows = make([]types.Row, 0, n)
+	}
+	for _, b := range bufs {
+		e.rows = append(e.rows, b...)
+	}
+	return nil
+}
+
+// openStreaming starts producers feeding the bounded channel; Next consumes
+// until the channel closes.
+func (e *Exchange) openStreaming(ctx *Ctx, frags []Fragment, degree int) {
+	e.streaming = true
+	e.ch = make(chan types.Row, exchangeBuffer)
+	work := make(chan int)
+	for w := 0; w < degree; w++ {
+		e.wg.Add(1)
+		fctx := ctx.fork()
+		go func() {
+			defer e.wg.Done()
+			for idx := range work {
+				if e.canceled() {
+					continue
+				}
+				emit := func(r types.Row) bool {
+					select {
+					case e.ch <- r:
+						return true
+					case <-e.done:
+						return false
+					}
+				}
+				if err := runFragment(fctx, frags[idx], emit); err != nil {
+					e.setErr(err)
+				}
+			}
+		}()
+	}
+	go func() {
+		for i := range frags {
+			work <- i
+		}
+		close(work)
+	}()
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+}
+
+// Next implements Operator.
+func (e *Exchange) Next(*Ctx) (types.Row, error) {
+	if !e.streaming {
+		if e.pos >= len(e.rows) {
+			return nil, io.EOF
+		}
+		r := e.rows[e.pos]
+		e.pos++
+		return r, nil
+	}
+	r, ok := <-e.ch
+	if !ok {
+		if e.err != nil {
+			return nil, e.err
+		}
+		return nil, io.EOF
+	}
+	return r, nil
+}
+
+// RowCount implements Sized for the materialized modes (-1 when streaming).
+func (e *Exchange) RowCount() int {
+	if e.streaming {
+		return -1
+	}
+	return len(e.rows)
+}
+
+// Close implements Operator: it cancels any still-running fragments and
+// joins them, so no worker goroutine survives the operator.
+func (e *Exchange) Close() error {
+	if e.done != nil {
+		e.closed.Do(func() { e.setErr(nil) }) // close done without recording an error
+	}
+	if e.streaming {
+		// Unblock producers parked on the full channel, then join.
+		for range e.ch {
+		}
+	}
+	e.wg.Wait()
+	e.rows = e.rows[:0]
+	return nil
+}

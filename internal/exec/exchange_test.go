@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// rangeFragments builds n fragments, fragment i emitting rows
+// (i, 0), (i, 1), ..., (i, perFrag-1).
+func rangeFragments(n, perFrag int) []Fragment {
+	frags := make([]Fragment, n)
+	for i := range frags {
+		i := i
+		frags[i] = func(_ *Ctx, emit func(types.Row) bool) error {
+			for j := 0; j < perFrag; j++ {
+				if !emit(intRow(int64(i), int64(j))) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+	return frags
+}
+
+func TestExchangeOrderedMatchesSequential(t *testing.T) {
+	schema := schema2("frag", "seq")
+	for _, degree := range []int{1, 2, 4, 16} {
+		ex := NewParallelSource("t", schema, degree, func() ([]Fragment, error) {
+			return rangeFragments(5, 7), nil
+		})
+		rows := collect(t, ex)
+		if len(rows) != 35 {
+			t.Fatalf("degree %d: got %d rows", degree, len(rows))
+		}
+		// Ordered merge: fragment order then emission order, at any degree.
+		for k, r := range rows {
+			if r[0].Int() != int64(k/7) || r[1].Int() != int64(k%7) {
+				t.Fatalf("degree %d: row %d = %v", degree, k, r)
+			}
+		}
+	}
+}
+
+func TestExchangeReopen(t *testing.T) {
+	ex := NewParallelSource("t", schema2("a", "b"), 4, func() ([]Fragment, error) {
+		return rangeFragments(3, 4), nil
+	})
+	first := collect(t, ex)
+	second := collect(t, ex)
+	if len(first) != 12 || len(second) != 12 {
+		t.Fatalf("reopen changed row count: %d then %d", len(first), len(second))
+	}
+}
+
+func TestExchangePlanError(t *testing.T) {
+	wantErr := errors.New("catalog: no such table")
+	ex := NewParallelSource("t", schema2("a", "b"), 4, func() ([]Fragment, error) {
+		return nil, wantErr
+	})
+	if err := ex.Open(NewCtx(time.Unix(0, 0))); !errors.Is(err, wantErr) {
+		t.Fatalf("Open error = %v, want %v", err, wantErr)
+	}
+}
+
+// TestExchangeFragmentErrorCancelsSiblings checks the ordered path: one
+// failing fragment must cancel the others (their emit returns false) and
+// Open must surface exactly that error after joining every worker — no
+// deadlock, no goroutine leak past Close.
+func TestExchangeFragmentErrorCancelsSiblings(t *testing.T) {
+	wantErr := errors.New("dn2: snapshot unavailable")
+	var emitted atomic.Int64
+	ex := NewParallelSource("t", schema2("a", "b"), 4, func() ([]Fragment, error) {
+		frags := make([]Fragment, 8)
+		for i := range frags {
+			i := i
+			frags[i] = func(_ *Ctx, emit func(types.Row) bool) error {
+				if i == 2 {
+					return wantErr
+				}
+				// Emit until cancellation propagates.
+				for j := 0; j < 1_000_000; j++ {
+					emitted.Add(1)
+					if !emit(intRow(int64(i), int64(j))) {
+						return nil
+					}
+				}
+				return nil
+			}
+		}
+		return frags, nil
+	})
+	err := ex.Open(NewCtx(time.Unix(0, 0)))
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Open error = %v, want %v", err, wantErr)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cancellation is advisory, but siblings must have stopped well short
+	// of their full output (8M rows if nothing canceled).
+	if n := emitted.Load(); n >= 7_000_000 {
+		t.Fatalf("siblings were not canceled: %d rows emitted", n)
+	}
+}
+
+// TestExchangeStreamingErrorNoDeadlock exercises the unordered path, where
+// producers can be parked on a full channel when a sibling fails: the
+// consumer must see the error and Close must join everyone.
+func TestExchangeStreamingErrorNoDeadlock(t *testing.T) {
+	wantErr := errors.New("fragment exploded")
+	ex := &Exchange{
+		Name:     "t",
+		Out:      schema2("a", "b"),
+		Parallel: 4,
+		Plan: func() ([]Fragment, error) {
+			frags := make([]Fragment, 4)
+			for i := range frags {
+				i := i
+				frags[i] = func(_ *Ctx, emit func(types.Row) bool) error {
+					if i == 3 {
+						return wantErr
+					}
+					// Far more rows than the channel buffers, so producers
+					// block if nobody drains.
+					for j := 0; j < exchangeBuffer*10; j++ {
+						if !emit(intRow(int64(i), int64(j))) {
+							return nil
+						}
+					}
+					return nil
+				}
+			}
+			return frags, nil
+		},
+	}
+	ctx := NewCtx(time.Unix(0, 0))
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var err error
+	for {
+		_, err = ex.Next(ctx)
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Next error = %v, want %v", err, wantErr)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeStreamingAbandonedConsumer closes a streaming exchange while
+// producers are still blocked on the channel; Close must unblock and join
+// them rather than leak goroutines.
+func TestExchangeStreamingAbandonedConsumer(t *testing.T) {
+	ex := &Exchange{
+		Name:     "t",
+		Out:      schema2("a", "b"),
+		Parallel: 4,
+		Plan: func() ([]Fragment, error) {
+			return rangeFragments(4, exchangeBuffer*4), nil
+		},
+	}
+	ctx := NewCtx(time.Unix(0, 0))
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Read a handful of rows, then walk away.
+	for i := 0; i < 3; i++ {
+		if _, err := ex.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeFragmentPanicBecomesError(t *testing.T) {
+	ex := NewParallelSource("t", schema2("a", "b"), 4, func() ([]Fragment, error) {
+		frags := rangeFragments(4, 10)
+		frags[1] = func(_ *Ctx, _ func(types.Row) bool) error {
+			panic("index out of range on dn1")
+		}
+		return frags, nil
+	})
+	err := ex.Open(NewCtx(time.Unix(0, 0)))
+	if err == nil {
+		t.Fatal("panicking fragment must surface an error")
+	}
+	if msg := fmt.Sprint(err); msg == "" || !containsAll(msg, "panicked", "dn1") {
+		t.Fatalf("unhelpful panic error: %v", err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExchangeSequentialInlinePath(t *testing.T) {
+	// Degree 1 must not spawn workers: fragments run on the caller's
+	// goroutine, observable through an unsynchronized local variable.
+	calls := 0
+	ex := NewParallelSource("t", schema2("a", "b"), 1, func() ([]Fragment, error) {
+		frags := make([]Fragment, 3)
+		for i := range frags {
+			i := i
+			frags[i] = func(_ *Ctx, emit func(types.Row) bool) error {
+				calls++ // safe only if inline
+				emit(intRow(int64(i), 0))
+				return nil
+			}
+		}
+		return frags, nil
+	})
+	rows := collect(t, ex)
+	if len(rows) != 3 || calls != 3 {
+		t.Fatalf("rows=%d calls=%d", len(rows), calls)
+	}
+}

@@ -18,6 +18,13 @@ type Operator interface {
 	Close() error
 }
 
+// Sized is implemented by operators that know their output row count once
+// Open has run (materializing sources); Collect uses it to pre-size its
+// result slice. RowCount returns -1 when the count is unknown.
+type Sized interface {
+	RowCount() int
+}
+
 // Collect opens, drains and closes op.
 func Collect(ctx *Ctx, op Operator) ([]types.Row, error) {
 	if err := op.Open(ctx); err != nil {
@@ -25,6 +32,11 @@ func Collect(ctx *Ctx, op Operator) ([]types.Row, error) {
 	}
 	defer op.Close()
 	var out []types.Row
+	if s, ok := op.(Sized); ok {
+		if n := s.RowCount(); n > 0 {
+			out = make([]types.Row, 0, n)
+		}
+	}
 	for {
 		row, err := op.Next(ctx)
 		if err == io.EOF {
@@ -73,6 +85,9 @@ func (v *Values) Next(*Ctx) (types.Row, error) {
 // Close implements Operator.
 func (v *Values) Close() error { return nil }
 
+// RowCount implements Sized.
+func (v *Values) RowCount() int { return len(v.Rows) }
+
 // Source adapts a callback-style scan (storage.Table.Scan and friends) to
 // an Operator by materializing at Open. ScanFn is re-invoked on every Open,
 // so the operator can be re-executed (correlated subplans).
@@ -113,8 +128,13 @@ func (s *Source) Next(*Ctx) (types.Row, error) {
 	return r, nil
 }
 
-// Close implements Operator.
-func (s *Source) Close() error { s.rows = nil; return nil }
+// RowCount implements Sized.
+func (s *Source) RowCount() int { return len(s.rows) }
+
+// Close implements Operator. The row buffer keeps its capacity so
+// re-executed sources (correlated subplans Open/Close per outer row) do not
+// reallocate it every iteration.
+func (s *Source) Close() error { s.rows = s.rows[:0]; return nil }
 
 // ---------------------------------------------------------------------------
 // Filter / Project

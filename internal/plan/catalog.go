@@ -56,6 +56,21 @@ type PartialAggAccess interface {
 	ScanPartialAgg(t *TableMeta, pred exec.Expr, groupBy []exec.Expr, aggs []exec.AggSpec, out *types.Schema) (exec.Operator, bool)
 }
 
+// PredicateAccess is an optional Access extension for predicate pushdown:
+// the engine receives the scan's pushed-down predicate (the AND of the
+// single-table conjuncts) alongside the table. The returned operator must
+// stream the same rows Scan would — the engine may use pred only to skip
+// storage that provably cannot match (e.g. columnar segments excluded by
+// zone maps); the planner keeps its Filter on top, so an over-permissive
+// scan stays correct.
+type PredicateAccess interface {
+	Access
+	// ScanPred returns a predicate-aware scan, or ok=false to fall back to
+	// Scan. pred is never nil and is partition-pure (no outer references,
+	// no subplans).
+	ScanPred(t *TableMeta, pred exec.Expr) (exec.Operator, bool)
+}
+
 // Hooks supplies the multi-model table-function engines (paper §II-B). A
 // nil hook makes the corresponding table function an error.
 type Hooks struct {

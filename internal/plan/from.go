@@ -285,8 +285,6 @@ func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.O
 	}
 	scope := scopeForTable(meta, alias)
 
-	scan := pc.p.Access.Scan(meta)
-
 	// Push down conjuncts that reference only this table.
 	var preds []exec.Expr
 	var predTexts []string
@@ -304,13 +302,27 @@ func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.O
 		sel *= estimateConjunctSelectivity(meta, scope, c)
 		pc.consumed[c] = true
 	}
-	op := scan
+	var combinedPred exec.Expr
 	if len(preds) > 0 {
-		pred := preds[0]
+		combinedPred = preds[0]
 		for _, p := range preds[1:] {
-			pred = &exec.BinOp{Op: "AND", Left: pred, Right: p}
+			combinedPred = &exec.BinOp{Op: "AND", Left: combinedPred, Right: p}
 		}
-		op = &exec.Filter{Child: op, Pred: pred}
+	}
+
+	// Predicate-aware scan when the engine offers one and the predicate is
+	// safe to evaluate on a partition (the engine uses it only as a
+	// skip-hint; the Filter below still runs per row).
+	var scan exec.Operator
+	if pa, ok := pc.p.Access.(PredicateAccess); ok && combinedPred != nil && exec.IsPartitionPure(combinedPred) {
+		scan, _ = pa.ScanPred(meta, combinedPred)
+	}
+	if scan == nil {
+		scan = pc.p.Access.Scan(meta)
+	}
+	op := scan
+	if combinedPred != nil {
+		op = &exec.Filter{Child: op, Pred: combinedPred}
 	}
 
 	rows := float64(1000)
@@ -326,13 +338,6 @@ func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.O
 	}
 	c := &exec.Counted{Child: op, StepText: stepText, EstimatedRows: est}
 	*pc.counted = append(*pc.counted, c)
-	var combinedPred exec.Expr
-	if len(preds) > 0 {
-		combinedPred = preds[0]
-		for _, p := range preds[1:] {
-			combinedPred = &exec.BinOp{Op: "AND", Left: combinedPred, Right: p}
-		}
-	}
 	pc.lastScan = &scanInfo{meta: meta, pred: combinedPred, counted: c}
 	return c, scope, nil
 }
