@@ -1,5 +1,5 @@
 // Package repro_test holds the benchmark harness that regenerates every
-// table and figure of the paper's evaluation (experiment ids E1–E12 in
+// table and figure of the paper's evaluation (experiment ids E1–E14 in
 // DESIGN.md). Run with:
 //
 //	go test -bench=. -benchmem
@@ -25,6 +25,7 @@ import (
 	"repro/internal/mme"
 	"repro/internal/perfsim"
 	"repro/internal/rebalance"
+	"repro/internal/repl"
 	"repro/internal/tpcc"
 )
 
@@ -448,6 +449,54 @@ func BenchmarkParallelScatterAgg(b *testing.B) {
 		})
 	}
 	db.Cluster().ParallelDegree = 0
+}
+
+// ---------------------------------------------------------------------------
+// E14 — standby replication failover
+// ---------------------------------------------------------------------------
+
+// BenchmarkFailover measures E14's headline: fence-to-promotion latency of
+// a standby takeover. Each iteration builds a loaded 2-shard cluster with a
+// standby pair, commits write traffic through the ship log, kills the
+// primary and times the full failover (fence, settle, drain, digest verify,
+// bucket flip).
+func BenchmarkFailover(b *testing.B) {
+	for _, mode := range []repl.Mode{repl.ModeAsync, repl.ModeSync} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var promote time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c, err := cluster.New(cluster.Config{DataNodes: 2, Mode: cluster.ModeGTMLite})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := c.NewSession()
+				if _, err := s.Exec("CREATE TABLE accounts (id BIGINT, balance BIGINT, PRIMARY KEY(id)) DISTRIBUTE BY HASH(id)"); err != nil {
+					b.Fatal(err)
+				}
+				m := repl.NewManager(c, repl.Config{Mode: mode})
+				if _, err := m.AttachStandby(0); err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 200; k++ {
+					if _, err := s.Exec(fmt.Sprintf("INSERT INTO accounts VALUES (%d, 100)", k)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				c.SetDataNodeDown(0, true)
+				b.StartTimer()
+				rep, err := m.Failover(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				promote += rep.Elapsed
+				m.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(promote.Microseconds())/float64(b.N)/1e3, "promote-ms")
+		})
+	}
 }
 
 // BenchmarkGMDBPut measures the fiber-serialized write path with 5-10KB

@@ -109,6 +109,13 @@ func (ti *TableInfo) columnar() bool { return ti.parts.Load().cols != nil }
 type DataNode struct {
 	ID  int
 	Txm *txnkit.TxnManager
+
+	// commitMu serializes commit-with-record-shipping on this node, so the
+	// commit tap (standby replication) observes records in commit order.
+	commitMu sync.Mutex
+	// committing counts in-flight commits holding a slot on this node; a
+	// failover drains it after marking the node down (see WaitCommitsSettled).
+	committing atomic.Int64
 }
 
 // Cluster is an embedded FI-MPPDB instance.
@@ -190,6 +197,24 @@ type Cluster struct {
 
 	// downNodes marks data nodes that are offline (guarded by mu).
 	downNodes map[int]bool
+	// retired marks former primaries replaced by a promoted standby; they
+	// never serve again (guarded by mu; see standby.go).
+	retired map[int]bool
+
+	// Standby pairing (guarded by routeMu): standbys maps standby -> its
+	// primary, standbyOf maps primary -> its standby. See standby.go.
+	standbys  map[int]int
+	standbyOf map[int]int
+	// tap receives committed write records (standby replication); nil
+	// until internal/repl installs one.
+	tap atomic.Pointer[tapBox]
+	// stash parks prepared 2PC legs' records across the in-doubt window
+	// (guarded by stashMu).
+	stashMu sync.Mutex
+	stash   map[stashKey][]WriteRec
+	// Read-replica routing policy (guarded by routeMu; see SetStandbyReads).
+	standbyReadMode StandbyReadMode
+	standbyReadable func(primary int) bool
 }
 
 // New builds a cluster.
@@ -210,6 +235,9 @@ func New(cfg Config) (*Cluster, error) {
 		tables:    make(map[string]*TableInfo),
 		virtuals:  make(map[string]*VirtualTable),
 		downNodes: map[int]bool{},
+		retired:   map[int]bool{},
+		standbys:  map[int]int{},
+		standbyOf: map[int]int{},
 		Store:     planstore.New(),
 		Clock:     time.Now,
 		bmap:      bmap,
@@ -559,25 +587,49 @@ func (c *Cluster) partitionRows(ti *TableInfo, dnID int, xid txnkit.XID, snap *t
 // It returns (committed, aborted) leg counts.
 func (c *Cluster) RecoverInDoubt() (committed, aborted int) {
 	for _, dn := range c.nodes() {
-		for gxid, xid := range dn.Txm.PreparedGlobals() {
-			decidedCommit, known := c.gtm.Outcome(gxid)
-			switch {
-			case known && decidedCommit:
-				if err := dn.Txm.Commit(xid); err == nil {
-					committed++
-				}
-			case known && !decidedCommit:
-				if err := dn.Txm.Abort(xid); err == nil {
-					aborted++
-				}
-			default:
-				// Undecided at the GTM: the coordinator died before
-				// EndGlobal, so no participant can have committed.
-				// Presumed abort.
-				c.gtm.EndGlobal(gxid, false)
-				if err := dn.Txm.Abort(xid); err == nil {
-					aborted++
-				}
+		cm, ab := c.ResolveInDoubt(dn.ID)
+		committed += cm
+		aborted += ab
+	}
+	return committed, aborted
+}
+
+// ResolveInDoubt resolves one node's prepared legs (see RecoverInDoubt).
+// Decided commits ship their stashed records to the commit tap — a
+// failover runs this on the dead primary before promoting, so a
+// coordinator crash between the GTM decision and phase 2 cannot lose the
+// decided writes. Recovery commits bypass the down check: the decision is
+// already durable at the GTM.
+func (c *Cluster) ResolveInDoubt(id int) (committed, aborted int) {
+	dn := c.node(id)
+	for gxid, xid := range dn.Txm.PreparedGlobals() {
+		decidedCommit, known := c.gtm.Outcome(gxid)
+		switch {
+		case known && decidedCommit:
+			recs := c.takeStash(dn.ID, xid)
+			dn.commitMu.Lock()
+			err := dn.Txm.Commit(xid)
+			if err == nil {
+				// Recovery never blocks on standby ack; drop the wait.
+				_ = c.tapCommitted(dn.ID, recs)
+			}
+			dn.commitMu.Unlock()
+			if err == nil {
+				committed++
+			}
+		case known && !decidedCommit:
+			c.takeStash(dn.ID, xid)
+			if err := dn.Txm.Abort(xid); err == nil {
+				aborted++
+			}
+		default:
+			// Undecided at the GTM: the coordinator died before
+			// EndGlobal, so no participant can have committed.
+			// Presumed abort.
+			c.gtm.EndGlobal(gxid, false)
+			c.takeStash(dn.ID, xid)
+			if err := dn.Txm.Abort(xid); err == nil {
+				aborted++
 			}
 		}
 	}
@@ -613,22 +665,27 @@ var ErrNodeDown = errors.New("cluster: required data node is down")
 
 // SetDataNodeDown marks a shard offline (or back online). While a node is
 // down: reads of replicated tables fail over to live replicas; statements
-// that need the node's hash partitions fail with ErrNodeDown; writes to
-// replicated tables fail too (all copies must stay consistent). This is
-// the availability model of replicated dimension tables; per-shard standby
-// replication is documented as out of scope. Bucket moves touching a down
-// node abort with a retryable error and leave the bucket on its source.
+// that need the node's hash partitions fail with ErrNodeDown — unless the
+// node has a synced standby, in which case reads may be served there (see
+// SetStandbyReads) and a failover (internal/repl) can promote the standby
+// to take over the node's buckets entirely. Writes to replicated tables
+// fail with ErrReplicatedWriteDown while any replica is down (all copies
+// must stay consistent). Bucket moves touching a down node abort with a
+// retryable error and leave the bucket on its source. Marking a node back
+// up restores its routing, except for retired primaries (replaced by a
+// promoted standby), which never serve again.
 func (c *Cluster) SetDataNodeDown(id int, down bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.downNodes[id] = down
 }
 
-// nodeDown reports whether a shard is marked offline.
+// nodeDown reports whether a shard is unavailable: marked offline, or
+// permanently retired by a failover.
 func (c *Cluster) nodeDown(id int) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.downNodes[id]
+	return c.downNodes[id] || c.retired[id]
 }
 
 // liveNodes filters ids to online shards.

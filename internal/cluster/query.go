@@ -24,6 +24,12 @@ type stmtAccess struct {
 	// map scan the default set. Written only during routing, before any
 	// fragment starts.
 	routed map[string][]int
+	// readMap redirects an offloaded shard's whole read fragment to its
+	// synced standby; splitSet instead splits the shard into an even-bucket
+	// fragment on the primary and an odd-bucket one on the standby. Both
+	// are keyed by primary id and written only during routing.
+	readMap  map[int]int
+	splitSet map[int]int
 
 	mu    sync.Mutex // guards snaps
 	snaps map[int]*txnkit.Snapshot
@@ -34,7 +40,13 @@ type stmtAccess struct {
 }
 
 func (s *Session) newStmtAccess(t *txn) *stmtAccess {
-	return &stmtAccess{s: s, t: t, routed: map[string][]int{}, snaps: map[int]*txnkit.Snapshot{}}
+	return &stmtAccess{
+		s: s, t: t,
+		routed:   map[string][]int{},
+		readMap:  map[int]int{},
+		splitSet: map[int]int{},
+		snaps:    map[int]*txnkit.Snapshot{},
+	}
 }
 
 // snapshotFor lazily acquires and caches the statement snapshot on a DN.
@@ -70,7 +82,60 @@ func (a *stmtAccess) targetsFor(ti *TableInfo) []int {
 		}
 		return []int{0} // nothing live: the scan will surface the error
 	}
-	return allDNs(a.s.c.DataNodeCount())
+	return a.s.c.scanTargetsLocked()
+}
+
+// readFrag is one physical scan fragment of a routed shard: phys is the
+// node actually scanned, logical the bucket owner whose rows it must
+// yield, and parity (when >= 0) restricts it to buckets with that low bit
+// — StandbyReadSplit's half-and-half scan.
+type readFrag struct {
+	logical, phys, parity int
+}
+
+// readFrags expands the logical target set through the statement's
+// read-replica routing decisions (one fragment per shard, two when split).
+func (a *stmtAccess) readFrags(targets []int) []readFrag {
+	out := make([]readFrag, 0, len(targets)+len(a.splitSet))
+	for _, p := range targets {
+		if sid, ok := a.readMap[p]; ok {
+			out = append(out, readFrag{logical: p, phys: sid, parity: -1})
+		} else if sid, ok := a.splitSet[p]; ok {
+			out = append(out,
+				readFrag{logical: p, phys: p, parity: 0},
+				readFrag{logical: p, phys: sid, parity: 1})
+		} else {
+			out = append(out, readFrag{logical: p, phys: p, parity: -1})
+		}
+	}
+	return out
+}
+
+func fragPhys(frags []readFrag) []int {
+	out := make([]int, len(frags))
+	for i, f := range frags {
+		out[i] = f.phys
+	}
+	return out
+}
+
+// fragFilter returns the per-row keep filter for one read fragment. Plain
+// fragments use the ordinary bucket-ownership filter; fragments redirected
+// to a standby keep exactly the rows the routing map assigns to the
+// fragment's logical owner (the paired primary), further halved by parity
+// in split mode. Caller must hold routeMu.
+func (c *Cluster) fragFilter(ti *TableInfo, f readFrag) func(types.Row) bool {
+	if f.phys == f.logical && f.parity < 0 {
+		return c.ownershipFilter(ti, f.logical)
+	}
+	if ti.replicated || ti.Meta.DistKey < 0 {
+		return nil
+	}
+	dk := ti.Meta.DistKey
+	return func(r types.Row) bool {
+		b := BucketOf(r[dk])
+		return c.bmap.dn[b] == f.logical && (f.parity < 0 || b&1 == f.parity)
+	}
 }
 
 // Scan implements plan.Access.
@@ -103,33 +168,33 @@ func (a *stmtAccess) scan(meta *plan.TableMeta, pred exec.Expr) exec.Operator {
 		if err != nil {
 			return nil, err
 		}
-		targets := a.targetsFor(ti)
-		if err := a.s.c.requireLive(targets); err != nil {
+		fragSet := a.readFrags(a.targetsFor(ti))
+		if err := a.s.c.requireLive(fragPhys(fragSet)); err != nil {
 			return nil, err
 		}
 		keep := a.s.c.segmentPruner(pred)
-		frags := make([]exec.Fragment, len(targets))
-		for i, dnID := range targets {
-			dnID := dnID
+		frags := make([]exec.Fragment, len(fragSet))
+		for i, f := range fragSet {
+			f := f
 			frags[i] = func(_ *exec.Ctx, emit func(types.Row) bool) error {
-				xid := a.t.touch(dnID)
-				snap, err := a.snapshotFor(dnID)
+				xid := a.t.touch(f.phys)
+				snap, err := a.snapshotFor(f.phys)
 				if err != nil {
 					return err
 				}
 				a.s.c.hop()
-				owns := a.s.c.ownershipFilter(ti, dnID)
+				owns := a.s.c.fragFilter(ti, f)
 				counted := func(r types.Row) bool {
 					if owns != nil && !owns(r) {
-						return true // migration phantom: skip, keep scanning
+						return true // migration phantom / other half: skip, keep scanning
 					}
 					a.rowsShipped.Add(1)
 					return emit(r)
 				}
 				if ti.columnar() {
-					ti.colParts()[dnID].ScanRowsWhere(xid, snap, keep, counted)
+					ti.colParts()[f.phys].ScanRowsWhere(xid, snap, keep, counted)
 				} else {
-					ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
+					ti.rowParts()[f.phys].Scan(xid, snap, func(r types.Row) bool {
 						return counted(r.Clone())
 					})
 				}
@@ -154,8 +219,8 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 		if err != nil {
 			return nil, err
 		}
-		targets := a.targetsFor(ti)
-		if err := a.s.c.requireLive(targets); err != nil {
+		fragSet := a.readFrags(a.targetsFor(ti))
+		if err := a.s.c.requireLive(fragPhys(fragSet)); err != nil {
 			return nil, err
 		}
 		// Vectorized fast path: columnar partition and every group/agg
@@ -168,17 +233,17 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 			vp, _ = buildVecPlan(meta.Schema.Len(), pred, groupBy, aggs, out)
 		}
 		keep := a.s.c.segmentPruner(pred)
-		frags := make([]exec.Fragment, len(targets))
-		for i, dnID := range targets {
-			dnID := dnID
+		frags := make([]exec.Fragment, len(fragSet))
+		for i, f := range fragSet {
+			f := f
 			frags[i] = func(ctx *exec.Ctx, emit func(types.Row) bool) error {
-				xid := a.t.touch(dnID)
-				snap, err := a.snapshotFor(dnID)
+				xid := a.t.touch(f.phys)
+				snap, err := a.snapshotFor(f.phys)
 				if err != nil {
 					return err
 				}
 				if vp != nil {
-					rows, err := runVectorizedPartialAgg(ti.colParts()[dnID], xid, snap, vp, keep, ctx)
+					rows, err := runVectorizedPartialAgg(ti.colParts()[f.phys], xid, snap, vp, keep, ctx)
 					if err != nil {
 						return err
 					}
@@ -194,7 +259,7 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 				// Partition-local pipeline: scan -> filter -> partial agg.
 				// All of it evaluates "on the data node"; only the
 				// aggregate's output crosses to the coordinator.
-				owns := a.s.c.ownershipFilter(ti, dnID)
+				owns := a.s.c.fragFilter(ti, f)
 				var src exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
 					emitOwned := func(r types.Row) bool {
 						if owns != nil && !owns(r) {
@@ -203,10 +268,10 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 						return emitRow(r)
 					}
 					if ti.columnar() {
-						ti.colParts()[dnID].ScanRowsWhere(xid, snap, keep, emitOwned)
+						ti.colParts()[f.phys].ScanRowsWhere(xid, snap, keep, emitOwned)
 						return
 					}
-					ti.rowParts()[dnID].Scan(xid, snap, func(r types.Row) bool {
+					ti.rowParts()[f.phys].Scan(xid, snap, func(r types.Row) bool {
 						return emitOwned(r.Clone())
 					})
 				})
@@ -249,6 +314,9 @@ func (s *Session) plannerWithAccess(a *stmtAccess) *plan.Planner {
 func (s *Session) planSelect(t *txn, sel *sqlx.Select) (*plan.Plan, *stmtAccess, error) {
 	access := s.newStmtAccess(t)
 	dnSet := s.routeSelect(t, sel, access)
+	// Read-replica rewrite must run before the touch: an offloaded shard's
+	// primary is never touched, so the transaction stays standby-only there.
+	dnSet = s.c.applyStandbyReads(t, access, dnSet)
 	t.touchSet(dnSet)
 	t.refreshGlobalSnapshot()
 	p, err := s.plannerWithAccess(access).PlanSelect(sel)
@@ -374,15 +442,19 @@ func (s *Session) routeSelect(t *txn, sel *sqlx.Select, access *stmtAccess) []in
 
 	switch {
 	case !sawDistributed:
-		// Replicated-only: stay on an already-touched shard, else shard 0.
-		if ids := t.sortedDNs(); len(ids) > 0 {
+		// Replicated-only: stay on an already-touched live shard, else the
+		// first live one (a retired or down node must never take a new leg).
+		if ids := s.c.liveNodes(t.sortedDNs()); len(ids) > 0 {
 			return ids[:1]
+		}
+		if live := s.c.liveNodes(allDNs(s.c.DataNodeCount())); len(live) > 0 {
+			return live[:1]
 		}
 		return []int{0}
 	case unrouted || len(shards) == 0:
-		// Clear per-table routing: a scatter statement scans everything.
+		// Clear per-table routing: a scatter statement scans every primary.
 		access.routed = map[string][]int{}
-		return allDNs(s.c.DataNodeCount())
+		return s.c.scanTargetsLocked()
 	default:
 		out := make([]int, 0, len(shards))
 		for sh := range shards {

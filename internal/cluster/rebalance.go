@@ -85,16 +85,8 @@ func (c *Cluster) AddDataNode() (int, error) {
 	}
 	for _, ti := range c.tables {
 		p := ti.parts.Load()
-		np := &tableParts{}
-		if p.cols != nil {
-			np.cols = append(append([]*colstore.Table(nil), p.cols...),
-				colstore.NewTable(ti.Meta.Name, ti.Meta.Schema, dn.Txm))
-		} else {
-			np.rows = append(append([]*storage.Table(nil), p.rows...),
-				storage.NewTable(ti.Meta.Name, ti.Meta.Schema, ti.Meta.PKCols, dn.Txm))
-		}
 		undos = append(undos, undo{ti, p})
-		ti.parts.Store(np)
+		ti.parts.Store(appendPartition(ti, p, dn))
 	}
 
 	// Materialize replicated tables on the new node before publishing it.
@@ -116,15 +108,30 @@ func (c *Cluster) AddDataNode() (int, error) {
 	return id, nil
 }
 
-// firstLiveLocked returns the lowest live node id < n, or -1. Caller holds
-// c.mu.
+// firstLiveLocked returns the lowest live, non-retired node id < n, or -1.
+// Caller holds c.mu.
 func (c *Cluster) firstLiveLocked(n int) int {
 	for i := 0; i < n; i++ {
-		if !c.downNodes[i] {
+		if !c.downNodes[i] && !c.retired[i] {
 			return i
 		}
 	}
 	return -1
+}
+
+// appendPartition returns p grown by one empty partition of ti on dn
+// (copy-on-write: the shared prefix is reused, so concurrent readers of the
+// old slice are unaffected).
+func appendPartition(ti *TableInfo, p *tableParts, dn *DataNode) *tableParts {
+	np := &tableParts{}
+	if p.cols != nil {
+		np.cols = append(append([]*colstore.Table(nil), p.cols...),
+			colstore.NewTable(ti.Meta.Name, ti.Meta.Schema, dn.Txm))
+	} else {
+		np.rows = append(append([]*storage.Table(nil), p.rows...),
+			storage.NewTable(ti.Meta.Name, ti.Meta.Schema, ti.Meta.PKCols, dn.Txm))
+	}
+	return np
 }
 
 // copyReplica snapshots table ti on node src and inserts every visible row
@@ -237,6 +244,16 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 	// statement started under filterByBucket=false is still running, so
 	// every scan that could observe our copies filters them out.
 	c.routeMu.Lock()
+	// Standby mirrors and retired nodes never own buckets: rejecting them
+	// here is a permanent configuration error, not a retryable failure.
+	if p, isStandby := c.standbys[target]; isStandby {
+		c.routeMu.Unlock()
+		return 0, fmt.Errorf("cluster: move target dn%d is a standby (of dn%d)", target, p)
+	}
+	if c.isRetired(target) {
+		c.routeMu.Unlock()
+		return 0, fmt.Errorf("cluster: move target dn%d is retired", target)
+	}
 	source := c.bmap.dn[bucket]
 	if source == target {
 		c.routeMu.Unlock()
@@ -359,6 +376,7 @@ func (c *Cluster) distributedTables() []*TableInfo {
 // partitions. Columnar partitions are append-only: their stale rows stay,
 // permanently invisible behind the bucket-ownership filter.
 func (c *Cluster) reapBucket(tables []*TableInfo, dnID, bucket int) {
+	logging := c.tapInstalled()
 	for _, ti := range tables {
 		parts := ti.parts.Load()
 		if parts.rows == nil {
@@ -366,6 +384,18 @@ func (c *Cluster) reapBucket(tables []*TableInfo, dnID, bucket int) {
 		}
 		col := ti.Meta.DistKey
 		parts.rows[dnID].Reap(func(r types.Row) bool { return BucketOf(r[col]) == bucket })
+		if logging {
+			// Ship the reap so the node's standby mirror drops the same
+			// rows; by now no commit can write this bucket on this node, so
+			// taking the commit lock only orders the record in the stream.
+			dn := c.node(dnID)
+			dn.commitMu.Lock()
+			wait := c.tapCommitted(dnID, []WriteRec{{Table: ti.Meta.Name, Op: OpReap, Bucket: bucket}})
+			dn.commitMu.Unlock()
+			if wait != nil {
+				wait()
+			}
+		}
 	}
 }
 
@@ -402,6 +432,12 @@ func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, src
 		return 0, nil
 	}
 
+	// Commit through commitLocal: the sync aborts if the target was marked
+	// down mid-move, and its records ship to the target's standby (if any),
+	// so bucket moves compose with replication.
+	logging := c.tapInstalled()
+	var recs []WriteRec
+
 	parts := ti.parts.Load()
 	if parts.cols != nil {
 		// Columnar tables are append-only (no SQL UPDATE/DELETE), so the
@@ -415,8 +451,11 @@ func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, src
 				_ = tgtDN.Txm.Abort(xid)
 				return 0, err
 			}
+			if logging {
+				recs = append(recs, WriteRec{Table: ti.Meta.Name, Op: OpInsert, Row: r.Clone()})
+			}
 		}
-		return len(inserts), tgtDN.Txm.Commit(xid)
+		return len(inserts), c.commitLocal(tgtDN, xid, recs)
 	}
 
 	xid := tgtDN.Txm.Begin()
@@ -433,6 +472,9 @@ func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, src
 			k := encodeRow(r)
 			if have[k] > 0 {
 				have[k]--
+				if logging {
+					recs = append(recs, WriteRec{Table: ti.Meta.Name, Op: OpDelete, Old: r.Clone()})
+				}
 				return true
 			}
 			return false
@@ -446,8 +488,11 @@ func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, src
 			_ = tgtDN.Txm.Abort(xid)
 			return 0, err
 		}
+		if logging {
+			recs = append(recs, WriteRec{Table: ti.Meta.Name, Op: OpInsert, Row: r.Clone()})
+		}
 	}
-	return len(inserts), tgtDN.Txm.Commit(xid)
+	return len(inserts), c.commitLocal(tgtDN, xid, recs)
 }
 
 // encodeRow serializes a row to a comparable key (kind-tagged so 1 and "1"

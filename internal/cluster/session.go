@@ -65,6 +65,12 @@ type txn struct {
 	gsnap  *txnkit.GlobalSnapshot
 	failed bool
 	done   bool
+
+	// pending holds the write records captured per leg (standby
+	// replication); they ship to the commit tap iff the leg commits.
+	// Written only by the statement-executor goroutine (DML never runs in
+	// parallel fragments), read at commit — no lock needed.
+	pending map[int][]WriteRec
 }
 
 func (s *Session) newTxn() *txn {
@@ -157,6 +163,22 @@ func (t *txn) refreshGlobalSnapshot() {
 	}
 }
 
+// hasLeg reports whether the transaction already holds a leg on dnID.
+func (t *txn) hasLeg(dnID int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.xids[dnID]
+	return ok
+}
+
+// logWrite records one write for the leg on dnID (see txn.pending).
+func (t *txn) logWrite(dnID int, rec WriteRec) {
+	if t.pending == nil {
+		t.pending = make(map[int][]WriteRec)
+	}
+	t.pending[dnID] = append(t.pending[dnID], rec)
+}
+
 // snapshotFor produces the statement snapshot on a data node: a purely
 // local snapshot on the GTM-lite fast path, a merged snapshot (Algorithm 1)
 // when the transaction is global.
@@ -188,11 +210,36 @@ func (t *txn) commit() error {
 		return ErrTxnAborted
 	}
 	ids := t.sortedDNs()
+
+	// Hold a commit slot on every leg for the duration of the protocol,
+	// then re-check liveness: a failover marks the primary down and drains
+	// these slots, so a commit racing the kill either aborts here (saw the
+	// down mark) or lands its records in the shipped log before promotion —
+	// never in between. Sync-mode standby waits run after the slots drop.
+	for _, dnID := range ids {
+		t.c.node(dnID).committing.Add(1)
+	}
+	var waits []func()
+	defer func() {
+		for _, dnID := range ids {
+			t.c.node(dnID).committing.Add(-1)
+		}
+		for _, w := range waits {
+			w()
+		}
+	}()
+	for _, dnID := range ids {
+		if t.c.nodeDown(dnID) {
+			t.abortLocked()
+			return fmt.Errorf("cluster: commit aborted, %w: dn%d", ErrNodeDown, dnID)
+		}
+	}
+
 	if !t.global {
 		// GTM-lite single-shard fast path: no GTM, no 2PC.
 		for _, dnID := range ids {
 			t.c.hop()
-			if err := t.c.node(dnID).Txm.Commit(t.xids[dnID]); err != nil {
+			if err := t.c.commitLeg(dnID, t.xids[dnID], t.pending[dnID], &waits); err != nil {
 				return err
 			}
 		}
@@ -205,6 +252,11 @@ func (t *txn) commit() error {
 			t.abortLocked()
 			return fmt.Errorf("cluster: prepare failed on dn%d: %w", dnID, err)
 		}
+	}
+	// Every leg is prepared: park the write records so in-doubt recovery
+	// can still ship them if the coordinator dies mid-commit.
+	for _, dnID := range ids {
+		t.c.stashPrepared(dnID, t.xids[dnID], t.pending[dnID])
 	}
 	if t.c.failCrashBeforeGTM.Load() {
 		// Simulated coordinator death: legs stay prepared, no GTM decision.
@@ -223,7 +275,11 @@ func (t *txn) commit() error {
 	// Phase 2: commit confirmations to data nodes.
 	for _, dnID := range ids {
 		t.c.hop()
-		if err := t.c.node(dnID).Txm.Commit(t.xids[dnID]); err != nil {
+		recs := t.c.takeStash(dnID, t.xids[dnID])
+		if recs == nil {
+			recs = t.pending[dnID]
+		}
+		if err := t.c.commitLeg(dnID, t.xids[dnID], recs, &waits); err != nil {
 			return err
 		}
 	}
@@ -494,7 +550,7 @@ func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
 		}
 		var targets []int
 		if ti.replicated {
-			targets = allDNs(s.c.DataNodeCount())
+			targets = s.c.replicaTargetsLocked()
 		} else {
 			dnID, err := s.c.writeTarget(full[ti.Meta.DistKey])
 			if err != nil {
@@ -503,9 +559,13 @@ func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
 			targets = []int{dnID}
 		}
 		if err := s.c.requireLive(targets); err != nil {
+			if ti.replicated {
+				return nil, fmt.Errorf("%w: %w", ErrReplicatedWriteDown, err)
+			}
 			return nil, err
 		}
 		t.touchSet(targets)
+		logging := !ti.replicated && s.c.tapInstalled()
 		for _, dnID := range targets {
 			xid := t.touch(dnID)
 			snap, err := t.snapshotFor(dnID)
@@ -520,6 +580,9 @@ func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
 			}
 			if err != nil {
 				return nil, err
+			}
+			if logging {
+				t.logWrite(dnID, WriteRec{Table: ti.Meta.Name, Op: OpInsert, Row: full})
 			}
 		}
 		n++
@@ -536,16 +599,18 @@ func allDNs(n int) []int {
 }
 
 // routeWrite picks target data nodes for an UPDATE/DELETE on table ti with
-// the given WHERE clause.
+// the given WHERE clause. Replicated tables write every non-retired
+// replica (standbys included); scatter writes on distributed tables cover
+// the primaries only — standbys receive them through the commit log.
 func (s *Session) routeWrite(ti *TableInfo, where sqlx.Expr) []int {
 	if ti.replicated {
-		return allDNs(s.c.DataNodeCount())
+		return s.c.replicaTargetsLocked()
 	}
 	scope := plan.TableScope(ti.Meta, shortAlias(ti.Meta.Name))
 	if shard, ok := routeByDistKey(s.c, ti, scope, where); ok {
 		return []int{shard}
 	}
-	return allDNs(s.c.DataNodeCount())
+	return s.c.scanTargetsLocked()
 }
 
 // routeByDistKey looks for a top-level `distkey = <literal>` conjunct.
@@ -629,12 +694,17 @@ func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
 
 	targets := s.routeWrite(ti, up.Where)
 	if err := s.c.requireLive(targets); err != nil {
+		if ti.replicated {
+			return nil, fmt.Errorf("%w: %w", ErrReplicatedWriteDown, err)
+		}
 		return nil, err
 	}
 	t.touchSet(targets)
 	ctx := exec.NewCtx(s.c.Clock())
 	total := 0
+	logging := !ti.replicated && s.c.tapInstalled()
 	for _, dnID := range targets {
+		dnID := dnID
 		xid := t.touch(dnID)
 		snap, err := t.snapshotFor(dnID)
 		if err != nil {
@@ -666,12 +736,21 @@ func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
 				return ok
 			},
 			func(r types.Row) (types.Row, error) {
+				var old types.Row
+				if logging {
+					old = r.Clone()
+				}
 				for _, sc := range sets {
 					v, err := sc.e.Eval(ctx, r)
 					if err != nil {
 						return nil, err
 					}
 					r[sc.col] = v
+				}
+				if logging {
+					// A storage error after this point fails the statement
+					// and aborts the transaction, discarding the record.
+					t.logWrite(dnID, WriteRec{Table: ti.Meta.Name, Op: OpUpdate, Row: r.Clone(), Old: old})
 				}
 				return r, nil
 			})
@@ -709,12 +788,17 @@ func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
 	}
 	targets := s.routeWrite(ti, del.Where)
 	if err := s.c.requireLive(targets); err != nil {
+		if ti.replicated {
+			return nil, fmt.Errorf("%w: %w", ErrReplicatedWriteDown, err)
+		}
 		return nil, err
 	}
 	t.touchSet(targets)
 	ctx := exec.NewCtx(s.c.Clock())
 	total := 0
+	logging := !ti.replicated && s.c.tapInstalled()
 	for _, dnID := range targets {
+		dnID := dnID
 		xid := t.touch(dnID)
 		snap, err := t.snapshotFor(dnID)
 		if err != nil {
@@ -734,15 +818,20 @@ func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
 					return false
 				}
 			}
-			if pred == nil {
-				return true
+			if pred != nil {
+				ok, err := exec.EvalBool(pred, ctx, r)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !ok {
+					return false
+				}
 			}
-			ok, err := exec.EvalBool(pred, ctx, r)
-			if err != nil {
-				evalErr = err
-				return false
+			if logging {
+				t.logWrite(dnID, WriteRec{Table: ti.Meta.Name, Op: OpDelete, Old: r.Clone()})
 			}
-			return ok
+			return true
 		})
 		if evalErr != nil {
 			return nil, evalErr

@@ -1,0 +1,619 @@
+// Per-shard standby replication: the cluster-side primitives that the
+// internal/repl subsystem builds on.
+//
+// A standby is a regular data node — its own transaction manager, its own
+// partitions — that owns zero hash buckets and physically mirrors one
+// primary. Three mechanisms keep the mirror exact:
+//
+//   - Commit tap. Every statement records the logical writes it lands on a
+//     data node (WriteRec); when the transaction commits, each leg's records
+//     are handed to the installed CommitTap under that node's commit lock,
+//     so the per-node record stream is in commit order. The tap is how
+//     internal/repl ships records to the standby.
+//   - Ownership filtering. Attaching the first standby permanently enables
+//     filterByBucket, so the standby's mirror rows (whose buckets the map
+//     assigns to the primary) are invisible to every scan — the same
+//     mechanism that hides half-migrated buckets.
+//   - Commit slots. Commits hold a per-node in-flight counter and abort if
+//     the node is marked down. A failover marks the primary down, waits for
+//     the slots to drain, and only then replays the log tail — so every
+//     committed transaction is either in the shipped log or was aborted,
+//     never in between.
+//
+// Promotion reuses the 256-bucket routing map: PromoteStandby flips every
+// bucket the dead primary owned to its standby under the route barrier,
+// exactly the ownership-transfer primitive MoveBucket cutover uses.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// WriteOp is the kind of one logical write record.
+type WriteOp uint8
+
+// Write-record operations.
+const (
+	// OpInsert adds Row.
+	OpInsert WriteOp = iota
+	// OpUpdate replaces one stored instance of Old with Row.
+	OpUpdate
+	// OpDelete removes one stored instance of Old.
+	OpDelete
+	// OpReap physically drops every row of Bucket (bucket-move cleanup;
+	// outside MVCC, mirroring the primary's reap).
+	OpReap
+)
+
+func (op WriteOp) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return "reap"
+	}
+}
+
+// WriteRec is one logical committed write on one data node. Records are
+// captured per statement and shipped per transaction leg at commit time;
+// replicated tables are never recorded (standbys receive their writes
+// through the ordinary all-replica write path).
+type WriteRec struct {
+	Table string
+	Op    WriteOp
+	// Row is the new row (OpInsert, OpUpdate).
+	Row types.Row
+	// Old is the prior version (OpUpdate, OpDelete).
+	Old types.Row
+	// Bucket is the reaped bucket (OpReap).
+	Bucket int
+}
+
+// CommitTap receives each transaction leg's records at commit time, called
+// with the data node's commit lock held so the stream is in commit order.
+// It must only enqueue (no blocking, no cluster calls). The returned wait
+// function, if non-nil, runs after all locks are released — sync-mode
+// replication blocks the committing client there until the standby acked.
+type CommitTap interface {
+	Committed(dnID int, recs []WriteRec) (wait func())
+}
+
+// tapBox wraps the tap so the hot path can load it with one atomic read.
+type tapBox struct{ t CommitTap }
+
+// SetCommitTap installs (or, with nil, removes) the commit tap.
+func (c *Cluster) SetCommitTap(t CommitTap) {
+	if t == nil {
+		c.tap.Store(nil)
+		return
+	}
+	c.tap.Store(&tapBox{t: t})
+}
+
+// tapInstalled reports whether commits must capture write records.
+func (c *Cluster) tapInstalled() bool { return c.tap.Load() != nil }
+
+// tapCommitted hands one leg's records to the tap. Caller holds the data
+// node's commit lock; the returned wait (if any) must run after unlocking.
+func (c *Cluster) tapCommitted(dnID int, recs []WriteRec) func() {
+	tb := c.tap.Load()
+	if tb == nil || len(recs) == 0 {
+		return nil
+	}
+	return tb.t.Committed(dnID, recs)
+}
+
+// commitLeg commits one transaction leg under the node's commit lock and
+// ships its records to the tap in commit order. Waits are collected, not
+// run: the caller runs them after releasing its commit slots.
+func (c *Cluster) commitLeg(dnID int, xid txnkit.XID, recs []WriteRec, waits *[]func()) error {
+	dn := c.node(dnID)
+	dn.commitMu.Lock()
+	err := dn.Txm.Commit(xid)
+	var wait func()
+	if err == nil {
+		wait = c.tapCommitted(dnID, recs)
+	}
+	dn.commitMu.Unlock()
+	if wait != nil {
+		*waits = append(*waits, wait)
+	}
+	return err
+}
+
+// commitLocal commits a node-local transaction (migration sync, standby
+// apply) under a commit slot: if the node was marked down the transaction
+// aborts instead, which is what lets a failover drain to a definite log.
+func (c *Cluster) commitLocal(dn *DataNode, xid txnkit.XID, recs []WriteRec) error {
+	dn.committing.Add(1)
+	defer dn.committing.Add(-1)
+	if c.nodeDown(dn.ID) {
+		_ = dn.Txm.Abort(xid)
+		return fmt.Errorf("%w: dn%d", ErrNodeDown, dn.ID)
+	}
+	dn.commitMu.Lock()
+	err := dn.Txm.Commit(xid)
+	var wait func()
+	if err == nil {
+		wait = c.tapCommitted(dn.ID, recs)
+	}
+	dn.commitMu.Unlock()
+	if wait != nil {
+		wait()
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Prepared-leg record stash (2PC in-doubt window)
+// ---------------------------------------------------------------------------
+
+type stashKey struct {
+	dnID int
+	xid  txnkit.XID
+}
+
+// stashPrepared parks a prepared leg's records so in-doubt recovery can
+// still ship them if the coordinator dies between the GTM decision and
+// phase 2. No-op when no tap is installed.
+func (c *Cluster) stashPrepared(dnID int, xid txnkit.XID, recs []WriteRec) {
+	if !c.tapInstalled() || len(recs) == 0 {
+		return
+	}
+	c.stashMu.Lock()
+	defer c.stashMu.Unlock()
+	if c.stash == nil {
+		c.stash = make(map[stashKey][]WriteRec)
+	}
+	c.stash[stashKey{dnID, xid}] = recs
+}
+
+// takeStash removes and returns a leg's parked records (nil if none).
+func (c *Cluster) takeStash(dnID int, xid txnkit.XID) []WriteRec {
+	c.stashMu.Lock()
+	defer c.stashMu.Unlock()
+	k := stashKey{dnID, xid}
+	recs := c.stash[k]
+	delete(c.stash, k)
+	return recs
+}
+
+// ---------------------------------------------------------------------------
+// Standby lifecycle
+// ---------------------------------------------------------------------------
+
+// AddStandby registers a fresh data node as the standby of primary: under
+// the route barrier it drains the primary's in-flight writes, seeds the
+// standby with a full physical mirror of the primary's partitions (and a
+// copy of every replicated table), and enables bucket-ownership filtering
+// so the mirror rows stay invisible. onReady, if non-nil, runs while the
+// barrier is still held — internal/repl registers its log there, so record
+// capture starts exactly at the seed snapshot with no gap and no overlap.
+//
+// The standby serves replicated-table writes through the ordinary
+// all-replica path from the moment it is published; distributed-table
+// changes reach it only through the commit tap.
+func (c *Cluster) AddStandby(primary int, onReady func(standbyID int)) (int, error) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	old := c.nodes()
+	if primary < 0 || primary >= len(old) {
+		return 0, fmt.Errorf("cluster: dn%d does not exist", primary)
+	}
+	if p, isStandby := c.standbys[primary]; isStandby {
+		return 0, fmt.Errorf("cluster: dn%d is itself a standby (of dn%d)", primary, p)
+	}
+	if c.retired[primary] {
+		return 0, fmt.Errorf("cluster: dn%d is retired", primary)
+	}
+	if sid, ok := c.standbyOf[primary]; ok {
+		return 0, fmt.Errorf("cluster: dn%d already has standby dn%d", primary, sid)
+	}
+	if c.downNodes[primary] {
+		return 0, fmt.Errorf("cluster: cannot seed a standby from dn%d: %w", primary, ErrNodeDown)
+	}
+
+	id := len(old)
+	dn := &DataNode{ID: id, Txm: txnkit.NewTxnManager()}
+
+	// Drain: uncommitted writes would be missed by the seed snapshot and,
+	// for distributed tables, never recorded for this pair. The barrier
+	// blocks new statements; in-flight transactions can still settle.
+	deadline := time.Now().Add(c.drainTimeout())
+	for _, ti := range c.tables {
+		src := primary
+		if ti.replicated {
+			if src = c.firstLiveLocked(len(old)); src < 0 {
+				return 0, fmt.Errorf("cluster: no live replica of %q to seed from: %w", ti.Meta.Name, ErrRebalanceRetry)
+			}
+		}
+		if err := waitSettled(ti.parts.Load(), src, nil, deadline); err != nil {
+			return 0, fmt.Errorf("cluster: seeding standby of dn%d, table %q: %w", primary, ti.Meta.Name, err)
+		}
+	}
+
+	// Grow partition sets (copy-on-write, with rollback on failure).
+	type undo struct {
+		ti  *TableInfo
+		old *tableParts
+	}
+	var undos []undo
+	rollback := func() {
+		for _, u := range undos {
+			u.ti.parts.Store(u.old)
+		}
+	}
+	for _, ti := range c.tables {
+		undos = append(undos, undo{ti, ti.parts.Load()})
+		ti.parts.Store(grownParts(ti, dn))
+	}
+
+	// Seed: replicated tables from a live replica, distributed tables as a
+	// physical mirror of the primary's partition (including rows an
+	// unfinished migration left behind — the reap will ship through the tap).
+	for _, ti := range c.tables {
+		src := primary
+		if ti.replicated {
+			src = c.firstLiveLocked(len(old))
+		}
+		if err := c.copyReplica(ti, src, id, dn); err != nil {
+			rollback()
+			return 0, fmt.Errorf("cluster: seeding standby of dn%d, table %q: %w", primary, ti.Meta.Name, err)
+		}
+	}
+
+	// Mirror rows must never surface in scans: their buckets are owned by
+	// the primary, so the ownership filter hides them — from now on.
+	c.filterByBucket = true
+	c.standbys[id] = primary
+	c.standbyOf[primary] = id
+
+	grown := make([]*DataNode, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = dn
+	c.dns.Store(&grown)
+
+	if onReady != nil {
+		onReady(id)
+	}
+	return id, nil
+}
+
+// PromoteStandby makes standby the owner of every bucket primary holds and
+// retires primary. The caller (internal/repl's failover) must have marked
+// the primary down, drained its commit slots and applied the full log tail
+// first; this method only performs the routing flip, under the route
+// barrier so no statement ever sees a half-promoted map. It returns the
+// number of buckets flipped.
+func (c *Cluster) PromoteStandby(primary, standby int) (int, error) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if c.standbyOf[primary] != standby || c.standbys[standby] != primary {
+		return 0, fmt.Errorf("cluster: dn%d is not the standby of dn%d", standby, primary)
+	}
+	flipped := 0
+	for b := 0; b < NumBuckets; b++ {
+		if c.bmap.dn[b] == primary {
+			c.bmap.dn[b] = standby
+			flipped++
+		}
+	}
+	delete(c.standbyOf, primary)
+	delete(c.standbys, standby)
+	c.mu.Lock()
+	c.retired[primary] = true
+	c.mu.Unlock()
+	return flipped, nil
+}
+
+// StandbyOf returns the standby paired with primary, if any.
+func (c *Cluster) StandbyOf(primary int) (int, bool) {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	sid, ok := c.standbyOf[primary]
+	return sid, ok
+}
+
+// PrimaryIDs returns the data nodes that serve hash-partitioned data:
+// every node that is neither a standby nor retired.
+func (c *Cluster) PrimaryIDs() []int {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	return c.scanTargetsLocked()
+}
+
+// scanTargetsLocked returns the nodes a scatter scan must cover (primaries
+// only: standby mirrors and retired nodes are excluded). Caller holds
+// routeMu.
+func (c *Cluster) scanTargetsLocked() []int {
+	n := c.DataNodeCount()
+	if len(c.standbys) == 0 && !c.anyRetired() {
+		return allDNs(n)
+	}
+	out := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if _, isStandby := c.standbys[id]; isStandby {
+			continue
+		}
+		if c.isRetired(id) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// replicaTargetsLocked returns the nodes a replicated-table write must
+// reach: every non-retired node, standbys included (that is how standby
+// replicas of dimension tables stay fresh). Caller holds routeMu.
+func (c *Cluster) replicaTargetsLocked() []int {
+	n := c.DataNodeCount()
+	if !c.anyRetired() {
+		return allDNs(n)
+	}
+	out := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if !c.isRetired(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (c *Cluster) isRetired(id int) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.retired[id]
+}
+
+func (c *Cluster) anyRetired() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.retired) > 0
+}
+
+// NodeIsDown reports whether a node is marked offline (or retired) — the
+// failure detector's probe.
+func (c *Cluster) NodeIsDown(id int) bool { return c.nodeDown(id) }
+
+// WaitCommitsSettled blocks until no commit holds an in-flight slot on the
+// node. Failover calls it after marking the primary down: from then on
+// every commit that raced the kill has either appended to the log or
+// aborted.
+func (c *Cluster) WaitCommitsSettled(dnID int, timeout time.Duration) error {
+	dn := c.node(dnID)
+	deadline := time.Now().Add(timeout)
+	for dn.committing.Load() != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: dn%d still has %d in-flight commits", dnID, dn.committing.Load())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Record application (standby side)
+// ---------------------------------------------------------------------------
+
+// ApplyStandbyRecs applies one shipped record batch (one committed
+// transaction leg) to the standby inside a single standby-local
+// transaction, preserving the batch's atomicity. OpUpdate and OpDelete
+// match exactly one stored instance of the old row; a missing match means
+// the mirror diverged and the error poisons the pair.
+func (c *Cluster) ApplyStandbyRecs(standbyID int, recs []WriteRec) error {
+	dn := c.node(standbyID)
+	var xid txnkit.XID
+	var snap txnkit.Snapshot
+	open := false
+	begin := func() {
+		if !open {
+			xid = dn.Txm.Begin()
+			snap = dn.Txm.LocalSnapshot()
+			open = true
+		}
+	}
+	flush := func() error {
+		if !open {
+			return nil
+		}
+		open = false
+		return c.commitLocal(dn, xid, nil)
+	}
+	abort := func() {
+		if open {
+			open = false
+			_ = dn.Txm.Abort(xid)
+		}
+	}
+	for _, rec := range recs {
+		ti, err := c.tableInfo(rec.Table)
+		if err != nil {
+			abort()
+			return err
+		}
+		parts := ti.parts.Load()
+		if rec.Op == OpReap {
+			// Physical cleanup mirrors the primary's reap: outside MVCC,
+			// row storage only (columnar partitions are append-only).
+			if err := flush(); err != nil {
+				return err
+			}
+			if parts.rows != nil {
+				col := ti.Meta.DistKey
+				bucket := rec.Bucket
+				parts.rows[standbyID].Reap(func(r types.Row) bool { return BucketOf(r[col]) == bucket })
+			}
+			continue
+		}
+		begin()
+		if rec.Op == OpUpdate || rec.Op == OpDelete {
+			// Remove exactly one stored instance of the old version. An
+			// update then re-inserts the new version in the same
+			// transaction, so a shared primary key passes the uniqueness
+			// check (the stale version is already stamped dead by us).
+			key := encodeRow(rec.Old)
+			matched := false
+			n, err := parts.rows[standbyID].Delete(xid, &snap, func(r types.Row) bool {
+				if matched || encodeRow(r) != key {
+					return false
+				}
+				matched = true
+				return true
+			})
+			if err != nil {
+				abort()
+				return err
+			}
+			if n != 1 {
+				abort()
+				return fmt.Errorf("cluster: standby dn%d diverged: no %s row to %s", standbyID, rec.Table, rec.Op)
+			}
+		}
+		if rec.Op == OpInsert || rec.Op == OpUpdate {
+			var err error
+			if parts.cols != nil {
+				err = parts.cols[standbyID].Insert(xid, rec.Row)
+			} else {
+				err = parts.rows[standbyID].Insert(xid, &snap, rec.Row)
+			}
+			if err != nil {
+				abort()
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// PartitionDigest digests the rows of table name physically stored on node
+// dnID that the routing map assigns to owner (hash collisions aside, two
+// equal digests mean equal row multisets). Comparing the primary's own
+// partition (dnID == owner) against its standby's mirror (dnID = standby,
+// owner = primary) is the zero-loss check failover runs before promoting.
+func (c *Cluster) PartitionDigest(name string, dnID, owner int) (TableDigest, error) {
+	ti, err := c.tableInfo(name)
+	if err != nil {
+		return TableDigest{}, err
+	}
+	if dnID < 0 || dnID >= c.DataNodeCount() {
+		return TableDigest{}, fmt.Errorf("cluster: dn%d does not exist", dnID)
+	}
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	var pred func(types.Row) bool
+	if !ti.replicated && ti.Meta.DistKey >= 0 {
+		dk := ti.Meta.DistKey
+		pred = func(r types.Row) bool { return c.bmap.dn[BucketOf(r[dk])] == owner }
+	}
+	var d TableDigest
+	for _, r := range c.rawVisibleRows(ti, dnID, c.node(dnID), pred) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(encodeRow(r)))
+		d.Rows++
+		d.Sum += h.Sum64()
+	}
+	return d, nil
+}
+
+// DistributedTableNames lists the hash-distributed stored tables (the set
+// a standby mirrors through the commit log).
+func (c *Cluster) DistributedTableNames() []string {
+	var out []string
+	for _, ti := range c.distributedTables() {
+		out = append(out, ti.Meta.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Read-replica routing
+// ---------------------------------------------------------------------------
+
+// StandbyReadMode selects whether (and how) reads may be served by synced
+// standbys.
+type StandbyReadMode uint8
+
+// Standby read modes.
+const (
+	// StandbyReadOff routes every read to the primary (default).
+	StandbyReadOff StandbyReadMode = iota
+	// StandbyReadOffload serves a shard's whole read fragment from its
+	// standby when the standby is synced (lag zero) and the transaction
+	// has no leg on the primary yet.
+	StandbyReadOffload
+	// StandbyReadSplit scans even buckets on the primary and odd buckets
+	// on the synced standby — two Exchange fragments per shard, extra scan
+	// parallelism at the cost of escalating the statement to a global
+	// transaction.
+	StandbyReadSplit
+)
+
+// SetStandbyReads configures read-replica routing: mode picks the policy
+// and readable reports, per primary, whether its standby is currently safe
+// to read (internal/repl wires lag==0 here). readable must be lock-light —
+// it is consulted under the route lock on every SELECT.
+func (c *Cluster) SetStandbyReads(mode StandbyReadMode, readable func(primary int) bool) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	c.standbyReadMode = mode
+	c.standbyReadable = readable
+}
+
+// applyStandbyReads rewrites a SELECT's routed shard set for read-replica
+// service: offloaded shards read their standby instead, split shards read
+// both halves. It fills the statement's readMap/splitSet and returns the
+// set of nodes to touch. Caller holds routeMu.
+func (c *Cluster) applyStandbyReads(t *txn, a *stmtAccess, dnSet []int) []int {
+	mode := c.standbyReadMode
+	if mode == StandbyReadOff || len(c.standbyOf) == 0 || c.standbyReadable == nil {
+		return dnSet
+	}
+	out := make([]int, 0, len(dnSet)+1)
+	for _, p := range dnSet {
+		sid, ok := c.standbyOf[p]
+		// A transaction that already holds a leg on the primary (it wrote
+		// there, or read it in an earlier statement) keeps reading the
+		// primary: its own uncommitted writes are invisible on the standby.
+		if !ok || t.hasLeg(p) || c.nodeDown(sid) || !c.standbyReadable(p) {
+			out = append(out, p)
+			continue
+		}
+		// Split needs both halves live; with the primary down it degrades
+		// to a full offload, keeping reads available pre-failover.
+		if mode == StandbyReadSplit && !c.nodeDown(p) {
+			a.splitSet[p] = sid
+			out = append(out, p, sid)
+		} else {
+			a.readMap[p] = sid
+			out = append(out, sid)
+		}
+	}
+	return out
+}
+
+// ErrReplicatedWriteDown wraps ErrNodeDown for writes to replicated tables
+// while a replica is offline: every copy must apply the write, so the
+// statement fails (errors.Is-able against both sentinels) until the node
+// returns or a failover retires it.
+var ErrReplicatedWriteDown = errors.New("cluster: replicated-table write requires every replica online")
+
+// grownParts returns ti's partition set grown by one partition on dn.
+func grownParts(ti *TableInfo, dn *DataNode) *tableParts {
+	return appendPartition(ti, ti.parts.Load(), dn)
+}

@@ -77,6 +77,38 @@ func (a *Autopilot) Tick() []Action {
 	}
 	a.Info.Record("max_bloat_ratio", worstBloat)
 
+	// Replication health (when HA is enabled).
+	if r := a.db.repl; r != nil {
+		st := r.Status()
+		var lag int64
+		for _, p := range st.Pairs {
+			lag += p.Lag
+		}
+		a.Info.Record("repl.records_shipped", float64(st.RecordsShipped))
+		a.Info.Record("repl.lag_records", float64(lag))
+		a.Info.Record("repl.failovers", float64(st.Failovers))
+
+		// Self-healing: promote the standby of any paired primary observed
+		// down. This is the control-loop counterpart of the repl package's
+		// own millisecond-scale detector — deployments running Tick instead
+		// of AutoFailover still converge, just at the tick period.
+		for _, p := range st.Pairs {
+			if p.Broken || !c.NodeIsDown(p.Primary) {
+				continue
+			}
+			rep, err := r.Failover(p.Primary)
+			if err != nil {
+				continue // already in progress, or latched for the operator
+			}
+			a.Changes.Set("repl.failover", float64(rep.Buckets),
+				fmt.Sprintf("promoted dn%d -> dn%d", rep.Primary, rep.Standby))
+			actions = append(actions, Action{
+				Kind:   "auto-failover",
+				Detail: fmt.Sprintf("dn%d->dn%d buckets=%d replayed=%d", rep.Primary, rep.Standby, rep.Buckets, rep.Replayed),
+			})
+		}
+	}
+
 	// --- act (self-healing / self-configuring) -------------------------
 	if inDoubt > 0 {
 		committed, aborted := c.RecoverInDoubt()

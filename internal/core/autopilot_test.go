@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/autonomous"
+	"repro/internal/repl"
 )
 
 func newAutopilotDB(t *testing.T) (*DB, *Autopilot) {
@@ -115,5 +116,55 @@ func TestAutopilotMetricsCollected(t *testing.T) {
 	}
 	if _, ok := ap.Info.Last("max_bloat_ratio"); !ok {
 		t.Error("bloat metric missing")
+	}
+}
+
+func TestEnableHAAndTickFailover(t *testing.T) {
+	db, ap := newAutopilotDB(t)
+	db.MustExec("CREATE TABLE t (a BIGINT, b BIGINT) DISTRIBUTE BY HASH(a)")
+	for i := 0; i < 40; i++ {
+		db.MustExec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, i))
+	}
+	ha, err := db.EnableHA(repl.Config{Mode: repl.ModeSync})
+	if err != nil {
+		t.Fatalf("EnableHA: %v", err)
+	}
+	if _, err := db.EnableHA(repl.Config{}); err == nil {
+		t.Fatal("second EnableHA succeeded")
+	}
+	if db.HA() != ha {
+		t.Fatal("HA() returned a different manager")
+	}
+
+	// Tick records replication health and, with a primary down, promotes
+	// its standby via the control loop (no detector configured).
+	ap.Tick()
+	if _, ok := ap.Info.Last("repl.records_shipped"); !ok {
+		t.Error("repl.records_shipped metric missing")
+	}
+	db.Cluster().SetDataNodeDown(0, true)
+	actions := ap.Tick()
+	found := false
+	for _, a := range actions {
+		if a.Kind == "auto-failover" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected auto-failover action, got %v", actions)
+	}
+	if v, ok := ap.Info.Last("repl.failovers"); !ok || v != 0 {
+		// Tick records metrics before acting; the promotion shows up on
+		// the next collection pass.
+		if v != 0 {
+			t.Errorf("repl.failovers recorded %v before promotion", v)
+		}
+	}
+	res := db.MustExec("SELECT count(*) FROM t")
+	if res.Rows[0][0].Int() != 40 {
+		t.Fatalf("rows after tick failover: %v", res.Rows)
+	}
+	if ha.Failovers() != 1 {
+		t.Fatalf("Failovers() = %d", ha.Failovers())
 	}
 }

@@ -18,6 +18,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/cluster"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/multimodel"
 	"repro/internal/planstore"
 	"repro/internal/rebalance"
+	"repro/internal/repl"
 	"repro/internal/spatial"
 	"repro/internal/tseries"
 )
@@ -72,6 +75,7 @@ type DB struct {
 	cluster *cluster.Cluster
 	mm      *multimodel.DB
 	def     *cluster.Session
+	repl    *repl.Manager
 }
 
 // Open builds a cluster and attaches the graph, time-series and spatial
@@ -101,9 +105,14 @@ func Open(opts Options) (*DB, error) {
 	return &DB{cluster: c, mm: mm, def: c.NewSession()}, nil
 }
 
-// Close releases the instance. (The embedded cluster holds no external
-// resources; Close exists for API symmetry and future file-backed modes.)
-func (db *DB) Close() {}
+// Close releases the instance: it stops the replication manager's
+// goroutines if HA was enabled. (The embedded cluster itself holds no
+// external resources.)
+func (db *DB) Close() {
+	if db.repl != nil {
+		db.repl.Close()
+	}
+}
 
 // Session opens a new coordinator connection.
 func (db *DB) Session() *Session { return db.cluster.NewSession() }
@@ -173,4 +182,37 @@ func (db *DB) Expand(total int, opt rebalance.Options) (rebalance.Progress, erro
 	r := rebalance.New(db.cluster, opt)
 	err := r.ExpandTo(total)
 	return r.Progress(), err
+}
+
+// EnableHA turns on per-shard standby replication (internal/repl): every
+// current primary gets a standby seeded and paired, commit logs start
+// shipping in cfg.Mode, and — with cfg.AutoFailover — a failure detector
+// promotes standbys of crashed primaries automatically. Call it while the
+// workload is quiesced (standby seeding drains in-flight writes, like
+// AddDataNode). Close() tears the manager down.
+func (db *DB) EnableHA(cfg repl.Config) (*repl.Manager, error) {
+	if db.repl != nil {
+		return nil, errors.New("core: HA already enabled")
+	}
+	m := repl.NewManager(db.cluster, cfg)
+	for _, primary := range db.cluster.PrimaryIDs() {
+		if _, err := m.AttachStandby(primary); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("core: attaching standby for dn%d: %w", primary, err)
+		}
+	}
+	db.repl = m
+	return m, nil
+}
+
+// HA returns the replication manager, or nil before EnableHA.
+func (db *DB) HA() *repl.Manager { return db.repl }
+
+// Failover promotes the standby of primary (replaying the log tail and
+// flipping its buckets) and retires the primary. Requires EnableHA.
+func (db *DB) Failover(primary int) (repl.FailoverReport, error) {
+	if db.repl == nil {
+		return repl.FailoverReport{}, errors.New("core: HA not enabled (see EnableHA)")
+	}
+	return db.repl.Failover(primary)
 }

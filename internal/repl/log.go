@@ -1,0 +1,84 @@
+package repl
+
+import (
+	"sync"
+
+	"repro/internal/cluster"
+)
+
+// Entry is one committed transaction leg in a pair's ship log: the leg's
+// write records in primary commit order, stamped with a log sequence
+// number. done closes once the standby applied the entry — sync-mode
+// commits block on it.
+type Entry struct {
+	LSN  int64
+	Recs []cluster.WriteRec
+	done chan struct{}
+}
+
+// shipLog is the in-memory commit log of one primary/standby pair: an
+// append-only queue of committed legs, consumed in order by the pair's
+// single apply goroutine. Appends happen under the primary's commit lock,
+// so entry order is the primary's commit order.
+type shipLog struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []*Entry
+	next    int64 // LSN of the next append
+	idx     int   // index of the next entry to apply
+	closed  bool
+}
+
+func newShipLog() *shipLog {
+	l := &shipLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append enqueues one leg and wakes the apply loop. The caller holds the
+// primary's commit lock, so this must stay non-blocking.
+func (l *shipLog) append(recs []cluster.WriteRec) *Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := &Entry{LSN: l.next, Recs: recs, done: make(chan struct{})}
+	l.next++
+	l.entries = append(l.entries, e)
+	l.cond.Signal()
+	return e
+}
+
+// take blocks until an unapplied entry exists and returns it, or returns
+// nil once the log is closed and fully drained.
+func (l *shipLog) take() *Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.idx < len(l.entries) {
+			return l.entries[l.idx]
+		}
+		if l.closed {
+			return nil
+		}
+		l.cond.Wait()
+	}
+}
+
+// applied marks the front entry consumed, trimming the backlog once the
+// apply loop catches up.
+func (l *shipLog) applied() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.idx++
+	if l.idx == len(l.entries) {
+		l.entries = nil
+		l.idx = 0
+	}
+}
+
+// close wakes the apply loop for a final drain-and-exit.
+func (l *shipLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

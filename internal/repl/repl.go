@@ -1,0 +1,449 @@
+// Package repl implements per-shard standby replication: commit-log
+// shipping from each primary data node to a paired standby, sync
+// (quorum-ack) or async, with automatic failover and read-replica routing.
+//
+// The cluster layer provides the primitives (see internal/cluster
+// standby.go): a commit tap that hands every committed transaction leg's
+// write records to this package in commit order, a standby seeding barrier
+// (AddStandby), commit slots that let a failover drain in-flight commits
+// to a definite log, and the 256-bucket routing flip (PromoteStandby). On
+// top of those the Manager keeps one ship log and one apply goroutine per
+// pair, exposes replication lag, serves reads from synced standbys, and —
+// on a dead primary — replays the log tail, verifies the mirror, and
+// promotes, losing no committed transaction.
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Mode selects how commit acknowledgement relates to shipping.
+type Mode int
+
+const (
+	// ModeAsync acknowledges the client at primary commit; records ship in
+	// the background and the standby may lag.
+	ModeAsync Mode = iota
+	// ModeSync blocks the committing client until its leg is applied on
+	// the standby (primary + standby quorum), degrading to async after
+	// SyncTimeout so a stuck standby cannot wedge commits.
+	ModeSync
+)
+
+func (m Mode) String() string {
+	if m == ModeSync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Config tunes the replication subsystem. The zero value is a sensible
+// async setup with manual failover.
+type Config struct {
+	// Mode is the shipping mode (async by default).
+	Mode Mode
+	// SyncTimeout bounds the sync-mode commit ack wait (default 2s); on
+	// expiry the commit returns anyway — it is durable on the primary.
+	SyncTimeout time.Duration
+	// DrainTimeout bounds each failover phase: commit-slot settle and log
+	// drain (default 5s).
+	DrainTimeout time.Duration
+	// AutoFailover runs a failure detector that promotes the standby of a
+	// primary observed down FailAfterMisses probes in a row.
+	AutoFailover bool
+	// ProbeInterval is the detector's probe period (default 5ms).
+	ProbeInterval time.Duration
+	// FailAfterMisses is the consecutive-down-probe threshold (default 2).
+	FailAfterMisses int
+	// ReadMode routes reads to synced standbys (off by default): offload
+	// whole shards or split each shard's scan across primary and standby.
+	ReadMode cluster.StandbyReadMode
+	// SkipVerify disables the pre-promotion digest comparison between the
+	// dead primary's partitions and the standby mirror. The check reads
+	// the primary's in-memory state, which a real crash would not allow;
+	// it exists to prove zero loss in tests and experiments.
+	SkipVerify bool
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SyncTimeout <= 0 {
+		cfg.SyncTimeout = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 5 * time.Millisecond
+	}
+	if cfg.FailAfterMisses <= 0 {
+		cfg.FailAfterMisses = 2
+	}
+	return cfg
+}
+
+// pair is one primary/standby replication pair.
+type pair struct {
+	primary int
+	standby int
+	log     *shipLog
+
+	appendedRecs atomic.Int64
+	appliedRecs  atomic.Int64
+
+	// failing latches once a failover starts so it runs exactly once.
+	failing atomic.Bool
+	// broken latches on an apply error (mirror divergence): shipping
+	// stops, the standby is no longer readable, promotion is refused.
+	broken atomic.Bool
+	mu     sync.Mutex // guards err
+	err    error
+}
+
+func (p *pair) lag() int64 { return p.appendedRecs.Load() - p.appliedRecs.Load() }
+
+func (p *pair) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.broken.Store(true)
+}
+
+func (p *pair) brokenErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Manager owns the cluster's replication pairs. It installs itself as the
+// cluster's commit tap and (when configured) as the standby-read oracle;
+// create it with NewManager and tear it down with Close.
+type Manager struct {
+	c   *cluster.Cluster
+	cfg Config
+
+	mu    sync.Mutex                    // serializes pair-map writes
+	pairs atomic.Pointer[map[int]*pair] // primary -> pair, copy-on-write
+
+	shipped   atomic.Int64 // records applied on standbys, lifetime
+	failovers atomic.Int64
+
+	wg        sync.WaitGroup
+	stopWatch chan struct{}
+	closeOnce sync.Once
+}
+
+// NewManager wires replication into the cluster: the commit tap starts
+// capturing write records and, if cfg.ReadMode says so, synced standbys
+// start serving reads. Pairs are added with AttachStandby.
+func NewManager(c *cluster.Cluster, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{c: c, cfg: cfg, stopWatch: make(chan struct{})}
+	empty := map[int]*pair{}
+	m.pairs.Store(&empty)
+	c.SetCommitTap(m)
+	c.SetStandbyReads(cfg.ReadMode, m.Synced)
+	if cfg.AutoFailover {
+		m.wg.Add(1)
+		go m.watch()
+	}
+	return m
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Close detaches the tap and read routing, stops the detector and apply
+// loops (draining queued entries), and waits for them.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.c.SetCommitTap(nil)
+		m.c.SetStandbyReads(cluster.StandbyReadOff, nil)
+		close(m.stopWatch)
+		for _, p := range *m.pairs.Load() {
+			p.log.close()
+		}
+		m.wg.Wait()
+	})
+}
+
+func (m *Manager) pair(primary int) *pair { return (*m.pairs.Load())[primary] }
+
+func (m *Manager) storePair(p *pair) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.pairs.Load()
+	next := make(map[int]*pair, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[p.primary] = p
+	m.pairs.Store(&next)
+}
+
+func (m *Manager) removePair(primary int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := *m.pairs.Load()
+	next := make(map[int]*pair, len(old))
+	for k, v := range old {
+		if k != primary {
+			next[k] = v
+		}
+	}
+	m.pairs.Store(&next)
+}
+
+// AttachStandby provisions a standby for primary: the cluster seeds a new
+// node with a physical mirror under the route barrier, and the pair's log
+// starts capturing inside that same barrier — no committed write can fall
+// between the seed snapshot and the first shipped record.
+func (m *Manager) AttachStandby(primary int) (int, error) {
+	if p := m.pair(primary); p != nil {
+		return 0, fmt.Errorf("repl: dn%d already has standby dn%d", primary, p.standby)
+	}
+	p := &pair{primary: primary, log: newShipLog()}
+	sid, err := m.c.AddStandby(primary, func(standbyID int) {
+		p.standby = standbyID
+		m.storePair(p)
+	})
+	if err != nil {
+		return 0, err
+	}
+	m.wg.Add(1)
+	go m.applyLoop(p)
+	return sid, nil
+}
+
+// Committed implements cluster.CommitTap. It runs under the committing
+// node's commit lock, so it only enqueues; in sync mode the returned wait
+// blocks the client (after all locks are released) until the standby
+// applied the leg or SyncTimeout passed.
+func (m *Manager) Committed(dnID int, recs []cluster.WriteRec) func() {
+	p := m.pair(dnID)
+	if p == nil {
+		return nil
+	}
+	e := p.log.append(recs)
+	p.appendedRecs.Add(int64(len(recs)))
+	if m.cfg.Mode != ModeSync {
+		return nil
+	}
+	timeout := m.cfg.SyncTimeout
+	return func() {
+		select {
+		case <-e.done:
+		case <-time.After(timeout):
+			// Degrade to async: the commit is durable on the primary and
+			// stays queued for the standby; only the quorum ack is lost.
+		}
+	}
+}
+
+// applyLoop is the pair's single consumer: it applies entries to the
+// standby in log order, each leg as one standby-local transaction. An
+// apply error poisons the pair (the mirror can no longer be trusted) but
+// the loop keeps consuming so sync-mode commits are still released.
+func (m *Manager) applyLoop(p *pair) {
+	defer m.wg.Done()
+	for {
+		e := p.log.take()
+		if e == nil {
+			return
+		}
+		if !p.broken.Load() {
+			if err := m.c.ApplyStandbyRecs(p.standby, e.Recs); err != nil {
+				p.fail(err)
+			} else {
+				p.appliedRecs.Add(int64(len(e.Recs)))
+				m.shipped.Add(int64(len(e.Recs)))
+			}
+		}
+		close(e.done)
+		p.log.applied()
+	}
+}
+
+// Synced reports whether primary's standby is safe to read: paired, not
+// poisoned, zero lag. Wired into cluster.SetStandbyReads, it is consulted
+// under the route lock on every SELECT, hence atomics only.
+func (m *Manager) Synced(primary int) bool {
+	p := m.pair(primary)
+	return p != nil && !p.broken.Load() && p.lag() == 0
+}
+
+// Lag returns the records appended but not yet applied for primary's pair
+// (0 when unpaired).
+func (m *Manager) Lag(primary int) int64 {
+	p := m.pair(primary)
+	if p == nil {
+		return 0
+	}
+	return p.lag()
+}
+
+// RecordsShipped returns the lifetime count of records applied on standbys.
+func (m *Manager) RecordsShipped() int64 { return m.shipped.Load() }
+
+// Failovers returns the number of completed promotions.
+func (m *Manager) Failovers() int64 { return m.failovers.Load() }
+
+// FailoverReport summarizes one promotion.
+type FailoverReport struct {
+	Primary  int
+	Standby  int
+	Buckets  int           // bucket ownerships flipped to the standby
+	Replayed int           // in-doubt 2PC legs committed during replay
+	Elapsed  time.Duration // fence-to-promotion latency
+}
+
+// Failover promotes primary's standby:
+//
+//  1. fence — mark the primary down, so new commits touching it abort;
+//  2. settle — wait out commits that raced the fence (they have either
+//     appended to the log or aborted once this returns);
+//  3. replay — resolve the primary's prepared 2PC legs against the GTM
+//     outcome log, shipping decided commits' stashed records;
+//  4. drain — wait for the apply loop to reach zero lag;
+//  5. verify — compare per-table digests of the primary's partitions and
+//     the standby mirror (zero committed-transaction loss), unless
+//     SkipVerify;
+//  6. promote — flip every bucket the primary owned to the standby under
+//     the route barrier and retire the primary.
+//
+// On an error in any phase the primary stays fenced and the pair stays
+// latched; the cluster keeps serving what it can (replicated reads, other
+// shards, standby reads) but the shard needs operator attention.
+func (m *Manager) Failover(primary int) (FailoverReport, error) {
+	p := m.pair(primary)
+	if p == nil {
+		return FailoverReport{}, fmt.Errorf("repl: dn%d has no standby", primary)
+	}
+	if !p.failing.CompareAndSwap(false, true) {
+		return FailoverReport{}, fmt.Errorf("repl: failover of dn%d already in progress", primary)
+	}
+	start := time.Now()
+
+	m.c.SetDataNodeDown(primary, true)
+	if err := m.c.WaitCommitsSettled(primary, m.cfg.DrainTimeout); err != nil {
+		return FailoverReport{}, fmt.Errorf("repl: failover of dn%d: %w", primary, err)
+	}
+	replayed, _ := m.c.ResolveInDoubt(primary)
+
+	deadline := time.Now().Add(m.cfg.DrainTimeout)
+	for p.lag() > 0 && !p.broken.Load() {
+		if time.Now().After(deadline) {
+			return FailoverReport{}, fmt.Errorf("repl: failover of dn%d: log drain timed out with %d records unapplied", primary, p.lag())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if p.broken.Load() {
+		return FailoverReport{}, fmt.Errorf("repl: standby dn%d diverged, refusing promotion: %w", p.standby, p.brokenErr())
+	}
+
+	if !m.cfg.SkipVerify {
+		for _, name := range m.c.DistributedTableNames() {
+			want, err := m.c.PartitionDigest(name, primary, primary)
+			if err != nil {
+				return FailoverReport{}, err
+			}
+			got, err := m.c.PartitionDigest(name, p.standby, primary)
+			if err != nil {
+				return FailoverReport{}, err
+			}
+			if want != got {
+				return FailoverReport{}, fmt.Errorf("repl: table %q mirror mismatch before promotion (primary %d rows, standby %d rows)", name, want.Rows, got.Rows)
+			}
+		}
+	}
+
+	flipped, err := m.c.PromoteStandby(primary, p.standby)
+	if err != nil {
+		return FailoverReport{}, err
+	}
+	m.removePair(primary)
+	p.log.close()
+	m.failovers.Add(1)
+	return FailoverReport{
+		Primary:  primary,
+		Standby:  p.standby,
+		Buckets:  flipped,
+		Replayed: replayed,
+		Elapsed:  time.Since(start),
+	}, nil
+}
+
+// watch is the failure detector: every ProbeInterval it probes each paired
+// primary and fails over any seen down FailAfterMisses probes in a row.
+func (m *Manager) watch() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.ProbeInterval)
+	defer ticker.Stop()
+	misses := map[int]int{}
+	for {
+		select {
+		case <-m.stopWatch:
+			return
+		case <-ticker.C:
+		}
+		for primary, p := range *m.pairs.Load() {
+			if p.failing.Load() {
+				continue
+			}
+			if !m.c.NodeIsDown(primary) {
+				misses[primary] = 0
+				continue
+			}
+			misses[primary]++
+			if misses[primary] >= m.cfg.FailAfterMisses {
+				misses[primary] = 0
+				// Best effort: an error leaves the pair latched and the
+				// primary fenced; Status surfaces the broken state.
+				_, _ = m.Failover(primary)
+			}
+		}
+	}
+}
+
+// PairStatus is one pair's monitoring snapshot.
+type PairStatus struct {
+	Primary  int
+	Standby  int
+	Appended int64 // records captured from the primary
+	Applied  int64 // records applied on the standby
+	Lag      int64
+	Broken   bool
+}
+
+// Status snapshots every active pair (sorted by primary) plus the
+// lifetime counters; the autonomous layer folds this into the InfoStore
+// as repl.records_shipped / repl.lag_records / repl.failovers.
+type Status struct {
+	Pairs          []PairStatus
+	RecordsShipped int64
+	Failovers      int64
+}
+
+// Status implements the monitoring pull.
+func (m *Manager) Status() Status {
+	st := Status{RecordsShipped: m.shipped.Load(), Failovers: m.failovers.Load()}
+	for primary, p := range *m.pairs.Load() {
+		st.Pairs = append(st.Pairs, PairStatus{
+			Primary:  primary,
+			Standby:  p.standby,
+			Appended: p.appendedRecs.Load(),
+			Applied:  p.appliedRecs.Load(),
+			Lag:      p.lag(),
+			Broken:   p.broken.Load(),
+		})
+	}
+	sort.Slice(st.Pairs, func(i, j int) bool { return st.Pairs[i].Primary < st.Pairs[j].Primary })
+	return st
+}
