@@ -27,6 +27,7 @@ import (
 	"repro/internal/rebalance"
 	"repro/internal/repl"
 	"repro/internal/tpcc"
+	"repro/internal/transport"
 )
 
 // ---------------------------------------------------------------------------
@@ -587,4 +588,41 @@ func BenchmarkTwoPhaseAggregation(b *testing.B) {
 		}
 		b.ReportMetric(float64(shipped), "rows-shipped")
 	})
+}
+
+// ---------------------------------------------------------------------------
+// E15 — transport message accounting
+// ---------------------------------------------------------------------------
+
+// BenchmarkNetworkMessages reports E15's headline metric: GTM messages per
+// committed transaction under the all-through-GTM baseline vs GTM-lite at
+// a 90 % single-shard TPC-C-like mix, read off the transport fabric's
+// per-type counters.
+func BenchmarkNetworkMessages(b *testing.B) {
+	for _, mode := range []cluster.TxnMode{cluster.ModeBaseline, cluster.ModeGTMLite} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var gtmPerTxn, totalPerTxn float64
+			for i := 0; i < b.N; i++ {
+				c, err := cluster.New(cluster.Config{DataNodes: 4, Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := tpcc.DefaultConfig(8, 0.9)
+				if err := tpcc.Load(c, cfg); err != nil {
+					b.Fatal(err)
+				}
+				c.Fabric().ResetCounters()
+				d := tpcc.NewDriver(c, cfg, 1)
+				if err := d.Run(200); err != nil {
+					b.Fatal(err)
+				}
+				st := c.Fabric().Stats()
+				committed := float64(d.Stats.Committed)
+				gtmPerTxn = float64(st.Get(transport.SnapshotReq).Count+st.Get(transport.GTMRound).Count) / committed
+				totalPerTxn = float64(st.Total()) / committed
+			}
+			b.ReportMetric(gtmPerTxn, "gtm-msgs/txn")
+			b.ReportMetric(totalPerTxn, "msgs/txn")
+		})
+	}
 }

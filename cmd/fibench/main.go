@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net]
 //	        [-duration seconds]
 package main
 
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha")
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha, net")
 	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
 	flag.Parse()
 
@@ -47,9 +47,10 @@ func main() {
 	run("expand", func() error { return experiments.Expand(w, 300) })
 	run("parallel", func() error { return experiments.Parallel(w) })
 	run("ha", func() error { return experiments.HA(w, 300) })
+	run("net", func() error { _, err := experiments.Network(w, 400); return err })
 
 	switch *exp {
-	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha":
+	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha", "net":
 	default:
 		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
 		os.Exit(2)

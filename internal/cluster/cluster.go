@@ -36,6 +36,7 @@ import (
 	"repro/internal/planstore"
 	"repro/internal/sqlx"
 	"repro/internal/storage"
+	"repro/internal/transport"
 	"repro/internal/txnkit"
 	"repro/internal/types"
 )
@@ -69,8 +70,10 @@ type Config struct {
 	// GTMServiceTime is CPU charged per GTM request while serialized
 	// (0 disables the cost model; used by unit tests).
 	GTMServiceTime time.Duration
-	// HopLatency is the simulated one-way network latency per
-	// CN<->DN / CN<->GTM message (0 disables; implemented with sleep).
+	// HopLatency seeds the transport fabric's base one-way latency per
+	// cross-node message (0 disables; implemented with sleep). It is the
+	// creation-time value only: runtime changes go through
+	// Fabric().SetBaseLatency and are not reflected here.
 	HopLatency time.Duration
 	// BaselineSnapshotsPerStatement adds this many extra GTM snapshot
 	// requests per statement in baseline mode, modelling statement-level
@@ -187,8 +190,9 @@ type Cluster struct {
 	// DisableSegmentPrune turns off zone-map segment pruning on columnar
 	// scans (ablation knob for E13).
 	DisableSegmentPrune bool
-	// hops counts network messages (see Hops).
-	hops atomic.Int64
+	// fab carries every cross-node message: latency model, per-type
+	// counters, fault injection (see internal/transport).
+	fab *transport.Fabric
 
 	// Coordinator-failure failpoints (test hooks; see the Failpoint*
 	// methods).
@@ -241,6 +245,7 @@ func New(cfg Config) (*Cluster, error) {
 		Store:     planstore.New(),
 		Clock:     time.Now,
 		bmap:      bmap,
+		fab:       transport.New(transport.Config{BaseLatency: cfg.HopLatency}),
 	}
 	nodes := make([]*DataNode, cfg.DataNodes)
 	for i := 0; i < cfg.DataNodes; i++ {
@@ -270,21 +275,47 @@ func (c *Cluster) DataNodeCount() int { return len(c.nodes()) }
 // tests). The returned slice is an immutable snapshot.
 func (c *Cluster) DataNodes() []*DataNode { return c.nodes() }
 
-// hop models one network message. Safe for concurrent fragments.
-func (c *Cluster) hop() {
-	c.hops.Add(1)
-	if c.cfg.HopLatency > 0 {
-		time.Sleep(c.cfg.HopLatency)
-	}
+// Fabric returns the cluster's transport fabric: per-message-type traffic
+// counters, the latency/bandwidth model, and fault injection (drops,
+// delays, partitions). Partitioned data nodes read as down to every
+// liveness check (see nodeDown).
+func (c *Cluster) Fabric() *transport.Fabric { return c.fab }
+
+// sendDN models one coordinator -> data-node message of type t.
+func (c *Cluster) sendDN(dnID int, t transport.MsgType, payloadBytes int) error {
+	return c.fab.Send(transport.CN(), transport.DN(dnID), t, payloadBytes)
+}
+
+// sendFromDN models one data-node -> coordinator message (result streams).
+func (c *Cluster) sendFromDN(dnID int, t transport.MsgType, payloadBytes int) error {
+	return c.fab.Send(transport.DN(dnID), transport.CN(), t, payloadBytes)
+}
+
+// sendGTM models one CN <-> GTM round trip. The GTM endpoint participates
+// in latency, delay faults and accounting, but lost messages are only
+// counted, never surfaced: the transaction paths treat the GTM as always
+// decidable (partition-tolerant GTM consensus is out of scope).
+func (c *Cluster) sendGTM(t transport.MsgType) {
+	_ = c.fab.Send(transport.CN(), transport.GTM(), t, 0)
+}
+
+// rowPayload estimates the wire size of n rows of ti for the fabric's
+// bandwidth model (8 bytes per datum; bulk streams only — per-row DML
+// messages are counted without payload).
+func rowPayload(ti *TableInfo, n int) int {
+	return n * ti.Meta.Schema.Len() * 8
 }
 
 // Hops returns the cumulative count of modeled network messages.
-func (c *Cluster) Hops() int64 { return c.hops.Load() }
+// Compatibility shim over Fabric().Total(); per-type counts live in
+// Fabric().Stats().
+func (c *Cluster) Hops() int64 { return c.fab.Total() }
 
 // SetHopLatency changes the simulated per-message latency. Experiments use
 // it to bulk-load data for free and then measure queries under the cost
-// model. Callers must be quiesced: it races with in-flight statements.
-func (c *Cluster) SetHopLatency(d time.Duration) { c.cfg.HopLatency = d }
+// model. Compatibility shim over Fabric().SetBaseLatency; safe under
+// concurrent statements (the fabric stores it atomically).
+func (c *Cluster) SetHopLatency(d time.Duration) { c.fab.SetBaseLatency(d) }
 
 // parallelDegree resolves the effective fragment concurrency.
 func (c *Cluster) parallelDegree() int {
@@ -680,9 +711,16 @@ func (c *Cluster) SetDataNodeDown(id int, down bool) {
 	c.downNodes[id] = down
 }
 
-// nodeDown reports whether a shard is unavailable: marked offline, or
-// permanently retired by a failover.
+// nodeDown reports whether a shard is unavailable: marked offline,
+// permanently retired by a failover, or cut off by an injected network
+// partition. Folding the fabric's partition state in here is what makes
+// partitions compose with everything built on liveness — requireLive,
+// commit-path re-checks, and the replication failure detector's
+// NodeIsDown probe all see a partitioned node exactly as a dead one.
 func (c *Cluster) nodeDown(id int) bool {
+	if c.fab.Unreachable(transport.DN(id)) {
+		return true
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.downNodes[id] || c.retired[id]

@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlx"
+	"repro/internal/transport"
 	"repro/internal/txnkit"
 	"repro/internal/types"
 )
@@ -182,13 +183,19 @@ func (a *stmtAccess) scan(meta *plan.TableMeta, pred exec.Expr) exec.Operator {
 				if err != nil {
 					return err
 				}
-				a.s.c.hop()
+				// Fragment dispatch: CN -> DN request, then the row stream
+				// back (payload = shipped rows, for the bandwidth model).
+				if err := a.s.c.sendDN(f.phys, transport.ScanFrag, 0); err != nil {
+					return err
+				}
 				owns := a.s.c.fragFilter(ti, f)
+				var shipped int
 				counted := func(r types.Row) bool {
 					if owns != nil && !owns(r) {
 						return true // migration phantom / other half: skip, keep scanning
 					}
 					a.rowsShipped.Add(1)
+					shipped++
 					return emit(r)
 				}
 				if ti.columnar() {
@@ -198,7 +205,7 @@ func (a *stmtAccess) scan(meta *plan.TableMeta, pred exec.Expr) exec.Operator {
 						return counted(r.Clone())
 					})
 				}
-				return nil
+				return a.s.c.sendFromDN(f.phys, transport.ScanFrag, rowPayload(ti, shipped))
 			}
 		}
 		return frags, nil
@@ -242,12 +249,15 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 				if err != nil {
 					return err
 				}
-				if vp != nil {
-					rows, err := runVectorizedPartialAgg(ti.colParts()[f.phys], xid, snap, vp, keep, ctx)
-					if err != nil {
+				// Fragment dispatch: the scan+partial-agg request goes out,
+				// the reduced result rows come back.
+				if err := a.s.c.sendDN(f.phys, transport.ScanFrag, 0); err != nil {
+					return err
+				}
+				ship := func(rows []types.Row) error {
+					if err := a.s.c.sendFromDN(f.phys, transport.ScanFrag, len(rows)*out.Len()*8); err != nil {
 						return err
 					}
-					a.s.c.hop()
 					for _, r := range rows {
 						a.rowsShipped.Add(1)
 						if !emit(r) {
@@ -255,6 +265,13 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 						}
 					}
 					return nil
+				}
+				if vp != nil {
+					rows, err := runVectorizedPartialAgg(ti.colParts()[f.phys], xid, snap, vp, keep, ctx)
+					if err != nil {
+						return err
+					}
+					return ship(rows)
 				}
 				// Partition-local pipeline: scan -> filter -> partial agg.
 				// All of it evaluates "on the data node"; only the
@@ -283,14 +300,7 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 				if err != nil {
 					return err
 				}
-				a.s.c.hop()
-				for _, r := range rows {
-					a.rowsShipped.Add(1)
-					if !emit(r) {
-						return nil
-					}
-				}
-				return nil
+				return ship(rows)
 			}
 		}
 		return frags, nil

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/colstore"
 	"repro/internal/storage"
+	"repro/internal/transport"
 	"repro/internal/txnkit"
 	"repro/internal/types"
 )
@@ -135,9 +136,14 @@ func appendPartition(ti *TableInfo, p *tableParts, dn *DataNode) *tableParts {
 }
 
 // copyReplica snapshots table ti on node src and inserts every visible row
-// into the (empty) partition on the new node in one local transaction.
+// into the (empty) partition on the new node in one local transaction. The
+// rows cross the fabric as one RebalCopy bulk stream (replica seeding and
+// standby seeding both go through here).
 func (c *Cluster) copyReplica(ti *TableInfo, src, dst int, dstDN *DataNode) error {
 	rows := c.rawVisibleRows(ti, src, c.node(src), nil)
+	if err := c.fab.Send(transport.DN(src), transport.DN(dst), transport.RebalCopy, rowPayload(ti, len(rows))); err != nil {
+		return err
+	}
 	parts := ti.parts.Load()
 	xid := dstDN.Txm.Begin()
 	snap := dstDN.Txm.LocalSnapshot()
@@ -299,7 +305,7 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 	// Phase 1: live copy under traffic.
 	copied := 0
 	for _, ti := range tables {
-		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN)
+		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN, transport.RebalCopy)
 		if err != nil {
 			return fail("copy", err)
 		}
@@ -335,7 +341,7 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 		return fail("delta", ErrNodeDown)
 	}
 	for _, ti := range tables {
-		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN)
+		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN, transport.RebalDelta)
 		if err != nil {
 			return fail("delta", err)
 		}
@@ -404,8 +410,11 @@ func (c *Cluster) reapBucket(tables []*TableInfo, dnID, bucket int) {
 // transaction. It is a multiset diff — deletes extra target rows first,
 // then inserts missing ones — which makes both the initial copy and the
 // post-freeze delta the same idempotent operation, and returns the number
-// of rows inserted.
-func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, srcDN, tgtDN *DataNode) (int, error) {
+// of rows inserted. The diff ships source -> target over the fabric as one
+// bulk message of type mt (RebalCopy for the phase-1 copy, RebalDelta for
+// the post-freeze delta); a lost stream fails the sync before any local
+// change, so the caller's retry re-runs the same idempotent diff.
+func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, srcDN, tgtDN *DataNode, mt transport.MsgType) (int, error) {
 	col := ti.Meta.DistKey
 	inBucket := func(r types.Row) bool { return BucketOf(r[col]) == bucket }
 	srcRows := c.rawVisibleRows(ti, source, srcDN, inBucket)
@@ -430,6 +439,9 @@ func (c *Cluster) syncBucketTable(ti *TableInfo, bucket, source, target int, src
 	}
 	if len(inserts) == 0 && deletes == 0 {
 		return 0, nil
+	}
+	if err := c.fab.Send(transport.DN(source), transport.DN(target), mt, rowPayload(ti, len(inserts)+deletes)); err != nil {
+		return 0, err
 	}
 
 	// Commit through commitLocal: the sync aborts if the target was marked

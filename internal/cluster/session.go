@@ -11,6 +11,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlx"
+	"repro/internal/transport"
 	"repro/internal/txnkit"
 	"repro/internal/types"
 )
@@ -83,7 +84,7 @@ func (t *txn) ensureGlobalLocked() {
 	if t.global {
 		return
 	}
-	t.c.hop()
+	t.c.sendGTM(transport.GTMRound)
 	t.gxid, t.gsnap = t.c.gtm.BeginGlobal()
 	t.global = true
 	// Retroactively bind any already-started local legs.
@@ -157,7 +158,7 @@ func (t *txn) refreshGlobalSnapshot() {
 	}
 	if t.mode == ModeBaseline {
 		for i := 0; i < t.c.cfg.BaselineSnapshotsPerStatement; i++ {
-			t.c.hop()
+			t.c.sendGTM(transport.SnapshotReq)
 			t.gsnap = t.c.gtm.Snapshot()
 		}
 	}
@@ -238,7 +239,13 @@ func (t *txn) commit() error {
 	if !t.global {
 		// GTM-lite single-shard fast path: no GTM, no 2PC.
 		for _, dnID := range ids {
-			t.c.hop()
+			if err := t.c.sendDN(dnID, transport.Commit, 0); err != nil {
+				// The commit message never reached the node: nothing
+				// committed, so aborting is safe and the client sees the
+				// failure.
+				t.abortLocked()
+				return fmt.Errorf("cluster: commit aborted, dn%d unreachable: %w", dnID, err)
+			}
 			if err := t.c.commitLeg(dnID, t.xids[dnID], t.pending[dnID], &waits); err != nil {
 				return err
 			}
@@ -247,7 +254,10 @@ func (t *txn) commit() error {
 	}
 	// Phase 1: prepare every leg.
 	for _, dnID := range ids {
-		t.c.hop()
+		if err := t.c.sendDN(dnID, transport.Prepare, 0); err != nil {
+			t.abortLocked()
+			return fmt.Errorf("cluster: prepare failed on dn%d: %w", dnID, err)
+		}
 		if err := t.c.node(dnID).Txm.Prepare(t.xids[dnID]); err != nil {
 			t.abortLocked()
 			return fmt.Errorf("cluster: prepare failed on dn%d: %w", dnID, err)
@@ -265,7 +275,7 @@ func (t *txn) commit() error {
 	// Mark committed at the GTM FIRST (paper: "transactions are marked
 	// committed in GTM first and then on all nodes") — this ordering is
 	// what makes Anomaly 1 possible and UPGRADE necessary.
-	t.c.hop()
+	t.c.sendGTM(transport.GTMRound)
 	t.c.gtm.EndGlobal(t.gxid, true)
 	if t.c.failCrashAfterGTM.Load() {
 		// Simulated coordinator death after the decision became durable:
@@ -274,7 +284,12 @@ func (t *txn) commit() error {
 	}
 	// Phase 2: commit confirmations to data nodes.
 	for _, dnID := range ids {
-		t.c.hop()
+		if err := t.c.sendDN(dnID, transport.Commit, 0); err != nil {
+			// The decision is already durable at the GTM and the leg stays
+			// prepared with its records stashed: in-doubt recovery
+			// (ResolveInDoubt) finishes phase 2 when the node is reachable.
+			return fmt.Errorf("cluster: commit confirmation to dn%d lost (leg stays in doubt): %w", dnID, err)
+		}
 		recs := t.c.takeStash(dnID, t.xids[dnID])
 		if recs == nil {
 			recs = t.pending[dnID]
@@ -297,13 +312,16 @@ func (t *txn) abort() {
 
 func (t *txn) abortLocked() {
 	for dnID, xid := range t.xids {
-		t.c.hop()
+		// Aborts are best effort: a lost message leaves the leg to be
+		// reaped by presumed-abort recovery, so delivery failures are
+		// deliberately ignored.
+		_ = t.c.sendDN(dnID, transport.Abort, 0)
 		// Abort errors (already settled) are unreachable through the
 		// session API; ignore defensively.
 		_ = t.c.node(dnID).Txm.Abort(xid)
 	}
 	if t.global {
-		t.c.hop()
+		t.c.sendGTM(transport.GTMRound)
 		t.c.gtm.EndGlobal(t.gxid, false)
 	}
 }
@@ -572,7 +590,9 @@ func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.c.hop()
+			if err := s.c.sendDN(dnID, transport.Write, 0); err != nil {
+				return nil, err
+			}
 			if ti.columnar() {
 				err = ti.colParts()[dnID].Insert(xid, full)
 			} else {
@@ -710,7 +730,9 @@ func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.c.hop()
+		if err := s.c.sendDN(dnID, transport.Write, 0); err != nil {
+			return nil, err
+		}
 		var evalErr error
 		guard := s.c.victimGuard(ti, dnID)
 		n, err := ti.rowParts()[dnID].Update(xid, snap,
@@ -804,7 +826,9 @@ func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.c.hop()
+		if err := s.c.sendDN(dnID, transport.Write, 0); err != nil {
+			return nil, err
+		}
 		var evalErr error
 		guard := s.c.victimGuard(ti, dnID)
 		n, err := ti.rowParts()[dnID].Delete(xid, snap, func(r types.Row) bool {

@@ -77,6 +77,15 @@ func (a *Autopilot) Tick() []Action {
 	}
 	a.Info.Record("max_bloat_ratio", worstBloat)
 
+	// Transport fabric: cross-node message volume by type, plus totals.
+	fabStats := c.Fabric().Stats()
+	a.Info.Record("transport.msgs_total", float64(fabStats.Total()))
+	a.Info.Record("transport.bytes_total", float64(fabStats.TotalBytes()))
+	a.Info.Record("transport.dropped_total", float64(fabStats.TotalDropped()))
+	for _, ts := range fabStats {
+		a.Info.Record("transport.msgs."+ts.Type.String(), float64(ts.Count))
+	}
+
 	// Replication health (when HA is enabled).
 	if r := a.db.repl; r != nil {
 		st := r.Status()

@@ -117,6 +117,19 @@ func TestAutopilotMetricsCollected(t *testing.T) {
 	if _, ok := ap.Info.Last("max_bloat_ratio"); !ok {
 		t.Error("bloat metric missing")
 	}
+	// Transport accounting: the insert and scatter read crossed the fabric.
+	if v, ok := ap.Info.Last("transport.msgs_total"); !ok || v == 0 {
+		t.Errorf("transport total metric = %v, %v", v, ok)
+	}
+	if v, ok := ap.Info.Last("transport.msgs.write"); !ok || v == 0 {
+		t.Errorf("transport write metric = %v, %v", v, ok)
+	}
+	if v, ok := ap.Info.Last("transport.msgs.scan_frag"); !ok || v == 0 {
+		t.Errorf("transport scan metric = %v, %v", v, ok)
+	}
+	if v, ok := ap.Info.Last("transport.dropped_total"); !ok || v != 0 {
+		t.Errorf("transport dropped metric = %v, %v (want present, zero)", v, ok)
+	}
 }
 
 func TestEnableHAAndTickFailover(t *testing.T) {

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md's experiment index E1–E14). cmd/fibench is a
+// evaluation (see DESIGN.md's experiment index E1–E15). cmd/fibench is a
 // thin CLI over these functions and bench_test.go wraps them as Go
 // benchmarks; both print the same tables.
 package experiments
@@ -23,6 +23,7 @@ import (
 	"repro/internal/rebalance"
 	"repro/internal/repl"
 	"repro/internal/tpcc"
+	"repro/internal/transport"
 )
 
 // Fig3 regenerates the paper's Fig 3 (GTM-Lite scalability): throughput vs
@@ -649,8 +650,8 @@ func Parallel(w io.Writer) error {
 	const query = "SELECT grp, count(*), sum(v) FROM pfacts WHERE seq < 8000 GROUP BY grp"
 	const iters = 5
 	c := db.Cluster()
-	c.SetHopLatency(3 * time.Millisecond)
-	defer c.SetHopLatency(0)
+	c.Fabric().SetBaseLatency(3 * time.Millisecond)
+	defer c.Fabric().SetBaseLatency(0)
 	var rows [][]string
 	for _, degree := range []int{1, 2, 4} {
 		for _, prune := range []bool{true, false} {
@@ -838,4 +839,101 @@ func HA(w io.Writer, txnsPerPhase int) error {
 	}
 	fmt.Fprintln(w)
 	return nil
+}
+
+// NetworkCell is one E15 measurement: the fabric's per-type message
+// counts for one transaction-mode x single-shard-fraction cell of a
+// TPC-C-like run, normalized per committed transaction.
+type NetworkCell struct {
+	Mode        cluster.TxnMode
+	SingleShard float64
+	Committed   int64
+	MultiShard  int64
+	Stats       transport.Stats // raw counter delta over the run
+	PerTxn      map[transport.MsgType]float64
+	// GTMPerTxn is the GTM's message load (snapshot_req + gtm_round) per
+	// committed transaction — the quantity GTM-lite exists to shrink.
+	GTMPerTxn   float64
+	TotalPerTxn float64
+}
+
+// Network (E15) regenerates the transport-layer message accounting table:
+// a TPC-C-like driver runs under the conventional all-through-GTM design
+// and under GTM-lite at 100 % and 90 % single-shard mixes, and the
+// fabric's per-message-type counters (reset after load) are normalized
+// per committed transaction. The paper's GTM-lite argument shows up
+// directly as wire traffic: single-shard transactions skip every GTM
+// round trip, so GTM-lite's gtm column collapses toward zero with the
+// single-shard fraction while the baseline pays the GTM on every
+// transaction regardless of mix.
+func Network(w io.Writer, txns int) ([]NetworkCell, error) {
+	shown := []transport.MsgType{
+		transport.SnapshotReq, transport.GTMRound, transport.Write,
+		transport.Prepare, transport.Commit, transport.Abort, transport.ScanFrag,
+	}
+	var cells []NetworkCell
+	var rows [][]string
+	for _, mode := range []cluster.TxnMode{cluster.ModeBaseline, cluster.ModeGTMLite} {
+		for _, ss := range []float64{1.0, 0.9} {
+			c, err := cluster.New(cluster.Config{DataNodes: 4, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			cfg := tpcc.DefaultConfig(8, ss)
+			if err := tpcc.Load(c, cfg); err != nil {
+				return nil, err
+			}
+			fab := c.Fabric()
+			fab.ResetCounters() // exclude the bulk load's traffic
+			d := tpcc.NewDriver(c, cfg, 1)
+			if err := d.Run(txns); err != nil {
+				return nil, err
+			}
+			committed := d.Stats.Committed
+			if committed == 0 {
+				return nil, fmt.Errorf("experiments: E15 %s ss=%.0f%% committed nothing", mode, ss*100)
+			}
+			st := fab.Stats()
+			cell := NetworkCell{
+				Mode:        mode,
+				SingleShard: ss,
+				Committed:   committed,
+				MultiShard:  d.Stats.MultiShard,
+				Stats:       st,
+				PerTxn:      map[transport.MsgType]float64{},
+				TotalPerTxn: float64(st.Total()) / float64(committed),
+			}
+			for _, mt := range transport.MsgTypes() {
+				cell.PerTxn[mt] = float64(st.Get(mt).Count) / float64(committed)
+			}
+			cell.GTMPerTxn = cell.PerTxn[transport.SnapshotReq] + cell.PerTxn[transport.GTMRound]
+			cells = append(cells, cell)
+
+			row := []string{mode.String(), fmt.Sprintf("%.0f%%", ss*100)}
+			for _, mt := range shown {
+				row = append(row, benchfmt.F(cell.PerTxn[mt]))
+			}
+			row = append(row, benchfmt.F(cell.GTMPerTxn), benchfmt.F(cell.TotalPerTxn))
+			rows = append(rows, row)
+		}
+	}
+	header := []string{"mode", "single-shard"}
+	for _, mt := range shown {
+		header = append(header, mt.String())
+	}
+	header = append(header, "gtm msgs/txn", "total msgs/txn")
+	benchfmt.Table(w, "Messages per committed transaction by type — TPC-C-like @4 shards (E15)", header, rows)
+
+	// Feed the measured wire traffic back into the simulator: perfsim's
+	// hand-set network cost estimates are replaced by the fabric's counters
+	// (the 90 % single-shard baseline cell carries both knobs).
+	for _, cell := range cells {
+		if cell.Mode == cluster.ModeBaseline && cell.SingleShard < 1.0 {
+			p := perfsim.DefaultParams(4, perfsim.Baseline, cell.SingleShard).
+				CalibrateFromFabric(cell.Stats, cell.Committed, cell.MultiShard)
+			fmt.Fprintf(w, "perfsim calibration from fabric counters: BaselineExtraGTMOps=%d, MultiShardFanout=%d\n\n",
+				p.BaselineExtraGTMOps, p.MultiShardFanout)
+		}
+	}
+	return cells, nil
 }

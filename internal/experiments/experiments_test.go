@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestNetworkGTMLiteFewerGTMMessages is E15's acceptance check: GTM-lite
+// must cost strictly fewer GTM round-trip messages per committed
+// transaction than the all-through-GTM baseline at both the 100 % and the
+// 90 % single-shard mix.
+func TestNetworkGTMLiteFewerGTMMessages(t *testing.T) {
+	cells, err := Network(io.Discard, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := func(mode cluster.TxnMode, ss float64) *NetworkCell {
+		for i := range cells {
+			if cells[i].Mode == mode && cells[i].SingleShard == ss {
+				return &cells[i]
+			}
+		}
+		t.Fatalf("no E15 cell for %s ss=%.2f", mode, ss)
+		return nil
+	}
+	for _, ss := range []float64{1.0, 0.9} {
+		base := byMode(cluster.ModeBaseline, ss)
+		lite := byMode(cluster.ModeGTMLite, ss)
+		if base.GTMPerTxn <= 0 {
+			t.Fatalf("ss=%.0f%%: baseline recorded no GTM messages (%.3f/txn)", ss*100, base.GTMPerTxn)
+		}
+		if lite.GTMPerTxn >= base.GTMPerTxn {
+			t.Fatalf("ss=%.0f%%: gtm-lite %.3f GTM msgs/txn, not strictly fewer than baseline %.3f",
+				ss*100, lite.GTMPerTxn, base.GTMPerTxn)
+		}
+		if lite.TotalPerTxn >= base.TotalPerTxn {
+			t.Errorf("ss=%.0f%%: gtm-lite total %.3f msgs/txn >= baseline %.3f",
+				ss*100, lite.TotalPerTxn, base.TotalPerTxn)
+		}
+	}
+	// The 100 % single-shard GTM-lite workload must skip the GTM entirely.
+	if g := byMode(cluster.ModeGTMLite, 1.0).GTMPerTxn; g != 0 {
+		t.Errorf("pure single-shard gtm-lite still sent %.3f GTM msgs/txn", g)
+	}
+}

@@ -1,0 +1,46 @@
+package perfsim
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestCalibrateFromFabric feeds synthetic fabric counters through the
+// calibration and checks both derivable knobs.
+func TestCalibrateFromFabric(t *testing.T) {
+	f := transport.New(transport.Config{})
+	// 100 committed txns, 10 of them 2PC over 3 shards: the baseline paid 4
+	// GTM messages per txn (2 beyond the modeled begin+end pair).
+	for i := 0; i < 100; i++ {
+		for j := 0; j < 4; j++ {
+			if err := f.Send(transport.CN(), transport.GTM(), transport.GTMRound, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 3; j++ {
+			if err := f.Send(transport.CN(), transport.DN(j), transport.Prepare, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p := DefaultParams(4, Baseline, 0.9).CalibrateFromFabric(f.Stats(), 100, 10)
+	if p.BaselineExtraGTMOps != 2 {
+		t.Errorf("BaselineExtraGTMOps = %d, want 2", p.BaselineExtraGTMOps)
+	}
+	if p.MultiShardFanout != 3 {
+		t.Errorf("MultiShardFanout = %d, want 3", p.MultiShardFanout)
+	}
+
+	// GTM-lite params never adopt the baseline overhead knob, and garbage
+	// inputs leave the defaults alone.
+	lite := DefaultParams(4, GTMLite, 1.0)
+	if got := lite.CalibrateFromFabric(f.Stats(), 100, 10); got.BaselineExtraGTMOps != lite.BaselineExtraGTMOps {
+		t.Errorf("gtm-lite calibration changed BaselineExtraGTMOps to %d", got.BaselineExtraGTMOps)
+	}
+	if got := DefaultParams(4, Baseline, 0.9).CalibrateFromFabric(transport.Stats{}, 0, 0); got != DefaultParams(4, Baseline, 0.9) {
+		t.Error("zero-commit calibration mutated params")
+	}
+}

@@ -32,8 +32,11 @@ package perfsim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
+
+	"repro/internal/transport"
 )
 
 // Mode selects the transaction protocol (mirrors cluster.TxnMode).
@@ -109,6 +112,38 @@ func DefaultParams(dataNodes int, mode Mode, ssFraction float64) Params {
 		CNService:           20e-6,
 		Seed:                1,
 	}
+}
+
+// CalibrateFromFabric replaces the simulator's hand-set per-transaction
+// message estimates with counts measured on the live cluster's transport
+// fabric. st must be the fabric counter delta over a run that committed
+// `committed` transactions of which `multiShard` ran 2PC, under the same
+// TxnMode these params simulate (see experiments.Network / E15 for the
+// measurement).
+//
+// Two knobs are derivable from wire traffic alone:
+//
+//   - BaselineExtraGTMOps: the baseline path always pays two GTM round
+//     trips (GXID+snapshot at begin, dequeue at end); whatever the fabric
+//     counted beyond those is the paper's "many-round communication".
+//   - MultiShardFanout: prepare messages divided by 2PC transactions is
+//     exactly the shards a multi-shard transaction touched.
+func (p Params) CalibrateFromFabric(st transport.Stats, committed, multiShard int64) Params {
+	if committed <= 0 {
+		return p
+	}
+	if p.Mode == Baseline {
+		gtmPerTxn := float64(st.Get(transport.SnapshotReq).Count+st.Get(transport.GTMRound).Count) / float64(committed)
+		if extra := int(math.Round(gtmPerTxn)) - 2; extra >= 0 {
+			p.BaselineExtraGTMOps = extra
+		}
+	}
+	if multiShard > 0 {
+		if fanout := int(math.Round(float64(st.Get(transport.Prepare).Count) / float64(multiShard))); fanout >= 2 {
+			p.MultiShardFanout = fanout
+		}
+	}
+	return p
 }
 
 // Result summarizes one run.

@@ -10,6 +10,8 @@ import (
 	"repro/internal/autonomous"
 	"repro/internal/cluster"
 	"repro/internal/tpcc"
+	"repro/internal/transport"
+	"repro/internal/types"
 )
 
 func newCluster(t *testing.T, dns int) *cluster.Cluster {
@@ -216,6 +218,60 @@ func TestExpansionUnderLoad(t *testing.T) {
 	}
 	t.Logf("expansion under load: %d committed (%d multi-shard), progress %+v",
 		committed, multi, r.Progress())
+}
+
+// TestMoveBucketRetriesAcrossDroppedCopyStream: the fabric drops the first
+// attempt's RebalCopy bulk stream; the move fails cleanly before touching
+// the target, the rebalancer retries it to completion, and the table
+// checksum proves no row was lost or duplicated.
+func TestMoveBucketRetriesAcrossDroppedCopyStream(t *testing.T) {
+	c := newCluster(t, 2)
+	s := c.NewSession()
+	if _, err := s.Exec("CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := c.AddDataNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bucket := c.ExpansionPlan(id)[0]
+	// Make sure the migrating bucket actually carries rows, so the copy
+	// phase really sends a RebalCopy stream for the fault to drop.
+	for k, inserted := int64(1000), 0; inserted < 8; k++ {
+		if cluster.BucketOf(types.NewInt(k)) == bucket {
+			if _, err := s.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", k, k)); err != nil {
+				t.Fatal(err)
+			}
+			inserted++
+		}
+	}
+	before := checksum(t, c, "kv")
+
+	src := c.BucketOwners()[bucket]
+	c.Fabric().InjectFault(transport.DN(src), transport.DN(id),
+		transport.Fault{Types: []transport.MsgType{transport.RebalCopy}, Drop: true, Count: 1})
+
+	r := New(c, Options{MaxConcurrentMoves: 1, RetryBackoff: 5 * time.Millisecond})
+	if err := r.MoveBuckets([]Move{{Bucket: bucket, Target: id}}); err != nil {
+		t.Fatalf("MoveBuckets did not recover from dropped copy stream: %v", err)
+	}
+	if p := r.Progress(); p.Retries == 0 || p.Moved != 1 || p.Failed != 0 {
+		t.Fatalf("progress = %+v, want 1 moved with >=1 retry", p)
+	}
+	if c.BucketOwners()[bucket] != id {
+		t.Fatalf("bucket %d not on dn%d after retry", bucket, id)
+	}
+	if after := checksum(t, c, "kv"); after != before {
+		t.Fatalf("rows lost or duplicated across retried move: %+v -> %+v", before, after)
+	}
+	if dropped := c.Fabric().Stats().Get(transport.RebalCopy).Dropped; dropped != 1 {
+		t.Fatalf("RebalCopy dropped = %d, want exactly the injected 1", dropped)
+	}
 }
 
 // TestMoveBucketsRetriesTransientFailure: a target that is down for the

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/transport"
 )
 
 // Mode selects how commit acknowledgement relates to shipping.
@@ -128,6 +129,7 @@ func (p *pair) brokenErr() error {
 type Manager struct {
 	c   *cluster.Cluster
 	cfg Config
+	fab *transport.Fabric
 
 	mu    sync.Mutex                    // serializes pair-map writes
 	pairs atomic.Pointer[map[int]*pair] // primary -> pair, copy-on-write
@@ -145,7 +147,7 @@ type Manager struct {
 // start serving reads. Pairs are added with AttachStandby.
 func NewManager(c *cluster.Cluster, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
-	m := &Manager{c: c, cfg: cfg, stopWatch: make(chan struct{})}
+	m := &Manager{c: c, cfg: cfg, fab: c.Fabric(), stopWatch: make(chan struct{})}
 	empty := map[int]*pair{}
 	m.pairs.Store(&empty)
 	c.SetCommitTap(m)
@@ -247,10 +249,14 @@ func (m *Manager) Committed(dnID int, recs []cluster.WriteRec) func() {
 	}
 }
 
-// applyLoop is the pair's single consumer: it applies entries to the
-// standby in log order, each leg as one standby-local transaction. An
-// apply error poisons the pair (the mirror can no longer be trusted) but
-// the loop keeps consuming so sync-mode commits are still released.
+// applyLoop is the pair's single consumer: it ships each entry over the
+// primary→standby fabric link and applies it to the standby in log order,
+// each leg as one standby-local transaction. A transport failure (dropped
+// ReplShip, severed link) is retried until the link heals — the records
+// are durable on the primary and lag simply grows, taking the standby out
+// of Synced and degrading sync-mode commits. An apply error, by contrast,
+// poisons the pair (the mirror can no longer be trusted) but the loop
+// keeps consuming so sync-mode commits are still released.
 func (m *Manager) applyLoop(p *pair) {
 	defer m.wg.Done()
 	for {
@@ -258,7 +264,7 @@ func (m *Manager) applyLoop(p *pair) {
 		if e == nil {
 			return
 		}
-		if !p.broken.Load() {
+		if !p.broken.Load() && m.ship(p, e.Recs) {
 			if err := m.c.ApplyStandbyRecs(p.standby, e.Recs); err != nil {
 				p.fail(err)
 			} else {
@@ -269,6 +275,35 @@ func (m *Manager) applyLoop(p *pair) {
 		close(e.done)
 		p.log.applied()
 	}
+}
+
+// ship delivers one log entry's records over the replication link,
+// retrying transport failures until delivery or manager close. Returns
+// false only when the manager closed before the entry could be delivered.
+func (m *Manager) ship(p *pair, recs []cluster.WriteRec) bool {
+	for {
+		err := m.fab.Send(transport.DN(p.primary), transport.DN(p.standby), transport.ReplShip, recsPayload(recs))
+		if err == nil {
+			return true
+		}
+		// Send only fails with ErrUnreachable variants (drop fault, severed
+		// link, partition) — all transient from the log's point of view.
+		select {
+		case <-m.stopWatch:
+			return false
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// recsPayload estimates the wire size of a shipped leg so bandwidth-shaped
+// fabrics charge replication streams like the bulk transfers they are.
+func recsPayload(recs []cluster.WriteRec) int {
+	n := 0
+	for _, r := range recs {
+		n += (len(r.Row) + len(r.Old)) * 8
+	}
+	return n
 }
 
 // Synced reports whether primary's standby is safe to read: paired, not

@@ -1,0 +1,502 @@
+// Package transport is the cluster's network fabric: every cross-node
+// interaction — snapshot acquisition, scan-fragment dispatch, 2PC legs,
+// GTM round trips, commit-log shipping, bucket-migration streams — is a
+// typed message sent over it. The fabric does three jobs the old global
+// hop() counter could not:
+//
+//   - Attribution. Messages carry a MsgType and endpoints, so experiments
+//     can report messages-per-transaction *by type* (E15) instead of an
+//     undifferentiated hop count, and per-link traffic is observable.
+//   - Cost model. A base one-way latency (settable atomically at runtime),
+//     optional per-link overrides with jitter, and a bandwidth term for
+//     bulk payloads turn the single sleep into a per-link model.
+//   - Fault injection. Links can delay, drop (once, N times, or forever)
+//     or be cut by a full network partition; partitioned endpoints are
+//     reported through Unreachable so the cluster's liveness checks and
+//     the replication failure detector compose with injected partitions.
+//
+// The fabric is in-process: a Send sleeps for the modeled latency and
+// returns an error when a fault fires — callers treat that exactly as a
+// failed RPC. The zero-configuration fabric (New(Config{})) costs one
+// atomic add per message on the hot path.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MsgType classifies one cross-node message (the taxonomy of E15).
+type MsgType uint8
+
+// Message types.
+const (
+	// SnapshotReq is a CN->GTM statement-snapshot refresh (baseline mode's
+	// per-statement round trip).
+	SnapshotReq MsgType = iota
+	// GTMRound is any other CN->GTM round trip: BeginGlobal, EndGlobal.
+	GTMRound
+	// ScanFrag is a scan-fragment dispatch (CN->DN) or its row stream
+	// coming back (DN->CN, payload = shipped row bytes).
+	ScanFrag
+	// Write is one DML leg landing rows on a data node.
+	Write
+	// Prepare is a 2PC phase-1 prepare leg.
+	Prepare
+	// Commit is a commit confirmation (single-shard fast path or 2PC
+	// phase 2).
+	Commit
+	// Abort is an abort leg.
+	Abort
+	// ReplShip is one commit-log entry shipped primary->standby.
+	ReplShip
+	// RebalCopy is a bucket-migration phase-1 bulk copy stream, and also
+	// the replica/standby seeding stream.
+	RebalCopy
+	// RebalDelta is a bucket-migration phase-4 (post-freeze) delta stream.
+	RebalDelta
+
+	numMsgTypes = int(RebalDelta) + 1
+)
+
+var msgTypeNames = [numMsgTypes]string{
+	"snapshot_req", "gtm_round", "scan_frag", "write", "prepare",
+	"commit", "abort", "repl_ship", "rebal_copy", "rebal_delta",
+}
+
+func (t MsgType) String() string {
+	if int(t) < numMsgTypes {
+		return msgTypeNames[t]
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// MsgTypes lists every message type in declaration order (stable iteration
+// for reports and metrics export).
+func MsgTypes() []MsgType {
+	out := make([]MsgType, numMsgTypes)
+	for i := range out {
+		out[i] = MsgType(i)
+	}
+	return out
+}
+
+// EndpointKind is the role of a fabric endpoint.
+type EndpointKind uint8
+
+// Endpoint kinds.
+const (
+	// KindCN is the coordinator.
+	KindCN EndpointKind = iota
+	// KindDN is a data node (primary or standby), identified by ID.
+	KindDN
+	// KindGTM is the global transaction manager.
+	KindGTM
+)
+
+// Endpoint names one party of a link. CN and GTM are singletons (ID 0).
+type Endpoint struct {
+	Kind EndpointKind
+	ID   int
+}
+
+func (e Endpoint) String() string {
+	switch e.Kind {
+	case KindCN:
+		return "cn"
+	case KindGTM:
+		return "gtm"
+	default:
+		return fmt.Sprintf("dn%d", e.ID)
+	}
+}
+
+// CN returns the coordinator endpoint.
+func CN() Endpoint { return Endpoint{Kind: KindCN} }
+
+// DN returns the endpoint of data node id.
+func DN(id int) Endpoint { return Endpoint{Kind: KindDN, ID: id} }
+
+// GTM returns the global-transaction-manager endpoint.
+func GTM() Endpoint { return Endpoint{Kind: KindGTM} }
+
+// Sentinel errors. ErrDropped and ErrPartitioned both wrap ErrUnreachable,
+// so callers that only care "the message did not arrive" match once.
+var (
+	// ErrUnreachable is the base class of every delivery failure.
+	ErrUnreachable = errors.New("transport: message not delivered")
+	// ErrDropped fires from an injected drop fault.
+	ErrDropped = fmt.Errorf("%w: dropped by fault injection", ErrUnreachable)
+	// ErrPartitioned fires when the two endpoints are on opposite sides of
+	// an injected network partition.
+	ErrPartitioned = fmt.Errorf("%w: network partition", ErrUnreachable)
+)
+
+// Latency models one link's one-way delay: Base plus a uniform random
+// jitter in [0, Jitter).
+type Latency struct {
+	Base   time.Duration
+	Jitter time.Duration
+}
+
+// Fault is an injected failure on one link.
+type Fault struct {
+	// Types restricts the fault to these message types (nil = all).
+	Types []MsgType
+	// Delay is added to the link latency of matching messages.
+	Delay time.Duration
+	// Drop makes matching messages fail with ErrDropped.
+	Drop bool
+	// Count limits how many messages the fault fires on (0 = unlimited).
+	Count int64
+}
+
+func (f *Fault) matches(t MsgType) bool {
+	if len(f.Types) == 0 {
+		return true
+	}
+	for _, ft := range f.Types {
+		if ft == t {
+			return true
+		}
+	}
+	return false
+}
+
+// fault is the armed form of a Fault.
+type fault struct {
+	Fault
+	remaining atomic.Int64 // Count countdown; negative disables the limit
+}
+
+func (f *fault) fire() bool {
+	if f.Count == 0 {
+		return true
+	}
+	return f.remaining.Add(-1) >= 0
+}
+
+// Config configures a fabric.
+type Config struct {
+	// BaseLatency is the default one-way latency of every link
+	// (0 disables the sleep; counters still run).
+	BaseLatency time.Duration
+	// Bandwidth, in bytes/second, charges payload/Bandwidth extra delay on
+	// messages with a payload — the bulk-stream cost (0 = infinite).
+	Bandwidth float64
+	// Sleep overrides how delay is realized (tests inject a recorder;
+	// default time.Sleep).
+	Sleep func(time.Duration)
+	// Seed seeds the jitter source (0 = 1).
+	Seed int64
+}
+
+type linkKey struct{ from, to Endpoint }
+
+// TypeStat is one message type's delivery counters.
+type TypeStat struct {
+	Type    MsgType
+	Count   int64 // delivered messages
+	Bytes   int64 // delivered payload bytes
+	Dropped int64 // messages lost to faults or partitions
+}
+
+// Stats is a fabric counter snapshot, indexed by MsgType declaration order.
+type Stats [numMsgTypes]TypeStat
+
+// Total returns delivered messages across all types.
+func (s Stats) Total() int64 {
+	var n int64
+	for _, st := range s {
+		n += st.Count
+	}
+	return n
+}
+
+// TotalBytes returns delivered payload bytes across all types.
+func (s Stats) TotalBytes() int64 {
+	var n int64
+	for _, st := range s {
+		n += st.Bytes
+	}
+	return n
+}
+
+// TotalDropped returns messages lost across all types.
+func (s Stats) TotalDropped() int64 {
+	var n int64
+	for _, st := range s {
+		n += st.Dropped
+	}
+	return n
+}
+
+// Sub returns s - base per field (counter deltas over a measured window).
+func (s Stats) Sub(base Stats) Stats {
+	for i := range s {
+		s[i].Count -= base[i].Count
+		s[i].Bytes -= base[i].Bytes
+		s[i].Dropped -= base[i].Dropped
+	}
+	return s
+}
+
+// Get returns one type's counters.
+func (s Stats) Get(t MsgType) TypeStat { return s[t] }
+
+// partition is an immutable view of the injected connectivity failures —
+// an isolated-endpoint set plus severed links — swapped atomically so the
+// hot path checks it with one load.
+type partition struct {
+	cut   map[Endpoint]bool
+	pairs map[linkKey]bool // severed links, both directions present
+}
+
+func (p *partition) severs(from, to Endpoint) bool {
+	return p.cut[from] != p.cut[to] || p.pairs[linkKey{from, to}]
+}
+
+// Fabric carries every cross-node message of one cluster.
+type Fabric struct {
+	base      atomic.Int64 // base one-way latency, ns
+	bandwidth atomic.Int64 // bytes/s, 0 = infinite
+
+	counts  [numMsgTypes]atomic.Int64
+	bytes   [numMsgTypes]atomic.Int64
+	dropped [numMsgTypes]atomic.Int64
+
+	// shaped flags that per-link latency overrides or faults exist, so the
+	// fault-free fast path skips the map lookups entirely.
+	shaped atomic.Bool
+	mu     sync.Mutex // guards links, faults, rng
+	links  map[linkKey]Latency
+	faults map[linkKey][]*fault
+	rng    *rand.Rand
+
+	part atomic.Pointer[partition]
+
+	sleep func(time.Duration)
+}
+
+// New builds a fabric.
+func New(cfg Config) *Fabric {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	f := &Fabric{
+		links:  map[linkKey]Latency{},
+		faults: map[linkKey][]*fault{},
+		rng:    rand.New(rand.NewSource(seed)),
+		sleep:  cfg.Sleep,
+	}
+	if f.sleep == nil {
+		f.sleep = time.Sleep
+	}
+	f.base.Store(int64(cfg.BaseLatency))
+	f.bandwidth.Store(int64(cfg.Bandwidth))
+	return f
+}
+
+// BaseLatency returns the default one-way link latency.
+func (f *Fabric) BaseLatency() time.Duration { return time.Duration(f.base.Load()) }
+
+// SetBaseLatency changes the default one-way link latency. Safe under
+// concurrent Sends (stored atomically — this is what fixes the old
+// SetHopLatency data race).
+func (f *Fabric) SetBaseLatency(d time.Duration) { f.base.Store(int64(d)) }
+
+// SetBandwidth changes the payload bandwidth model (bytes/second, 0 =
+// infinite).
+func (f *Fabric) SetBandwidth(bytesPerSec float64) { f.bandwidth.Store(int64(bytesPerSec)) }
+
+// SetLinkLatency overrides the latency of one directed link (from -> to).
+// A zero Latency removes the override.
+func (f *Fabric) SetLinkLatency(from, to Endpoint, l Latency) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := linkKey{from, to}
+	if l == (Latency{}) {
+		delete(f.links, k)
+	} else {
+		f.links[k] = l
+	}
+	f.shaped.Store(len(f.links) > 0 || len(f.faults) > 0)
+}
+
+// InjectFault arms a fault on one directed link (from -> to). Multiple
+// faults on a link all apply; delays accumulate and any drop wins.
+func (f *Fabric) InjectFault(from, to Endpoint, flt Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	af := &fault{Fault: flt}
+	af.remaining.Store(flt.Count)
+	k := linkKey{from, to}
+	f.faults[k] = append(f.faults[k], af)
+	f.shaped.Store(true)
+}
+
+// ClearFaults removes every injected fault (latency overrides stay).
+func (f *Fabric) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = map[linkKey][]*fault{}
+	f.shaped.Store(len(f.links) > 0)
+}
+
+// Partition cuts the given endpoints off from the rest of the fabric:
+// messages between an isolated endpoint and a non-isolated one fail with
+// ErrPartitioned in both directions; traffic within either side still
+// flows. It replaces any previous isolated set (severed links from
+// CutLinks stay); Heal() removes everything.
+func (f *Fabric) Partition(eps ...Endpoint) {
+	cut := make(map[Endpoint]bool, len(eps))
+	for _, e := range eps {
+		cut[e] = true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	next := &partition{cut: cut}
+	if p := f.part.Load(); p != nil {
+		next.pairs = p.pairs
+	}
+	f.part.Store(next)
+}
+
+// CutLinks severs the direct link between a and b in both directions
+// (ErrPartitioned), leaving all other connectivity intact — the asymmetric
+// failure a full Partition cannot express: e.g. a primary that lost its
+// coordinator-facing network while its replication link to the standby
+// still works. Cuts accumulate; Heal() removes them.
+func (f *Fabric) CutLinks(a, b Endpoint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := f.part.Load()
+	next := &partition{pairs: map[linkKey]bool{{a, b}: true, {b, a}: true}}
+	if old != nil {
+		next.cut = old.cut
+		for k := range old.pairs {
+			next.pairs[k] = true
+		}
+	}
+	f.part.Store(next)
+}
+
+// Heal removes every injected connectivity failure (partitions and severed
+// links).
+func (f *Fabric) Heal() { f.part.Store(nil) }
+
+// Unreachable reports whether the coordinator can currently reach ep: true
+// when ep is on the isolated side of a partition or its link to the CN is
+// severed. This is the liveness signal the cluster's down-node checks and
+// the replication failure detector consume (both are coordinator-side
+// views). One atomic load; safe on hot paths.
+func (f *Fabric) Unreachable(ep Endpoint) bool {
+	p := f.part.Load()
+	return p != nil && (p.cut[ep] || p.pairs[linkKey{CN(), ep}])
+}
+
+// severed reports whether injected connectivity failures separate from and
+// to.
+func (f *Fabric) severed(from, to Endpoint) bool {
+	p := f.part.Load()
+	return p != nil && p.severs(from, to)
+}
+
+// Send delivers one message of type t with a payload of payloadBytes from
+// from to to, sleeping for the link's modeled latency. It returns
+// ErrPartitioned / ErrDropped (both wrapping ErrUnreachable) when the
+// message is lost; the caller treats that as a failed RPC.
+func (f *Fabric) Send(from, to Endpoint, t MsgType, payloadBytes int) error {
+	if f.severed(from, to) {
+		f.dropped[t].Add(1)
+		return fmt.Errorf("%w (%s -> %s, %s)", ErrPartitioned, from, to, t)
+	}
+
+	delay := time.Duration(f.base.Load())
+	if f.shaped.Load() {
+		extra, drop := f.shape(from, to, t, &delay)
+		if drop {
+			f.dropped[t].Add(1)
+			return fmt.Errorf("%w (%s -> %s, %s)", ErrDropped, from, to, t)
+		}
+		delay += extra
+	}
+	if bw := f.bandwidth.Load(); bw > 0 && payloadBytes > 0 {
+		delay += time.Duration(float64(payloadBytes) / float64(bw) * float64(time.Second))
+	}
+
+	f.counts[t].Add(1)
+	f.bytes[t].Add(int64(payloadBytes))
+	if delay > 0 {
+		f.sleep(delay)
+	}
+	return nil
+}
+
+// shape resolves per-link latency overrides and faults for one message.
+// It returns any extra delay and whether the message is dropped; when an
+// override exists, *delay is replaced by the override's sample.
+func (f *Fabric) shape(from, to Endpoint, t MsgType, delay *time.Duration) (extra time.Duration, drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := linkKey{from, to}
+	if l, ok := f.links[k]; ok {
+		d := l.Base
+		if l.Jitter > 0 {
+			d += time.Duration(f.rng.Int63n(int64(l.Jitter)))
+		}
+		*delay = d
+	}
+	for _, flt := range f.faults[k] {
+		if !flt.matches(t) {
+			continue
+		}
+		if !flt.fire() {
+			continue
+		}
+		if flt.Drop {
+			return 0, true
+		}
+		extra += flt.Delay
+	}
+	return extra, false
+}
+
+// Stats snapshots the per-type counters.
+func (f *Fabric) Stats() Stats {
+	var s Stats
+	for i := 0; i < numMsgTypes; i++ {
+		s[i] = TypeStat{
+			Type:    MsgType(i),
+			Count:   f.counts[i].Load(),
+			Bytes:   f.bytes[i].Load(),
+			Dropped: f.dropped[i].Load(),
+		}
+	}
+	return s
+}
+
+// Total returns the lifetime count of delivered messages (the old Hops()
+// number).
+func (f *Fabric) Total() int64 {
+	var n int64
+	for i := 0; i < numMsgTypes; i++ {
+		n += f.counts[i].Load()
+	}
+	return n
+}
+
+// ResetCounters zeroes the per-type counters (measured-window bookkeeping
+// in experiments; prefer Stats().Sub(base) when traffic is concurrent).
+func (f *Fabric) ResetCounters() {
+	for i := 0; i < numMsgTypes; i++ {
+		f.counts[i].Store(0)
+		f.bytes[i].Store(0)
+		f.dropped[i].Store(0)
+	}
+}
