@@ -206,9 +206,15 @@ type Cluster struct {
 	retired map[int]bool
 
 	// Standby pairing (guarded by routeMu): standbys maps standby -> its
-	// primary, standbyOf maps primary -> its standby. See standby.go.
+	// upstream (a primary, or another standby in a chained topology),
+	// standbyOf maps upstream -> its standbys in attach order. See
+	// standby.go.
 	standbys  map[int]int
-	standbyOf map[int]int
+	standbyOf map[int][]int
+	// successor maps a retired primary to the standby promoted in its
+	// place, so a rebalance targeting the dead node can re-target the live
+	// successor (guarded by routeMu).
+	successor map[int]int
 	// tap receives committed write records (standby replication); nil
 	// until internal/repl installs one.
 	tap atomic.Pointer[tapBox]
@@ -218,7 +224,7 @@ type Cluster struct {
 	stash   map[stashKey][]WriteRec
 	// Read-replica routing policy (guarded by routeMu; see SetStandbyReads).
 	standbyReadMode StandbyReadMode
-	standbyReadable func(primary int) bool
+	standbyReadable func(primary int) (int, bool)
 }
 
 // New builds a cluster.
@@ -241,7 +247,8 @@ func New(cfg Config) (*Cluster, error) {
 		downNodes: map[int]bool{},
 		retired:   map[int]bool{},
 		standbys:  map[int]int{},
-		standbyOf: map[int]int{},
+		standbyOf: map[int][]int{},
+		successor: map[int]int{},
 		Store:     planstore.New(),
 		Clock:     time.Now,
 		bmap:      bmap,

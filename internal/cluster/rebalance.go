@@ -19,6 +19,14 @@ import (
 // left the bucket on its source node and can simply be retried.
 var ErrRebalanceRetry = errors.New("cluster: bucket move interrupted; retry")
 
+// ErrShardFenced wraps bucket-move failures caused by a shard inside its
+// failover window: the node is down but has standbys attached, so a
+// promotion is expected to take over its buckets shortly. It wraps
+// ErrRebalanceRetry (legacy retry loops still match), but a fence-aware
+// orchestrator (internal/rebalance) waits on ShardFenced instead of
+// hot-retrying, then re-targets a retired node via Successor.
+var ErrShardFenced = fmt.Errorf("cluster: shard is fenced for failover: %w", ErrRebalanceRetry)
+
 // ErrBucketMigrating is returned to writers that hit a bucket inside its
 // cutover freeze window. The window is bounded by the drain plus one delta
 // application; clients retry the statement (the TPC-C driver counts these
@@ -131,6 +139,21 @@ func appendPartition(ti *TableInfo, p *tableParts, dn *DataNode) *tableParts {
 	} else {
 		np.rows = append(append([]*storage.Table(nil), p.rows...),
 			storage.NewTable(ti.Meta.Name, ti.Meta.Schema, ti.Meta.PKCols, dn.Txm))
+	}
+	return np
+}
+
+// replacePartition returns p with the partition at idx replaced by a fresh
+// empty one on dn (copy-on-write; standby re-enrollment wipes the retired
+// node's data this way before re-seeding).
+func replacePartition(ti *TableInfo, p *tableParts, idx int, dn *DataNode) *tableParts {
+	np := &tableParts{}
+	if p.cols != nil {
+		np.cols = append([]*colstore.Table(nil), p.cols...)
+		np.cols[idx] = colstore.NewTable(ti.Meta.Name, ti.Meta.Schema, dn.Txm)
+	} else {
+		np.rows = append([]*storage.Table(nil), p.rows...)
+		np.rows[idx] = storage.NewTable(ti.Meta.Name, ti.Meta.Schema, ti.Meta.PKCols, dn.Txm)
 	}
 	return np
 }
@@ -257,6 +280,13 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 		return 0, fmt.Errorf("cluster: move target dn%d is a standby (of dn%d)", target, p)
 	}
 	if c.isRetired(target) {
+		// A target retired by a promotion has a live successor: surface the
+		// fence so the orchestrator re-targets it. Without one, the plan
+		// names a node that can never own buckets — a permanent error.
+		if _, ok := c.successor[target]; ok {
+			c.routeMu.Unlock()
+			return 0, fmt.Errorf("cluster: move target dn%d was retired by a promotion: %w", target, ErrShardFenced)
+		}
 		c.routeMu.Unlock()
 		return 0, fmt.Errorf("cluster: move target dn%d is retired", target)
 	}
@@ -298,8 +328,27 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 		return 0, fmt.Errorf("cluster: move bucket %d dn%d->dn%d failed at %s: %v: %w", bucket, source, target, stage, err, ErrRebalanceRetry)
 	}
 
-	if c.nodeDown(source) || c.nodeDown(target) {
-		return fail("start", ErrNodeDown)
+	// downErr distinguishes a shard inside its failover window (fenced: a
+	// promotion will resolve it, the orchestrator should wait) from a
+	// plainly dead node (retry and hope).
+	downErr := func(id int) error {
+		if c.ShardFenced(id) {
+			return fmt.Errorf("dn%d: %w", id, ErrShardFenced)
+		}
+		return ErrNodeDown
+	}
+	liveErr := func() error {
+		if c.nodeDown(source) {
+			return downErr(source)
+		}
+		if c.nodeDown(target) {
+			return downErr(target)
+		}
+		return nil
+	}
+
+	if err := liveErr(); err != nil {
+		return fail("start", err)
 	}
 
 	// Phase 1: live copy under traffic.
@@ -312,8 +361,8 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 		copied += n
 	}
 	c.moveHook("copied", bucket, target)
-	if c.nodeDown(source) || c.nodeDown(target) {
-		return fail("copy", ErrNodeDown)
+	if err := liveErr(); err != nil {
+		return fail("copy", err)
 	}
 
 	// Phase 2: freeze the bucket.
@@ -338,7 +387,7 @@ func (c *Cluster) MoveBucket(bucket, target int) (int, error) {
 
 	// Phase 4: final delta while frozen.
 	if c.nodeDown(target) {
-		return fail("delta", ErrNodeDown)
+		return fail("delta", downErr(target))
 	}
 	for _, ti := range tables {
 		n, err := c.syncBucketTable(ti, bucket, source, target, srcDN, tgtDN, transport.RebalDelta)

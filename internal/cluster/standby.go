@@ -193,58 +193,41 @@ func (c *Cluster) takeStash(dnID int, xid txnkit.XID) []WriteRec {
 // Standby lifecycle
 // ---------------------------------------------------------------------------
 
-// AddStandby registers a fresh data node as the standby of primary: under
-// the route barrier it drains the primary's in-flight writes, seeds the
-// standby with a full physical mirror of the primary's partitions (and a
+// AddStandby registers a fresh data node as a standby of upstream: under
+// the route barrier it drains the upstream's in-flight writes, seeds the
+// standby with a full physical mirror of the upstream's partitions (and a
 // copy of every replicated table), and enables bucket-ownership filtering
 // so the mirror rows stay invisible. onReady, if non-nil, runs while the
 // barrier is still held — internal/repl registers its log there, so record
 // capture starts exactly at the seed snapshot with no gap and no overlap.
 //
+// An upstream may hold any number of standbys (a replica group), and may
+// itself be a standby — that is a chained (cascading) topology, where the
+// chained mirror receives records relayed through its parent instead of
+// from the primary directly.
+//
 // The standby serves replicated-table writes through the ordinary
 // all-replica path from the moment it is published; distributed-table
 // changes reach it only through the commit tap.
-func (c *Cluster) AddStandby(primary int, onReady func(standbyID int)) (int, error) {
+func (c *Cluster) AddStandby(upstream int, onReady func(standbyID int)) (int, error) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
 	old := c.nodes()
-	if primary < 0 || primary >= len(old) {
-		return 0, fmt.Errorf("cluster: dn%d does not exist", primary)
+	if upstream < 0 || upstream >= len(old) {
+		return 0, fmt.Errorf("cluster: dn%d does not exist", upstream)
 	}
-	if p, isStandby := c.standbys[primary]; isStandby {
-		return 0, fmt.Errorf("cluster: dn%d is itself a standby (of dn%d)", primary, p)
+	if c.retired[upstream] {
+		return 0, fmt.Errorf("cluster: dn%d is retired", upstream)
 	}
-	if c.retired[primary] {
-		return 0, fmt.Errorf("cluster: dn%d is retired", primary)
-	}
-	if sid, ok := c.standbyOf[primary]; ok {
-		return 0, fmt.Errorf("cluster: dn%d already has standby dn%d", primary, sid)
-	}
-	if c.downNodes[primary] {
-		return 0, fmt.Errorf("cluster: cannot seed a standby from dn%d: %w", primary, ErrNodeDown)
+	if c.downNodes[upstream] {
+		return 0, fmt.Errorf("cluster: cannot seed a standby from dn%d: %w", upstream, ErrNodeDown)
 	}
 
 	id := len(old)
 	dn := &DataNode{ID: id, Txm: txnkit.NewTxnManager()}
-
-	// Drain: uncommitted writes would be missed by the seed snapshot and,
-	// for distributed tables, never recorded for this pair. The barrier
-	// blocks new statements; in-flight transactions can still settle.
-	deadline := time.Now().Add(c.drainTimeout())
-	for _, ti := range c.tables {
-		src := primary
-		if ti.replicated {
-			if src = c.firstLiveLocked(len(old)); src < 0 {
-				return 0, fmt.Errorf("cluster: no live replica of %q to seed from: %w", ti.Meta.Name, ErrRebalanceRetry)
-			}
-		}
-		if err := waitSettled(ti.parts.Load(), src, nil, deadline); err != nil {
-			return 0, fmt.Errorf("cluster: seeding standby of dn%d, table %q: %w", primary, ti.Meta.Name, err)
-		}
-	}
 
 	// Grow partition sets (copy-on-write, with rollback on failure).
 	type undo struct {
@@ -261,26 +244,16 @@ func (c *Cluster) AddStandby(primary int, onReady func(standbyID int)) (int, err
 		undos = append(undos, undo{ti, ti.parts.Load()})
 		ti.parts.Store(grownParts(ti, dn))
 	}
-
-	// Seed: replicated tables from a live replica, distributed tables as a
-	// physical mirror of the primary's partition (including rows an
-	// unfinished migration left behind — the reap will ship through the tap).
-	for _, ti := range c.tables {
-		src := primary
-		if ti.replicated {
-			src = c.firstLiveLocked(len(old))
-		}
-		if err := c.copyReplica(ti, src, id, dn); err != nil {
-			rollback()
-			return 0, fmt.Errorf("cluster: seeding standby of dn%d, table %q: %w", primary, ti.Meta.Name, err)
-		}
+	if err := c.seedTablesLocked(upstream, id, len(old), dn); err != nil {
+		rollback()
+		return 0, err
 	}
 
 	// Mirror rows must never surface in scans: their buckets are owned by
 	// the primary, so the ownership filter hides them — from now on.
 	c.filterByBucket = true
-	c.standbys[id] = primary
-	c.standbyOf[primary] = id
+	c.standbys[id] = upstream
+	c.standbyOf[upstream] = append(c.standbyOf[upstream], id)
 
 	grown := make([]*DataNode, len(old)+1)
 	copy(grown, old)
@@ -293,17 +266,123 @@ func (c *Cluster) AddStandby(primary int, onReady func(standbyID int)) (int, err
 	return id, nil
 }
 
+// seedTablesLocked drains in-flight writes on the seed sources and copies
+// every table onto node id, whose partitions must already exist and be
+// empty. Distributed tables copy from upstream (a physical mirror,
+// including rows an unfinished migration left behind — the reap will ship
+// through the tap); replicated tables copy from the first live replica
+// among the first n nodes. Caller holds routeMu and mu — the barrier
+// blocks new statements while in-flight transactions settle.
+func (c *Cluster) seedTablesLocked(upstream, id, n int, dn *DataNode) error {
+	deadline := time.Now().Add(c.drainTimeout())
+	for _, ti := range c.tables {
+		src := upstream
+		if ti.replicated {
+			if src = c.firstLiveLocked(n); src < 0 {
+				return fmt.Errorf("cluster: no live replica of %q to seed from: %w", ti.Meta.Name, ErrRebalanceRetry)
+			}
+		}
+		if err := waitSettled(ti.parts.Load(), src, nil, deadline); err != nil {
+			return fmt.Errorf("cluster: seeding standby of dn%d, table %q: %w", upstream, ti.Meta.Name, err)
+		}
+	}
+	for _, ti := range c.tables {
+		src := upstream
+		if ti.replicated {
+			src = c.firstLiveLocked(n)
+		}
+		if err := c.copyReplica(ti, src, id, dn); err != nil {
+			return fmt.Errorf("cluster: seeding standby of dn%d, table %q: %w", upstream, ti.Meta.Name, err)
+		}
+	}
+	return nil
+}
+
+// ReenrollStandby returns a retired node (a primary replaced by a promoted
+// standby) to service as a fresh standby of upstream: under the route
+// barrier its partitions are wiped and replaced by empty ones, re-seeded
+// from upstream exactly like AddStandby, and the node re-enters the
+// standby set — un-retired, serving replicated-table writes again and
+// mirroring upstream through the commit tap. onReady runs while the
+// barrier is held, so record capture resumes exactly at the seed snapshot.
+func (c *Cluster) ReenrollStandby(node, upstream int, onReady func(standbyID int)) error {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	n := len(c.nodes())
+	if node < 0 || node >= n {
+		return fmt.Errorf("cluster: dn%d does not exist", node)
+	}
+	if upstream < 0 || upstream >= n {
+		return fmt.Errorf("cluster: dn%d does not exist", upstream)
+	}
+	if node == upstream {
+		return fmt.Errorf("cluster: dn%d cannot be its own standby", node)
+	}
+	if !c.retired[node] {
+		return fmt.Errorf("cluster: dn%d is not retired; only a replaced primary can re-enroll", node)
+	}
+	if c.retired[upstream] {
+		return fmt.Errorf("cluster: dn%d is retired", upstream)
+	}
+	if c.downNodes[upstream] {
+		return fmt.Errorf("cluster: cannot seed a standby from dn%d: %w", upstream, ErrNodeDown)
+	}
+
+	dn := c.node(node)
+
+	// Wipe: swap fresh empty partitions in at the node's index (copy-on-
+	// write with rollback, mirroring AddStandby's grow). The node stays
+	// retired until seeding finishes, so no scan or replicated write can
+	// observe the half-built state.
+	type undo struct {
+		ti  *TableInfo
+		old *tableParts
+	}
+	var undos []undo
+	rollback := func() {
+		for _, u := range undos {
+			u.ti.parts.Store(u.old)
+		}
+	}
+	for _, ti := range c.tables {
+		p := ti.parts.Load()
+		undos = append(undos, undo{ti, p})
+		ti.parts.Store(replacePartition(ti, p, node, dn))
+	}
+	if err := c.seedTablesLocked(upstream, node, n, dn); err != nil {
+		rollback()
+		return err
+	}
+
+	c.filterByBucket = true
+	c.standbys[node] = upstream
+	c.standbyOf[upstream] = append(c.standbyOf[upstream], node)
+	delete(c.retired, node)
+	delete(c.downNodes, node)
+
+	if onReady != nil {
+		onReady(node)
+	}
+	return nil
+}
+
 // PromoteStandby makes standby the owner of every bucket primary holds and
 // retires primary. The caller (internal/repl's failover) must have marked
 // the primary down, drained its commit slots and applied the full log tail
 // first; this method only performs the routing flip, under the route
-// barrier so no statement ever sees a half-promoted map. It returns the
-// number of buckets flipped.
+// barrier so no statement ever sees a half-promoted map. The primary's
+// surviving standbys re-attach beneath the promoted node (joining any
+// chained standbys it already had), and the promotion is recorded in the
+// successor map so rebalances targeting the retired node can re-target.
+// It returns the number of buckets flipped.
 func (c *Cluster) PromoteStandby(primary, standby int) (int, error) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
-	if c.standbyOf[primary] != standby || c.standbys[standby] != primary {
-		return 0, fmt.Errorf("cluster: dn%d is not the standby of dn%d", standby, primary)
+	if up, ok := c.standbys[standby]; !ok || up != primary {
+		return 0, fmt.Errorf("cluster: dn%d is not a standby of dn%d", standby, primary)
 	}
 	flipped := 0
 	for b := 0; b < NumBuckets; b++ {
@@ -312,20 +391,73 @@ func (c *Cluster) PromoteStandby(primary, standby int) (int, error) {
 			flipped++
 		}
 	}
-	delete(c.standbyOf, primary)
 	delete(c.standbys, standby)
+	for _, sib := range c.standbyOf[primary] {
+		if sib == standby {
+			continue
+		}
+		c.standbys[sib] = standby
+		c.standbyOf[standby] = append(c.standbyOf[standby], sib)
+	}
+	delete(c.standbyOf, primary)
+	c.successor[primary] = standby
 	c.mu.Lock()
 	c.retired[primary] = true
 	c.mu.Unlock()
 	return flipped, nil
 }
 
-// StandbyOf returns the standby paired with primary, if any.
+// StandbyOf returns the first standby attached to primary, if any
+// (single-standby compatibility accessor; see Standbys for the group).
 func (c *Cluster) StandbyOf(primary int) (int, bool) {
 	c.routeMu.RLock()
 	defer c.routeMu.RUnlock()
-	sid, ok := c.standbyOf[primary]
-	return sid, ok
+	if sids := c.standbyOf[primary]; len(sids) > 0 {
+		return sids[0], true
+	}
+	return 0, false
+}
+
+// Standbys returns the standbys attached directly to upstream, in attach
+// order (chained standbys appear under their own upstream, not here).
+func (c *Cluster) Standbys(upstream int) []int {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	return append([]int(nil), c.standbyOf[upstream]...)
+}
+
+// Successor follows the promotion chain from a retired primary to the node
+// currently serving its buckets — the standby promoted in its place,
+// transitively across repeated failovers. Rebalances whose target died
+// mid-plan re-target through this.
+func (c *Cluster) Successor(id int) (int, bool) {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	s, ok := c.successor[id]
+	if !ok {
+		return 0, false
+	}
+	for {
+		next, ok := c.successor[s]
+		if !ok {
+			return s, true
+		}
+		s = next
+	}
+}
+
+// ShardFenced reports whether id is a primary that is down but has
+// standbys attached — the fenced window of an expected failover. Callers
+// that hit ErrShardFenced (bucket moves) poll this to wait out the
+// promotion instead of hot-retrying; once the standby is promoted the
+// node is retired and no longer fenced.
+func (c *Cluster) ShardFenced(id int) bool {
+	c.routeMu.RLock()
+	defer c.routeMu.RUnlock()
+	if len(c.standbyOf[id]) == 0 || c.isRetired(id) {
+		return false
+	}
+	return c.nodeDown(id)
 }
 
 // PrimaryIDs returns the data nodes that serve hash-partitioned data:
@@ -565,10 +697,11 @@ const (
 )
 
 // SetStandbyReads configures read-replica routing: mode picks the policy
-// and readable reports, per primary, whether its standby is currently safe
-// to read (internal/repl wires lag==0 here). readable must be lock-light —
-// it is consulted under the route lock on every SELECT.
-func (c *Cluster) SetStandbyReads(mode StandbyReadMode, readable func(primary int) bool) {
+// and readable returns, per primary, a replica of that shard currently
+// safe to read (internal/repl wires a round-robin over its lag-zero
+// replicas here). readable must be lock-light — it is consulted under the
+// route lock on every SELECT.
+func (c *Cluster) SetStandbyReads(mode StandbyReadMode, readable func(primary int) (int, bool)) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
 	c.standbyReadMode = mode
@@ -576,7 +709,7 @@ func (c *Cluster) SetStandbyReads(mode StandbyReadMode, readable func(primary in
 }
 
 // applyStandbyReads rewrites a SELECT's routed shard set for read-replica
-// service: offloaded shards read their standby instead, split shards read
+// service: offloaded shards read a replica instead, split shards read
 // both halves. It fills the statement's readMap/splitSet and returns the
 // set of nodes to touch. Caller holds routeMu.
 func (c *Cluster) applyStandbyReads(t *txn, a *stmtAccess, dnSet []int) []int {
@@ -586,11 +719,15 @@ func (c *Cluster) applyStandbyReads(t *txn, a *stmtAccess, dnSet []int) []int {
 	}
 	out := make([]int, 0, len(dnSet)+1)
 	for _, p := range dnSet {
-		sid, ok := c.standbyOf[p]
 		// A transaction that already holds a leg on the primary (it wrote
 		// there, or read it in an earlier statement) keeps reading the
 		// primary: its own uncommitted writes are invisible on the standby.
-		if !ok || t.hasLeg(p) || c.nodeDown(sid) || !c.standbyReadable(p) {
+		if len(c.standbyOf[p]) == 0 || t.hasLeg(p) {
+			out = append(out, p)
+			continue
+		}
+		sid, ok := c.standbyReadable(p)
+		if !ok || c.nodeDown(sid) {
 			out = append(out, p)
 			continue
 		}

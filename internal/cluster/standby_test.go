@@ -174,12 +174,34 @@ func TestAddStandbyMirrorsAndHides(t *testing.T) {
 	if _, err := c.MoveBucket(0, sid); err == nil {
 		t.Fatal("MoveBucket onto a standby succeeded")
 	}
-	// Standbys and double-attach are rejected.
-	if _, err := c.AddStandby(sid, nil); err == nil {
-		t.Fatal("AddStandby of a standby succeeded")
+
+	// Replica groups: a second standby of the same primary and a chained
+	// standby-of-standby both seed complete, invisible mirrors.
+	sid2, err := c.AddStandby(0, nil)
+	if err != nil {
+		t.Fatalf("second AddStandby: %v", err)
 	}
-	if _, err := c.AddStandby(0, nil); err == nil {
-		t.Fatal("second AddStandby for the same primary succeeded")
+	chained, err := c.AddStandby(sid, nil)
+	if err != nil {
+		t.Fatalf("chained AddStandby: %v", err)
+	}
+	if got := c.Standbys(0); len(got) != 2 || got[0] != sid || got[1] != sid2 {
+		t.Fatalf("Standbys(0) = %v, want [%d %d]", got, sid, sid2)
+	}
+	if got := c.Standbys(sid); len(got) != 1 || got[0] != chained {
+		t.Fatalf("Standbys(%d) = %v, want [%d]", sid, got, chained)
+	}
+	for _, node := range []int{sid2, chained} {
+		got, err := c.PartitionDigest("accounts", node, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("dn%d mirror differs from primary: %+v != %+v", node, got, want)
+		}
+	}
+	if after := mustChecksum(t, c, "accounts"); after != before {
+		t.Fatalf("checksum changed after group attach: %+v != %+v", after, before)
 	}
 }
 

@@ -89,23 +89,31 @@ func (a *Autopilot) Tick() []Action {
 	// Replication health (when HA is enabled).
 	if r := a.db.repl; r != nil {
 		st := r.Status()
-		var lag int64
-		for _, p := range st.Pairs {
-			lag += p.Lag
+		var lag, maxLag int64
+		downPrimaries := map[int]bool{}
+		for _, rs := range st.Replicas {
+			lag += rs.Lag
+			if rs.Lag > maxLag {
+				maxLag = rs.Lag
+			}
+			// A group with at least one unbroken replica and a dead primary
+			// is a failover candidate.
+			if !rs.Broken && c.NodeIsDown(rs.Primary) {
+				downPrimaries[rs.Primary] = true
+			}
 		}
 		a.Info.Record("repl.records_shipped", float64(st.RecordsShipped))
 		a.Info.Record("repl.lag_records", float64(lag))
+		a.Info.Record("repl.max_replica_lag", float64(maxLag))
+		a.Info.Record("repl.replicas", float64(len(st.Replicas)))
 		a.Info.Record("repl.failovers", float64(st.Failovers))
 
-		// Self-healing: promote the standby of any paired primary observed
+		// Self-healing: promote a standby of any replicated primary observed
 		// down. This is the control-loop counterpart of the repl package's
 		// own millisecond-scale detector — deployments running Tick instead
 		// of AutoFailover still converge, just at the tick period.
-		for _, p := range st.Pairs {
-			if p.Broken || !c.NodeIsDown(p.Primary) {
-				continue
-			}
-			rep, err := r.Failover(p.Primary)
+		for primary := range downPrimaries {
+			rep, err := r.Failover(primary)
 			if err != nil {
 				continue // already in progress, or latched for the operator
 			}
@@ -113,7 +121,7 @@ func (a *Autopilot) Tick() []Action {
 				fmt.Sprintf("promoted dn%d -> dn%d", rep.Primary, rep.Standby))
 			actions = append(actions, Action{
 				Kind:   "auto-failover",
-				Detail: fmt.Sprintf("dn%d->dn%d buckets=%d replayed=%d", rep.Primary, rep.Standby, rep.Buckets, rep.Replayed),
+				Detail: fmt.Sprintf("dn%d->dn%d buckets=%d replayed=%d survivors=%d", rep.Primary, rep.Standby, rep.Buckets, rep.Replayed, len(rep.Survivors)),
 			})
 		}
 	}

@@ -184,21 +184,30 @@ func (db *DB) Expand(total int, opt rebalance.Options) (rebalance.Progress, erro
 	return r.Progress(), err
 }
 
-// EnableHA turns on per-shard standby replication (internal/repl): every
-// current primary gets a standby seeded and paired, commit logs start
-// shipping in cfg.Mode, and — with cfg.AutoFailover — a failure detector
-// promotes standbys of crashed primaries automatically. Call it while the
-// workload is quiesced (standby seeding drains in-flight writes, like
-// AddDataNode). Close() tears the manager down.
+// EnableHA turns on per-shard replica groups (internal/repl): every
+// current primary gets cfg.StandbysPerShard standbys seeded (each over its
+// cfg.Links geo latency, when given), commit logs start shipping in
+// cfg.Mode with cfg.QuorumAcks sync quorum, and — with cfg.AutoFailover —
+// a failure detector promotes a standby of any crashed primary
+// automatically. Call it while the workload is quiesced (standby seeding
+// drains in-flight writes, like AddDataNode). Close() tears the manager
+// down.
 func (db *DB) EnableHA(cfg repl.Config) (*repl.Manager, error) {
 	if db.repl != nil {
 		return nil, errors.New("core: HA already enabled")
 	}
 	m := repl.NewManager(db.cluster, cfg)
+	n := m.Config().StandbysPerShard
 	for _, primary := range db.cluster.PrimaryIDs() {
-		if _, err := m.AttachStandby(primary); err != nil {
-			m.Close()
-			return nil, fmt.Errorf("core: attaching standby for dn%d: %w", primary, err)
+		for i := 0; i < n; i++ {
+			spec := repl.ReplicaSpec{Upstream: primary}
+			if i < len(cfg.Links) {
+				spec.Link = cfg.Links[i]
+			}
+			if _, err := m.AttachReplica(spec); err != nil {
+				m.Close()
+				return nil, fmt.Errorf("core: attaching standby %d for dn%d: %w", i, primary, err)
+			}
 		}
 	}
 	db.repl = m
@@ -208,11 +217,22 @@ func (db *DB) EnableHA(cfg repl.Config) (*repl.Manager, error) {
 // HA returns the replication manager, or nil before EnableHA.
 func (db *DB) HA() *repl.Manager { return db.repl }
 
-// Failover promotes the standby of primary (replaying the log tail and
-// flipping its buckets) and retires the primary. Requires EnableHA.
+// Failover promotes a standby of primary (replaying the log tail and
+// flipping its buckets), retires the primary, and reparents the group's
+// surviving replicas under the promoted node. Requires EnableHA.
 func (db *DB) Failover(primary int) (repl.FailoverReport, error) {
 	if db.repl == nil {
 		return repl.FailoverReport{}, errors.New("core: HA not enabled (see EnableHA)")
 	}
 	return db.repl.Failover(primary)
+}
+
+// ReenrollStandby wipes a retired ex-primary and re-seeds it as a fresh
+// standby of upstream, restoring the replica group's redundancy after a
+// failover. Requires EnableHA.
+func (db *DB) ReenrollStandby(node, upstream int) error {
+	if db.repl == nil {
+		return errors.New("core: HA not enabled (see EnableHA)")
+	}
+	return db.repl.ReenrollStandby(node, upstream)
 }

@@ -36,6 +36,13 @@ type Options struct {
 	MaxRetries int
 	// RetryBackoff sleeps before each retry (default 10ms).
 	RetryBackoff time.Duration
+	// FailoverWait bounds how long a move blocked by a fenced shard
+	// (cluster.ErrShardFenced: the node is down with standbys attached, a
+	// promotion is in flight) waits for the failover to complete before
+	// giving up (default 10s). Fence waits poll ShardFenced instead of
+	// burning retry attempts, and a move whose target was retired by the
+	// promotion re-targets the successor.
+	FailoverWait time.Duration
 	// Metrics, when set, receives rebalance.buckets_moved,
 	// rebalance.rows_copied (cumulative counts) and rebalance.move_ms
 	// (per-move latency).
@@ -51,6 +58,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 10 * time.Millisecond
+	}
+	if o.FailoverWait <= 0 {
+		o.FailoverWait = 10 * time.Second
 	}
 	return o
 }
@@ -73,6 +83,9 @@ type Progress struct {
 	RowsCopied int
 	// Retries counts extra attempts spent on retryable failures.
 	Retries int
+	// FenceWaits counts moves that paused for an in-flight failover
+	// (cluster.ErrShardFenced) instead of burning a retry.
+	FenceWaits int
 }
 
 // Rebalancer migrates buckets on a cluster.
@@ -141,16 +154,15 @@ func (r *Rebalancer) MoveBuckets(moves []Move) error {
 	return errors.Join(errs...)
 }
 
-// moveOne migrates one bucket with retries.
+// moveOne migrates one bucket with retries. A move blocked by a fenced
+// shard (a primary down with standbys attached — an in-flight failover)
+// does not burn retry attempts: it waits for the promotion to complete,
+// re-targets the successor if its target was the node that died, and
+// tries again.
 func (r *Rebalancer) moveOne(mv Move) error {
 	var lastErr error
-	for attempt := 0; attempt <= r.opt.MaxRetries; attempt++ {
-		if attempt > 0 {
-			r.mu.Lock()
-			r.prog.Retries++
-			r.mu.Unlock()
-			time.Sleep(r.opt.RetryBackoff)
-		}
+	fenceDeadline := time.Now().Add(r.opt.FailoverWait)
+	for attempt := 0; attempt <= r.opt.MaxRetries; {
 		start := time.Now()
 		rows, err := r.c.MoveBucket(mv.Bucket, mv.Target)
 		if err == nil {
@@ -165,14 +177,52 @@ func (r *Rebalancer) moveOne(mv Move) error {
 			return nil
 		}
 		lastErr = err
+		if errors.Is(err, cluster.ErrShardFenced) {
+			if time.Now().After(fenceDeadline) {
+				break // failover never completed; give up
+			}
+			r.mu.Lock()
+			r.prog.FenceWaits++
+			r.mu.Unlock()
+			r.waitFenceResolved(mv, fenceDeadline)
+			if s, ok := r.c.Successor(mv.Target); ok {
+				mv.Target = s
+			}
+			continue
+		}
 		if !errors.Is(err, cluster.ErrRebalanceRetry) {
 			break // non-retryable: bad bucket/target, plan bug
 		}
+		attempt++
+		if attempt > r.opt.MaxRetries {
+			break
+		}
+		r.mu.Lock()
+		r.prog.Retries++
+		r.mu.Unlock()
+		time.Sleep(r.opt.RetryBackoff)
 	}
 	r.mu.Lock()
 	r.prog.Failed++
 	r.mu.Unlock()
 	return fmt.Errorf("rebalance: bucket %d -> dn%d: %w", mv.Bucket, mv.Target, lastErr)
+}
+
+// waitFenceResolved polls until neither the bucket's current owner nor the
+// move target is inside a failover window, or the deadline passes.
+func (r *Rebalancer) waitFenceResolved(mv Move, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		owner := r.c.BucketOwners()[mv.Bucket]
+		tgtFenced := r.c.ShardFenced(mv.Target)
+		if _, ok := r.c.Successor(mv.Target); ok {
+			// A retired target resolves by re-targeting, not by waiting.
+			tgtFenced = false
+		}
+		if !r.c.ShardFenced(owner) && !tgtFenced {
+			return
+		}
+		time.Sleep(r.opt.RetryBackoff)
+	}
 }
 
 // ExpandTo grows the cluster to total data nodes, adding one node at a time

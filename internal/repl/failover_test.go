@@ -149,11 +149,11 @@ func TestFailoverUnderLoad(t *testing.T) {
 			if err := tpcc.CheckInvariants(c, cfg); err != nil {
 				t.Fatalf("invariants after post-failover load: %v", err)
 			}
-			// The surviving pairs are intact and catch up to zero lag.
+			// The surviving replicas are intact and catch up to zero lag.
 			waitSynced(t, m, c.PrimaryIDs())
-			for _, p := range m.Status().Pairs {
-				if p.Broken {
-					t.Fatalf("surviving pair %+v broken", p)
+			for _, rs := range m.Status().Replicas {
+				if rs.Broken {
+					t.Fatalf("surviving replica %+v broken", rs)
 				}
 			}
 		})
@@ -176,7 +176,7 @@ func TestAutopilotRecordsReplMetricsAndFailsOver(t *testing.T) {
 		t.Fatalf("Failover: %v", err)
 	}
 	st := m.Status()
-	if st.Failovers != 1 || len(st.Pairs) != 1 {
+	if st.Failovers != 1 || len(st.Replicas) != 1 {
 		t.Fatalf("status after failover: %+v", st)
 	}
 }
@@ -209,9 +209,9 @@ func TestDeadStandbyPoisonsPair(t *testing.T) {
 		t.Fatalf("commit blocked %v against a dead standby", elapsed)
 	}
 	deadline := time.Now().Add(2 * time.Second)
-	for !m.Status().Pairs[0].Broken {
+	for !m.Status().Replicas[0].Broken {
 		if time.Now().After(deadline) {
-			t.Fatal("pair never broke against a dead standby")
+			t.Fatal("replica never broke against a dead standby")
 		}
 		time.Sleep(200 * time.Microsecond)
 	}

@@ -1,0 +1,161 @@
+package repl
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rebalance"
+	"repro/internal/tpcc"
+)
+
+// TestTPCCDoubleFailoverWithMoveBucket is the E16-era acceptance test: a
+// TPC-C mixed workload runs against shards with three standbys each and a
+// K=2 sync quorum; the shard's primary is killed (first loss), the
+// detector promotes a standby and reparents the survivors; then, while a
+// bucket move off the promoted primary is mid-flight, the promoted
+// primary is killed too (second loss). The rebalancer must fence-wait for
+// the second promotion instead of burning retries, the move must complete
+// against the next successor, no committed transaction may be lost
+// (digest-verified), and the shard must end with its remaining replicas
+// intact.
+func TestTPCCDoubleFailoverWithMoveBucket(t *testing.T) {
+	c := newCluster(t, 2, cluster.ModeGTMLite)
+	cfg := tpcc.DefaultConfig(4, 0.9)
+	if err := tpcc.Load(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(c, Config{
+		Mode:          ModeSync,
+		QuorumAcks:    2,
+		AutoFailover:  true,
+		ProbeInterval: 2 * time.Millisecond,
+	})
+	defer m.Close()
+	for _, p := range c.PrimaryIDs() {
+		attachN(t, m, p, 3)
+	}
+
+	const drivers, txns = 4, 200
+	ds := make([]*tpcc.Driver, drivers)
+	var wg sync.WaitGroup
+	for i := range ds {
+		ds[i] = tpcc.NewDriver(c, cfg, int64(i))
+		wg.Add(1)
+		go func(d *tpcc.Driver) {
+			defer wg.Done()
+			if err := d.Run(txns); err != nil {
+				t.Errorf("driver: %v", err)
+			}
+		}(ds[i])
+	}
+
+	// First loss: kill dn0 mid-load, the detector promotes on its own.
+	time.Sleep(3 * time.Millisecond)
+	c.SetDataNodeDown(0, true)
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Failovers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first automatic failover never happened")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	np, ok := c.Successor(0)
+	if !ok {
+		t.Fatal("no successor recorded for dn0")
+	}
+
+	// Second loss, mid-MoveBucket: pick a bucket the promoted primary
+	// owns, kill it right after the move's live-copy phase. The move fails
+	// with the shard fenced; the rebalancer waits out the promotion and
+	// retries against the bucket's new owner.
+	bucket := -1
+	for b, dn := range c.BucketOwners() {
+		if dn == np {
+			bucket = b
+			break
+		}
+	}
+	if bucket < 0 {
+		t.Fatalf("promoted primary dn%d owns no buckets", np)
+	}
+	var killOnce sync.Once
+	c.MoveHook = func(stage string, b, target int) {
+		if stage == "copied" && b == bucket {
+			killOnce.Do(func() { c.SetDataNodeDown(np, true) })
+		}
+	}
+	r := rebalance.New(c, rebalance.Options{
+		MaxConcurrentMoves: 1,
+		RetryBackoff:       2 * time.Millisecond,
+		FailoverWait:       10 * time.Second,
+	})
+	if err := r.MoveBuckets([]rebalance.Move{{Bucket: bucket, Target: 1}}); err != nil {
+		t.Fatalf("MoveBuckets across mid-move failover: %v", err)
+	}
+	c.MoveHook = nil
+	if got := r.Progress().FenceWaits; got == 0 {
+		t.Fatal("rebalancer never fence-waited for the in-flight failover")
+	}
+	if m.Failovers() != 2 {
+		t.Fatalf("Failovers() = %d, want 2", m.Failovers())
+	}
+	if got := c.BucketOwners()[bucket]; got != 1 {
+		t.Fatalf("bucket %d owned by dn%d after move, want dn1", bucket, got)
+	}
+	wg.Wait()
+
+	// Zero committed-transaction loss across both failovers and the move.
+	var committed, newOrders, orderLines int64
+	for _, d := range ds {
+		committed += d.Stats.Committed
+		newOrders += d.Stats.NewOrders
+		orderLines += d.Stats.OrderLines
+	}
+	if committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if err := tpcc.CheckInvariants(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewSession()
+	res := mustExec(t, s, "SELECT count(*) FROM orders")
+	if got := res.Rows[0][0].Int(); got != newOrders {
+		t.Fatalf("orders = %d, committed new orders = %d (lost or phantom transactions)", got, newOrders)
+	}
+	res = mustExec(t, s, "SELECT count(*) FROM order_line")
+	if got := res.Rows[0][0].Int(); got != orderLines {
+		t.Fatalf("order lines = %d, committed lines = %d", got, orderLines)
+	}
+
+	// Post-disaster service: a fresh driver commits against the surviving
+	// topology, and every unbroken replica is digest-identical to its
+	// group's primary.
+	d := tpcc.NewDriver(c, cfg, 99)
+	if err := d.Run(50); err != nil {
+		t.Fatalf("post-failover driver: %v", err)
+	}
+	if d.Stats.Committed == 0 {
+		t.Fatal("post-failover driver committed nothing")
+	}
+	waitSynced(t, m, c.PrimaryIDs())
+	for _, rs := range m.Status().Replicas {
+		if rs.Broken {
+			continue
+		}
+		for _, name := range c.DistributedTableNames() {
+			want, err := c.PartitionDigest(name, rs.Primary, rs.Primary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.PartitionDigest(name, rs.Node, rs.Primary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != got {
+				t.Fatalf("table %q: replica dn%d diverged from dn%d", name, rs.Node, rs.Primary)
+			}
+		}
+	}
+}

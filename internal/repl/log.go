@@ -2,24 +2,54 @@ package repl
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 )
 
-// Entry is one committed transaction leg in a pair's ship log: the leg's
-// write records in primary commit order, stamped with a log sequence
-// number. done closes once the standby applied the entry — sync-mode
-// commits block on it.
+// quorumAck tracks one committed leg's K-of-N acknowledgement across a
+// replica group: done closes when the K-th replica acks. Acks past zero
+// (N > K) drive the counter negative and are ignored, so done closes
+// exactly once.
+type quorumAck struct {
+	remaining atomic.Int32
+	done      chan struct{}
+}
+
+func newQuorumAck(k int) *quorumAck {
+	q := &quorumAck{done: make(chan struct{})}
+	q.remaining.Store(int32(k))
+	return q
+}
+
+// ack counts one replica's acknowledgement; the K-th closes done. A
+// replica acks when it applied the leg — or when it is broken or the
+// manager is closing, so a poisoned mirror only degrades commits until
+// its queue drains instead of wedging every sync client behind it (the
+// quorum's durability claim shrinks by one replica either way, which
+// Status surfaces as Broken).
+func (q *quorumAck) ack() {
+	if q.remaining.Add(-1) == 0 {
+		close(q.done)
+	}
+}
+
+// Entry is one committed transaction leg in a replica's ship log: the
+// leg's write records in primary commit order, stamped with a per-log
+// sequence number. ack is the group-wide quorum counter shared by every
+// replica's copy of the leg (nil in async mode).
 type Entry struct {
 	LSN  int64
 	Recs []cluster.WriteRec
-	done chan struct{}
+	ack  *quorumAck
 }
 
-// shipLog is the in-memory commit log of one primary/standby pair: an
-// append-only queue of committed legs, consumed in order by the pair's
-// single apply goroutine. Appends happen under the primary's commit lock,
-// so entry order is the primary's commit order.
+// shipLog is the in-memory commit log feeding one replica: an append-only
+// queue of committed legs, consumed in order (and in batches) by the
+// replica's single apply goroutine. Direct replicas are appended to under
+// the primary's commit lock, so entry order is the primary's commit
+// order; chained replicas are appended to by their parent's apply loop,
+// inheriting the same order.
 type shipLog struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -35,26 +65,40 @@ func newShipLog() *shipLog {
 	return l
 }
 
-// append enqueues one leg and wakes the apply loop. The caller holds the
-// primary's commit lock, so this must stay non-blocking.
-func (l *shipLog) append(recs []cluster.WriteRec) *Entry {
+// append enqueues one leg and wakes the apply loop. The caller may hold a
+// commit lock, so this must stay non-blocking. An append to a closed log
+// (a replica just promoted away) acks immediately: nobody will consume
+// the queue, and the promoted node holds the records as primary.
+func (l *shipLog) append(recs []cluster.WriteRec, ack *quorumAck) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	e := &Entry{LSN: l.next, Recs: recs, done: make(chan struct{})}
+	if l.closed {
+		l.mu.Unlock()
+		if ack != nil {
+			ack.ack()
+		}
+		return
+	}
+	e := &Entry{LSN: l.next, Recs: recs, ack: ack}
 	l.next++
 	l.entries = append(l.entries, e)
 	l.cond.Signal()
-	return e
+	l.mu.Unlock()
 }
 
-// take blocks until an unapplied entry exists and returns it, or returns
-// nil once the log is closed and fully drained.
-func (l *shipLog) take() *Entry {
+// takeBatch blocks until unapplied entries exist and returns up to max of
+// them in order, or nil once the log is closed and fully drained.
+// Batching is what makes a geo link viable: the apply loop pays one
+// shipped message per batch, so a lagging WAN replica catches up at
+// per-batch, not per-commit, round trips.
+func (l *shipLog) takeBatch(max int) []*Entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
-		if l.idx < len(l.entries) {
-			return l.entries[l.idx]
+		if n := len(l.entries) - l.idx; n > 0 {
+			if n > max {
+				n = max
+			}
+			return l.entries[l.idx : l.idx+n]
 		}
 		if l.closed {
 			return nil
@@ -63,12 +107,12 @@ func (l *shipLog) take() *Entry {
 	}
 }
 
-// applied marks the front entry consumed, trimming the backlog once the
-// apply loop catches up.
-func (l *shipLog) applied() {
+// consumed marks the next n entries applied, trimming the backlog once
+// the apply loop catches up.
+func (l *shipLog) consumed(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.idx++
+	l.idx += n
 	if l.idx == len(l.entries) {
 		l.entries = nil
 		l.idx = 0

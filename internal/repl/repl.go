@@ -1,20 +1,24 @@
-// Package repl implements per-shard standby replication: commit-log
-// shipping from each primary data node to a paired standby, sync
-// (quorum-ack) or async, with automatic failover and read-replica routing.
+// Package repl implements per-shard replica groups: commit-log shipping
+// from each primary data node to N standbys — direct or chained
+// (standby-of-standby) — sync (quorum K-of-N ack) or async, over latency-
+// shaped geo links, with automatic failover, post-failover re-attachment
+// of survivors, re-enrollment of retired primaries, and read-replica
+// routing across the whole group.
 //
 // The cluster layer provides the primitives (see internal/cluster
 // standby.go): a commit tap that hands every committed transaction leg's
 // write records to this package in commit order, a standby seeding barrier
-// (AddStandby), commit slots that let a failover drain in-flight commits
-// to a definite log, and the 256-bucket routing flip (PromoteStandby). On
-// top of those the Manager keeps one ship log and one apply goroutine per
-// pair, exposes replication lag, serves reads from synced standbys, and —
-// on a dead primary — replays the log tail, verifies the mirror, and
-// promotes, losing no committed transaction.
+// (AddStandby / ReenrollStandby), commit slots that let a failover drain
+// in-flight commits to a definite log, and the 256-bucket routing flip
+// (PromoteStandby). On top of those the Manager keeps one ship log and one
+// apply goroutine per replica, batches shipped records per link, exposes
+// per-replica lag, serves reads round-robin from synced replicas, and —
+// on a dead primary — replays the log tail, verifies a mirror, promotes
+// it, and reparents the surviving replicas under the new primary, losing
+// no committed transaction.
 package repl
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -29,11 +33,11 @@ type Mode int
 
 const (
 	// ModeAsync acknowledges the client at primary commit; records ship in
-	// the background and the standby may lag.
+	// the background and replicas may lag.
 	ModeAsync Mode = iota
 	// ModeSync blocks the committing client until its leg is applied on
-	// the standby (primary + standby quorum), degrading to async after
-	// SyncTimeout so a stuck standby cannot wedge commits.
+	// QuorumAcks replicas, degrading to async after SyncTimeout so a stuck
+	// or partitioned replica cannot wedge commits.
 	ModeSync
 )
 
@@ -45,39 +49,61 @@ func (m Mode) String() string {
 }
 
 // Config tunes the replication subsystem. The zero value is a sensible
-// async setup with manual failover.
+// async, one-standby-per-shard setup with manual failover.
 type Config struct {
 	// Mode is the shipping mode (async by default).
 	Mode Mode
+	// QuorumAcks is K in sync mode's K-of-N commit ack: the client is
+	// released once K replicas of the shard applied the leg (default 1,
+	// clamped to the group size). K=1 acks at the fastest replica — a
+	// LAN standby hides a WAN one; K=N waits for the slowest link.
+	QuorumAcks int
 	// SyncTimeout bounds the sync-mode commit ack wait (default 2s); on
 	// expiry the commit returns anyway — it is durable on the primary.
 	SyncTimeout time.Duration
 	// DrainTimeout bounds each failover phase: commit-slot settle and log
 	// drain (default 5s).
 	DrainTimeout time.Duration
-	// AutoFailover runs a failure detector that promotes the standby of a
+	// MaxShipBatch bounds how many queued legs ship as one ReplShip
+	// message (default 64). Batching amortizes link latency: a replica
+	// behind a WAN link catches up at one round trip per batch.
+	MaxShipBatch int
+	// AutoFailover runs a failure detector that promotes a standby of any
 	// primary observed down FailAfterMisses probes in a row.
 	AutoFailover bool
 	// ProbeInterval is the detector's probe period (default 5ms).
 	ProbeInterval time.Duration
 	// FailAfterMisses is the consecutive-down-probe threshold (default 2).
 	FailAfterMisses int
-	// ReadMode routes reads to synced standbys (off by default): offload
-	// whole shards or split each shard's scan across primary and standby.
+	// StandbysPerShard is how many direct standbys core.EnableHA attaches
+	// per primary (default 1). Attach more, or chains, with AttachReplica.
+	StandbysPerShard int
+	// Links optionally gives the geo latency for each standby index that
+	// EnableHA attaches (Links[i] shapes standby i's ship link); shorter
+	// than StandbysPerShard means the remainder are LAN links.
+	Links []transport.Latency
+	// ReadMode routes reads to synced replicas (off by default): offload
+	// whole shards or split each shard's scan across primary and replica.
 	ReadMode cluster.StandbyReadMode
 	// SkipVerify disables the pre-promotion digest comparison between the
-	// dead primary's partitions and the standby mirror. The check reads
+	// dead primary's partitions and the candidate mirror. The check reads
 	// the primary's in-memory state, which a real crash would not allow;
 	// it exists to prove zero loss in tests and experiments.
 	SkipVerify bool
 }
 
 func (cfg Config) withDefaults() Config {
+	if cfg.QuorumAcks <= 0 {
+		cfg.QuorumAcks = 1
+	}
 	if cfg.SyncTimeout <= 0 {
 		cfg.SyncTimeout = 2 * time.Second
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.MaxShipBatch <= 0 {
+		cfg.MaxShipBatch = 64
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 5 * time.Millisecond
@@ -85,45 +111,13 @@ func (cfg Config) withDefaults() Config {
 	if cfg.FailAfterMisses <= 0 {
 		cfg.FailAfterMisses = 2
 	}
+	if cfg.StandbysPerShard <= 0 {
+		cfg.StandbysPerShard = 1
+	}
 	return cfg
 }
 
-// pair is one primary/standby replication pair.
-type pair struct {
-	primary int
-	standby int
-	log     *shipLog
-
-	appendedRecs atomic.Int64
-	appliedRecs  atomic.Int64
-
-	// failing latches once a failover starts so it runs exactly once.
-	failing atomic.Bool
-	// broken latches on an apply error (mirror divergence): shipping
-	// stops, the standby is no longer readable, promotion is refused.
-	broken atomic.Bool
-	mu     sync.Mutex // guards err
-	err    error
-}
-
-func (p *pair) lag() int64 { return p.appendedRecs.Load() - p.appliedRecs.Load() }
-
-func (p *pair) fail(err error) {
-	p.mu.Lock()
-	if p.err == nil {
-		p.err = err
-	}
-	p.mu.Unlock()
-	p.broken.Store(true)
-}
-
-func (p *pair) brokenErr() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.err
-}
-
-// Manager owns the cluster's replication pairs. It installs itself as the
+// Manager owns the cluster's replica groups. It installs itself as the
 // cluster's commit tap and (when configured) as the standby-read oracle;
 // create it with NewManager and tear it down with Close.
 type Manager struct {
@@ -131,27 +125,28 @@ type Manager struct {
 	cfg Config
 	fab *transport.Fabric
 
-	mu    sync.Mutex                    // serializes pair-map writes
-	pairs atomic.Pointer[map[int]*pair] // primary -> pair, copy-on-write
+	mu     sync.Mutex                     // serializes group/replica topology writes
+	groups atomic.Pointer[map[int]*group] // current primary -> group, copy-on-write
 
-	shipped   atomic.Int64 // records applied on standbys, lifetime
+	shipped   atomic.Int64 // records applied on replicas, lifetime
 	failovers atomic.Int64
 
 	wg        sync.WaitGroup
-	stopWatch chan struct{}
+	stop      chan struct{}
 	closeOnce sync.Once
 }
 
 // NewManager wires replication into the cluster: the commit tap starts
-// capturing write records and, if cfg.ReadMode says so, synced standbys
-// start serving reads. Pairs are added with AttachStandby.
+// capturing write records and, if cfg.ReadMode says so, synced replicas
+// start serving reads. Replicas are added with AttachReplica (or the
+// single-standby AttachStandby).
 func NewManager(c *cluster.Cluster, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
-	m := &Manager{c: c, cfg: cfg, fab: c.Fabric(), stopWatch: make(chan struct{})}
-	empty := map[int]*pair{}
-	m.pairs.Store(&empty)
+	m := &Manager{c: c, cfg: cfg, fab: c.Fabric(), stop: make(chan struct{})}
+	empty := map[int]*group{}
+	m.groups.Store(&empty)
 	c.SetCommitTap(m)
-	c.SetStandbyReads(cfg.ReadMode, m.Synced)
+	c.SetStandbyReads(cfg.ReadMode, m.ReadReplica)
 	if cfg.AutoFailover {
 		m.wg.Add(1)
 		go m.watch()
@@ -168,128 +163,137 @@ func (m *Manager) Close() {
 	m.closeOnce.Do(func() {
 		m.c.SetCommitTap(nil)
 		m.c.SetStandbyReads(cluster.StandbyReadOff, nil)
-		close(m.stopWatch)
-		for _, p := range *m.pairs.Load() {
-			p.log.close()
+		close(m.stop)
+		for _, g := range *m.groups.Load() {
+			for _, r := range *g.replicas.Load() {
+				r.log.close()
+			}
 		}
 		m.wg.Wait()
 	})
 }
 
-func (m *Manager) pair(primary int) *pair { return (*m.pairs.Load())[primary] }
-
-func (m *Manager) storePair(p *pair) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	old := *m.pairs.Load()
-	next := make(map[int]*pair, len(old)+1)
-	for k, v := range old {
-		next[k] = v
-	}
-	next[p.primary] = p
-	m.pairs.Store(&next)
-}
-
-func (m *Manager) removePair(primary int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	old := *m.pairs.Load()
-	next := make(map[int]*pair, len(old))
-	for k, v := range old {
-		if k != primary {
-			next[k] = v
-		}
-	}
-	m.pairs.Store(&next)
-}
-
-// AttachStandby provisions a standby for primary: the cluster seeds a new
-// node with a physical mirror under the route barrier, and the pair's log
-// starts capturing inside that same barrier — no committed write can fall
-// between the seed snapshot and the first shipped record.
-func (m *Manager) AttachStandby(primary int) (int, error) {
-	if p := m.pair(primary); p != nil {
-		return 0, fmt.Errorf("repl: dn%d already has standby dn%d", primary, p.standby)
-	}
-	p := &pair{primary: primary, log: newShipLog()}
-	sid, err := m.c.AddStandby(primary, func(standbyID int) {
-		p.standby = standbyID
-		m.storePair(p)
-	})
-	if err != nil {
-		return 0, err
-	}
-	m.wg.Add(1)
-	go m.applyLoop(p)
-	return sid, nil
-}
-
 // Committed implements cluster.CommitTap. It runs under the committing
-// node's commit lock, so it only enqueues; in sync mode the returned wait
-// blocks the client (after all locks are released) until the standby
+// node's commit lock, so it only enqueues — fanning the leg out to every
+// direct replica of the node's group; in sync mode the returned wait
+// blocks the client (after all locks are released) until K replicas
 // applied the leg or SyncTimeout passed.
 func (m *Manager) Committed(dnID int, recs []cluster.WriteRec) func() {
-	p := m.pair(dnID)
-	if p == nil {
+	g := m.group(dnID)
+	if g == nil {
 		return nil
 	}
-	e := p.log.append(recs)
-	p.appendedRecs.Add(int64(len(recs)))
-	if m.cfg.Mode != ModeSync {
+	g.appended.Add(int64(len(recs)))
+	direct := *g.direct.Load()
+	if len(direct) == 0 {
+		return nil
+	}
+	var ack *quorumAck
+	if m.cfg.Mode == ModeSync {
+		k := m.cfg.QuorumAcks
+		if n := len(*g.replicas.Load()); k > n {
+			k = n
+		}
+		ack = newQuorumAck(k)
+	}
+	for _, r := range direct {
+		r.log.append(recs, ack)
+	}
+	if ack == nil {
 		return nil
 	}
 	timeout := m.cfg.SyncTimeout
 	return func() {
 		select {
-		case <-e.done:
+		case <-ack.done:
 		case <-time.After(timeout):
 			// Degrade to async: the commit is durable on the primary and
-			// stays queued for the standby; only the quorum ack is lost.
+			// stays queued for the replicas; only the quorum ack is lost.
 		}
 	}
 }
 
-// applyLoop is the pair's single consumer: it ships each entry over the
-// primary→standby fabric link and applies it to the standby in log order,
-// each leg as one standby-local transaction. A transport failure (dropped
-// ReplShip, severed link) is retried until the link heals — the records
-// are durable on the primary and lag simply grows, taking the standby out
-// of Synced and degrading sync-mode commits. An apply error, by contrast,
-// poisons the pair (the mirror can no longer be trusted) but the loop
-// keeps consuming so sync-mode commits are still released.
-func (m *Manager) applyLoop(p *pair) {
+// applyLoop is one replica's single consumer: it drains the ship log in
+// batches, applying each batch under the replica's apply gate so
+// topology changes (chained seeding, failover reparenting) see a
+// quiescent replica between batches.
+func (m *Manager) applyLoop(r *replica) {
 	defer m.wg.Done()
 	for {
-		e := p.log.take()
-		if e == nil {
+		batch := r.log.takeBatch(m.cfg.MaxShipBatch)
+		if batch == nil {
 			return
 		}
-		if !p.broken.Load() && m.ship(p, e.Recs) {
-			if err := m.c.ApplyStandbyRecs(p.standby, e.Recs); err != nil {
-				p.fail(err)
-			} else {
-				p.appliedRecs.Add(int64(len(e.Recs)))
-				m.shipped.Add(int64(len(e.Recs)))
-			}
-		}
-		close(e.done)
-		p.log.applied()
+		r.applyGate.Lock()
+		m.applyBatch(r, batch)
+		r.applyGate.Unlock()
+		r.log.consumed(len(batch))
 	}
 }
 
-// ship delivers one log entry's records over the replication link,
-// retrying transport failures until delivery or manager close. Returns
-// false only when the manager closed before the entry could be delivered.
-func (m *Manager) ship(p *pair, recs []cluster.WriteRec) bool {
+// applyBatch ships one batch over the replica's current upstream link and
+// applies it leg by leg, each as one replica-local transaction, then
+// forwards the applied legs to chained children. A transport failure
+// (dropped ReplShip, severed link) is retried until the link heals — the
+// records are durable upstream and lag simply grows, taking the replica
+// out of read rotation and degrading sync-mode commits. An apply error,
+// by contrast, poisons the replica (the mirror can no longer be trusted)
+// but the loop keeps consuming — and acking — so sync-mode commits are
+// still released.
+func (m *Manager) applyBatch(r *replica, batch []*Entry) {
+	if r.broken.Load() || !m.ship(r, batch) {
+		ackBatch(batch)
+		return
+	}
+	r.batches.Add(1)
+	for i, e := range batch {
+		if err := m.c.ApplyStandbyRecs(r.node, e.Recs); err != nil {
+			r.fail(err)
+			ackBatch(batch[i:])
+			return
+		}
+		r.appliedRecs.Add(int64(len(e.Recs)))
+		m.shipped.Add(int64(len(e.Recs)))
+		for _, child := range *r.children.Load() {
+			child.log.append(e.Recs, e.ack)
+		}
+		if e.ack != nil {
+			e.ack.ack()
+		}
+	}
+}
+
+// ackBatch releases the quorum waiters of entries this replica will never
+// apply (broken mirror or manager close) so no sync client blocks on a
+// replica that cannot make progress.
+func ackBatch(batch []*Entry) {
+	for _, e := range batch {
+		if e.ack != nil {
+			e.ack.ack()
+		}
+	}
+}
+
+// ship delivers one batch over the replica's upstream link as a single
+// ReplShip message, retrying transport failures until delivery or manager
+// close. The upstream is re-read on every retry, so a replica reparented
+// by a failover mid-retry migrates to the promoted primary's link.
+// Returns false only when the manager closed before delivery.
+func (m *Manager) ship(r *replica, batch []*Entry) bool {
+	payload := 0
+	for _, e := range batch {
+		payload += recsPayload(e.Recs)
+	}
 	for {
-		err := m.fab.Send(transport.DN(p.primary), transport.DN(p.standby), transport.ReplShip, recsPayload(recs))
+		up := int(r.upstream.Load())
+		err := m.fab.Send(transport.DN(up), transport.DN(r.node), transport.ReplShip, payload)
 		if err == nil {
 			return true
 		}
 		// Send only fails with ErrUnreachable variants (drop fault, severed
 		// link, partition) — all transient from the log's point of view.
 		select {
-		case <-m.stopWatch:
+		case <-m.stop:
 			return false
 		case <-time.After(200 * time.Microsecond):
 		}
@@ -306,162 +310,70 @@ func recsPayload(recs []cluster.WriteRec) int {
 	return n
 }
 
-// Synced reports whether primary's standby is safe to read: paired, not
-// poisoned, zero lag. Wired into cluster.SetStandbyReads, it is consulted
-// under the route lock on every SELECT, hence atomics only.
+// Synced reports whether primary's replica group is fully caught up:
+// at least one replica, every unbroken replica at zero lag, and at least
+// one unbroken replica.
 func (m *Manager) Synced(primary int) bool {
-	p := m.pair(primary)
-	return p != nil && !p.broken.Load() && p.lag() == 0
+	g := m.group(primary)
+	if g == nil {
+		return false
+	}
+	reps := *g.replicas.Load()
+	if len(reps) == 0 {
+		return false
+	}
+	live := 0
+	for _, r := range reps {
+		if r.broken.Load() {
+			continue
+		}
+		if r.lag() != 0 {
+			return false
+		}
+		live++
+	}
+	return live > 0
 }
 
-// Lag returns the records appended but not yet applied for primary's pair
-// (0 when unpaired).
+// Lag returns the worst per-replica lag in primary's group (0 when the
+// shard has no replicas).
 func (m *Manager) Lag(primary int) int64 {
-	p := m.pair(primary)
-	if p == nil {
+	g := m.group(primary)
+	if g == nil {
 		return 0
 	}
-	return p.lag()
+	var max int64
+	for _, r := range *g.replicas.Load() {
+		if l := r.lag(); l > max {
+			max = l
+		}
+	}
+	return max
 }
 
-// RecordsShipped returns the lifetime count of records applied on standbys.
+// RecordsShipped returns the lifetime count of records applied on replicas.
 func (m *Manager) RecordsShipped() int64 { return m.shipped.Load() }
 
 // Failovers returns the number of completed promotions.
 func (m *Manager) Failovers() int64 { return m.failovers.Load() }
 
-// FailoverReport summarizes one promotion.
-type FailoverReport struct {
-	Primary  int
-	Standby  int
-	Buckets  int           // bucket ownerships flipped to the standby
-	Replayed int           // in-doubt 2PC legs committed during replay
-	Elapsed  time.Duration // fence-to-promotion latency
-}
-
-// Failover promotes primary's standby:
-//
-//  1. fence — mark the primary down, so new commits touching it abort;
-//  2. settle — wait out commits that raced the fence (they have either
-//     appended to the log or aborted once this returns);
-//  3. replay — resolve the primary's prepared 2PC legs against the GTM
-//     outcome log, shipping decided commits' stashed records;
-//  4. drain — wait for the apply loop to reach zero lag;
-//  5. verify — compare per-table digests of the primary's partitions and
-//     the standby mirror (zero committed-transaction loss), unless
-//     SkipVerify;
-//  6. promote — flip every bucket the primary owned to the standby under
-//     the route barrier and retire the primary.
-//
-// On an error in any phase the primary stays fenced and the pair stays
-// latched; the cluster keeps serving what it can (replicated reads, other
-// shards, standby reads) but the shard needs operator attention.
-func (m *Manager) Failover(primary int) (FailoverReport, error) {
-	p := m.pair(primary)
-	if p == nil {
-		return FailoverReport{}, fmt.Errorf("repl: dn%d has no standby", primary)
-	}
-	if !p.failing.CompareAndSwap(false, true) {
-		return FailoverReport{}, fmt.Errorf("repl: failover of dn%d already in progress", primary)
-	}
-	start := time.Now()
-
-	m.c.SetDataNodeDown(primary, true)
-	if err := m.c.WaitCommitsSettled(primary, m.cfg.DrainTimeout); err != nil {
-		return FailoverReport{}, fmt.Errorf("repl: failover of dn%d: %w", primary, err)
-	}
-	replayed, _ := m.c.ResolveInDoubt(primary)
-
-	deadline := time.Now().Add(m.cfg.DrainTimeout)
-	for p.lag() > 0 && !p.broken.Load() {
-		if time.Now().After(deadline) {
-			return FailoverReport{}, fmt.Errorf("repl: failover of dn%d: log drain timed out with %d records unapplied", primary, p.lag())
-		}
-		time.Sleep(50 * time.Microsecond)
-	}
-	if p.broken.Load() {
-		return FailoverReport{}, fmt.Errorf("repl: standby dn%d diverged, refusing promotion: %w", p.standby, p.brokenErr())
-	}
-
-	if !m.cfg.SkipVerify {
-		for _, name := range m.c.DistributedTableNames() {
-			want, err := m.c.PartitionDigest(name, primary, primary)
-			if err != nil {
-				return FailoverReport{}, err
-			}
-			got, err := m.c.PartitionDigest(name, p.standby, primary)
-			if err != nil {
-				return FailoverReport{}, err
-			}
-			if want != got {
-				return FailoverReport{}, fmt.Errorf("repl: table %q mirror mismatch before promotion (primary %d rows, standby %d rows)", name, want.Rows, got.Rows)
-			}
-		}
-	}
-
-	flipped, err := m.c.PromoteStandby(primary, p.standby)
-	if err != nil {
-		return FailoverReport{}, err
-	}
-	m.removePair(primary)
-	p.log.close()
-	m.failovers.Add(1)
-	return FailoverReport{
-		Primary:  primary,
-		Standby:  p.standby,
-		Buckets:  flipped,
-		Replayed: replayed,
-		Elapsed:  time.Since(start),
-	}, nil
-}
-
-// watch is the failure detector: every ProbeInterval it probes each paired
-// primary and fails over any seen down FailAfterMisses probes in a row.
-func (m *Manager) watch() {
-	defer m.wg.Done()
-	ticker := time.NewTicker(m.cfg.ProbeInterval)
-	defer ticker.Stop()
-	misses := map[int]int{}
-	for {
-		select {
-		case <-m.stopWatch:
-			return
-		case <-ticker.C:
-		}
-		for primary, p := range *m.pairs.Load() {
-			if p.failing.Load() {
-				continue
-			}
-			if !m.c.NodeIsDown(primary) {
-				misses[primary] = 0
-				continue
-			}
-			misses[primary]++
-			if misses[primary] >= m.cfg.FailAfterMisses {
-				misses[primary] = 0
-				// Best effort: an error leaves the pair latched and the
-				// primary fenced; Status surfaces the broken state.
-				_, _ = m.Failover(primary)
-			}
-		}
-	}
-}
-
-// PairStatus is one pair's monitoring snapshot.
-type PairStatus struct {
-	Primary  int
-	Standby  int
-	Appended int64 // records captured from the primary
-	Applied  int64 // records applied on the standby
+// ReplicaStatus is one replica's monitoring snapshot.
+type ReplicaStatus struct {
+	Primary  int // the group's current primary
+	Node     int // this replica's node
+	Upstream int // the node it ships from (primary, or parent standby if chained)
+	Applied  int64
 	Lag      int64
+	Batches  int64 // ReplShip batches delivered
 	Broken   bool
 }
 
-// Status snapshots every active pair (sorted by primary) plus the
-// lifetime counters; the autonomous layer folds this into the InfoStore
-// as repl.records_shipped / repl.lag_records / repl.failovers.
+// Status snapshots every replica of every group (sorted by primary, then
+// node) plus the lifetime counters; the autonomous layer folds this into
+// the InfoStore as repl.records_shipped / repl.max_replica_lag /
+// repl.failovers / repl.replicas.
 type Status struct {
-	Pairs          []PairStatus
+	Replicas       []ReplicaStatus
 	RecordsShipped int64
 	Failovers      int64
 }
@@ -469,16 +381,24 @@ type Status struct {
 // Status implements the monitoring pull.
 func (m *Manager) Status() Status {
 	st := Status{RecordsShipped: m.shipped.Load(), Failovers: m.failovers.Load()}
-	for primary, p := range *m.pairs.Load() {
-		st.Pairs = append(st.Pairs, PairStatus{
-			Primary:  primary,
-			Standby:  p.standby,
-			Appended: p.appendedRecs.Load(),
-			Applied:  p.appliedRecs.Load(),
-			Lag:      p.lag(),
-			Broken:   p.broken.Load(),
-		})
+	for primary, g := range *m.groups.Load() {
+		for _, r := range *g.replicas.Load() {
+			st.Replicas = append(st.Replicas, ReplicaStatus{
+				Primary:  primary,
+				Node:     r.node,
+				Upstream: int(r.upstream.Load()),
+				Applied:  r.appliedRecs.Load(),
+				Lag:      r.lag(),
+				Batches:  r.batches.Load(),
+				Broken:   r.broken.Load(),
+			})
+		}
 	}
-	sort.Slice(st.Pairs, func(i, j int) bool { return st.Pairs[i].Primary < st.Pairs[j].Primary })
+	sort.Slice(st.Replicas, func(i, j int) bool {
+		if st.Replicas[i].Primary != st.Replicas[j].Primary {
+			return st.Replicas[i].Primary < st.Replicas[j].Primary
+		}
+		return st.Replicas[i].Node < st.Replicas[j].Node
+	})
 	return st
 }

@@ -57,8 +57,8 @@ func waitSynced(t *testing.T, m *Manager, primaries []int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for _, p := range primaries {
-		if m.pair(p) == nil {
-			continue // unpaired (e.g. a freshly promoted standby)
+		if m.group(p) == nil {
+			continue // no replicas (e.g. a freshly promoted standby)
 		}
 		for !m.Synced(p) {
 			if time.Now().After(deadline) {
@@ -115,12 +115,12 @@ func TestStandbyMirrorsPrimary(t *testing.T) {
 		t.Fatal("no records shipped")
 	}
 	st := m.Status()
-	if len(st.Pairs) != 2 {
-		t.Fatalf("status pairs = %d, want 2", len(st.Pairs))
+	if len(st.Replicas) != 2 {
+		t.Fatalf("status replicas = %d, want 2", len(st.Replicas))
 	}
-	for _, p := range st.Pairs {
-		if p.Broken || p.Lag != 0 || p.Appended == 0 {
-			t.Fatalf("unexpected pair status %+v", p)
+	for _, rs := range st.Replicas {
+		if rs.Broken || rs.Lag != 0 || rs.Applied == 0 {
+			t.Fatalf("unexpected replica status %+v", rs)
 		}
 	}
 }

@@ -202,9 +202,9 @@ func TestSyncDegradeOnLinkDrop(t *testing.T) {
 	if m.Synced(0) {
 		t.Fatal("standby still counted synced behind a dead link")
 	}
-	for _, p := range m.Status().Pairs {
-		if p.Primary == 0 && p.Broken {
-			t.Fatal("link drop poisoned the pair; only apply errors may do that")
+	for _, rs := range m.Status().Replicas {
+		if rs.Primary == 0 && rs.Broken {
+			t.Fatal("link drop poisoned the replica; only apply errors may do that")
 		}
 	}
 

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -248,6 +249,73 @@ func (s Stats) Sub(base Stats) Stats {
 // Get returns one type's counters.
 func (s Stats) Get(t MsgType) TypeStat { return s[t] }
 
+// LinkStat is one directed link's delivery counters (see TrackLinks).
+// Replication lag accounting reads these to attribute standby shipping
+// traffic — and loss — to individual geo links.
+type LinkStat struct {
+	From, To Endpoint
+	Count    int64 // delivered messages
+	Bytes    int64 // delivered payload bytes
+	Dropped  int64 // messages lost to faults or partitions
+}
+
+// TrackLinks enables (or disables) per-link counters. Off by default —
+// when off, Send pays only one atomic flag load; when on, each message
+// takes a short mutex to bump its link's counters. Disabling does not
+// clear accumulated stats; re-enabling resumes them.
+func (f *Fabric) TrackLinks(on bool) {
+	f.linkMu.Lock()
+	if f.linkStats == nil {
+		f.linkStats = map[linkKey]*LinkStat{}
+	}
+	f.linkMu.Unlock()
+	f.trackLinks.Store(on)
+}
+
+// LinkStats snapshots the per-link counters, sorted by (from, to). Empty
+// until TrackLinks(true).
+func (f *Fabric) LinkStats() []LinkStat {
+	f.linkMu.Lock()
+	defer f.linkMu.Unlock()
+	out := make([]LinkStat, 0, len(f.linkStats))
+	for _, ls := range f.linkStats {
+		out = append(out, *ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return epLess(a.From, b.From)
+		}
+		return epLess(a.To, b.To)
+	})
+	return out
+}
+
+func epLess(a, b Endpoint) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.ID < b.ID
+}
+
+// recordLink bumps one link's counters (TrackLinks on).
+func (f *Fabric) recordLink(from, to Endpoint, payloadBytes int, dropped bool) {
+	f.linkMu.Lock()
+	defer f.linkMu.Unlock()
+	k := linkKey{from, to}
+	ls := f.linkStats[k]
+	if ls == nil {
+		ls = &LinkStat{From: from, To: to}
+		f.linkStats[k] = ls
+	}
+	if dropped {
+		ls.Dropped++
+		return
+	}
+	ls.Count++
+	ls.Bytes += int64(payloadBytes)
+}
+
 // partition is an immutable view of the injected connectivity failures —
 // an isolated-endpoint set plus severed links — swapped atomically so the
 // hot path checks it with one load.
@@ -276,6 +344,12 @@ type Fabric struct {
 	links  map[linkKey]Latency
 	faults map[linkKey][]*fault
 	rng    *rand.Rand
+
+	// trackLinks enables per-link counters (off by default: the hot path
+	// then pays only the flag load). Guarded by linkMu when on.
+	trackLinks atomic.Bool
+	linkMu     sync.Mutex
+	linkStats  map[linkKey]*LinkStat
 
 	part atomic.Pointer[partition]
 
@@ -414,6 +488,9 @@ func (f *Fabric) severed(from, to Endpoint) bool {
 func (f *Fabric) Send(from, to Endpoint, t MsgType, payloadBytes int) error {
 	if f.severed(from, to) {
 		f.dropped[t].Add(1)
+		if f.trackLinks.Load() {
+			f.recordLink(from, to, payloadBytes, true)
+		}
 		return fmt.Errorf("%w (%s -> %s, %s)", ErrPartitioned, from, to, t)
 	}
 
@@ -422,6 +499,9 @@ func (f *Fabric) Send(from, to Endpoint, t MsgType, payloadBytes int) error {
 		extra, drop := f.shape(from, to, t, &delay)
 		if drop {
 			f.dropped[t].Add(1)
+			if f.trackLinks.Load() {
+				f.recordLink(from, to, payloadBytes, true)
+			}
 			return fmt.Errorf("%w (%s -> %s, %s)", ErrDropped, from, to, t)
 		}
 		delay += extra
@@ -432,6 +512,9 @@ func (f *Fabric) Send(from, to Endpoint, t MsgType, payloadBytes int) error {
 
 	f.counts[t].Add(1)
 	f.bytes[t].Add(int64(payloadBytes))
+	if f.trackLinks.Load() {
+		f.recordLink(from, to, payloadBytes, false)
+	}
 	if delay > 0 {
 		f.sleep(delay)
 	}
