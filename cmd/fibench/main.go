@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl]
-//	        [-duration seconds]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor]
+//	        [-duration seconds] [-sessions n]
 package main
 
 import (
@@ -16,8 +16,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha, net, georepl")
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha, net, georepl, frontdoor")
 	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
+	sessions := flag.Int("sessions", 10000, "concurrent driver sessions (frontdoor)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -49,9 +50,10 @@ func main() {
 	run("ha", func() error { return experiments.HA(w, 300) })
 	run("net", func() error { _, err := experiments.Network(w, 400); return err })
 	run("georepl", func() error { return experiments.GeoRepl(w, 150) })
+	run("frontdoor", func() error { return experiments.FrontDoor(w, *sessions) })
 
 	switch *exp {
-	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha", "net", "georepl":
+	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha", "net", "georepl", "frontdoor":
 	default:
 		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,12 +1,14 @@
 package autonomous
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
 )
 
-// ErrQueueFull is returned by Admit when the wait queue overflows.
+// ErrQueueFull is returned by Admit when the wait queue overflows, and to a
+// queued low-priority waiter evicted to make room for a higher-priority one.
 var ErrQueueFull = errors.New("autonomous: admission queue is full")
 
 // SLA is the performance target the workload manager steers toward
@@ -15,6 +17,32 @@ var ErrQueueFull = errors.New("autonomous: admission queue is full")
 type SLA struct {
 	// TargetP95 is the 95th-percentile statement latency target.
 	TargetP95 time.Duration
+}
+
+// Priority classifies a session's SLA tier (§IV-A1: the workload manager
+// protects high-priority SLAs by shedding low-priority traffic first).
+type Priority uint8
+
+// Priority classes, lowest first. Declaration order is the shed order:
+// under overload the queue evicts from PriorityLow upward, and wakes from
+// PriorityHigh downward.
+const (
+	PriorityLow Priority = iota
+	PriorityNormal
+	PriorityHigh
+
+	numPriorities = int(PriorityHigh) + 1
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityLow:
+		return "low"
+	case PriorityNormal:
+		return "normal"
+	default:
+		return "high"
+	}
 }
 
 // WorkloadConfig tunes the manager.
@@ -29,10 +57,56 @@ type WorkloadConfig struct {
 	QueueLimit int
 }
 
+// waiter is one queued admission request. The channel is buffered so the
+// waker never blocks; state settles exactly once under the manager's lock.
+type waiter struct {
+	ch    chan error
+	pri   Priority
+	state waiterState
+}
+
+type waiterState uint8
+
+const (
+	waiterQueued waiterState = iota
+	waiterGranted
+	waiterShed
+	waiterCancelled
+)
+
+// ClassStats counts one priority class's admission outcomes.
+type ClassStats struct {
+	// Admitted counts statements granted a slot (immediately or after
+	// queueing).
+	Admitted int64
+	// Queued counts statements that had to wait for a slot.
+	Queued int64
+	// Shed counts ErrQueueFull rejections (queue overflow on arrival, or
+	// eviction by a higher-priority arrival).
+	Shed int64
+	// Cancelled counts queued waiters removed by context cancellation.
+	Cancelled int64
+}
+
+// WorkloadStats is a snapshot of the manager's admission counters.
+type WorkloadStats struct {
+	// ByClass indexes ClassStats by Priority.
+	ByClass [numPriorities]ClassStats
+	// QueueLen is the current number of queued waiters.
+	QueueLen int
+	// Limit and Inflight mirror the accessor methods.
+	Limit, Inflight int
+}
+
+// Class returns one priority's counters.
+func (s WorkloadStats) Class(p Priority) ClassStats { return s.ByClass[p] }
+
 // WorkloadManager is an SLA-driven admission controller: queries acquire a
 // slot before running and report their latency after; an AIMD control loop
 // moves the concurrency limit to keep p95 latency at the SLA (Fig 12
-// "Workload Manager").
+// "Workload Manager"). Admission is priority-aware: slots wake the
+// highest-priority waiters first, and a full queue sheds the
+// lowest-priority waiter to make room for a higher-priority arrival.
 type WorkloadManager struct {
 	sla SLA
 	cfg WorkloadConfig
@@ -41,7 +115,9 @@ type WorkloadManager struct {
 	mu        sync.Mutex
 	limit     int
 	inflight  int
-	waiters   []chan struct{}
+	waiters   [numPriorities][]*waiter // FIFO per class
+	queueLen  int
+	stats     [numPriorities]ClassStats
 	latencies []time.Duration
 	decisions int
 }
@@ -82,23 +158,146 @@ func (w *WorkloadManager) Inflight() int {
 	return w.inflight
 }
 
-// Admit blocks until a slot is available (or the queue overflows).
-func (w *WorkloadManager) Admit() error {
+// QueueLen returns the number of queued waiters.
+func (w *WorkloadManager) QueueLen() int {
 	w.mu.Lock()
-	if w.inflight < w.limit {
+	defer w.mu.Unlock()
+	return w.queueLen
+}
+
+// Stats snapshots the admission counters.
+func (w *WorkloadManager) Stats() WorkloadStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WorkloadStats{ByClass: w.stats, QueueLen: w.queueLen, Limit: w.limit, Inflight: w.inflight}
+}
+
+// Admit blocks until a slot is available (or the queue overflows), at
+// normal priority with no cancellation — the pre-front-door behavior.
+func (w *WorkloadManager) Admit() error {
+	return w.AdmitPriority(context.Background(), PriorityNormal)
+}
+
+// AdmitCtx is Admit with cancellation: a context timeout or cancel removes
+// the queued waiter and frees its queue slot, so a disconnected session can
+// never leak one (the old <-ch wait blocked forever if load never drained).
+func (w *WorkloadManager) AdmitCtx(ctx context.Context) error {
+	return w.AdmitPriority(ctx, PriorityNormal)
+}
+
+// AdmitPriority blocks until a slot is available, the context is done, or
+// the request is shed. Under overload, slots go to the highest-priority
+// waiters first; when the queue is full, a higher-priority arrival evicts
+// the most recently queued waiter of the lowest waiting class below it
+// (that waiter gets ErrQueueFull), and an arrival with nothing below it to
+// evict is itself rejected with ErrQueueFull.
+func (w *WorkloadManager) AdmitPriority(ctx context.Context, pri Priority) error {
+	if int(pri) >= numPriorities {
+		pri = PriorityHigh
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if w.inflight < w.limit && w.queueLen == 0 {
 		w.inflight++
+		w.stats[pri].Admitted++
 		w.mu.Unlock()
 		return nil
 	}
-	if len(w.waiters) >= w.cfg.QueueLimit {
+	if w.inflight < w.limit {
+		// Slots free but waiters queued: jump only ahead of strictly
+		// lower classes — equal-priority requests stay FIFO.
+		if !w.queuedAtOrAboveLocked(pri) {
+			w.inflight++
+			w.stats[pri].Admitted++
+			w.mu.Unlock()
+			return nil
+		}
+	}
+	if w.queueLen >= w.cfg.QueueLimit && !w.evictBelowLocked(pri) {
+		w.stats[pri].Shed++
 		w.mu.Unlock()
 		return ErrQueueFull
 	}
-	ch := make(chan struct{})
-	w.waiters = append(w.waiters, ch)
+	wt := &waiter{ch: make(chan error, 1), pri: pri}
+	w.waiters[pri] = append(w.waiters[pri], wt)
+	w.queueLen++
+	w.stats[pri].Queued++
+	w.wakeLocked()
 	w.mu.Unlock()
-	<-ch
-	return nil
+
+	select {
+	case err := <-wt.ch:
+		return err
+	case <-ctx.Done():
+	}
+	// Cancellation races the waker: settle under the lock.
+	w.mu.Lock()
+	switch wt.state {
+	case waiterQueued:
+		w.removeLocked(wt)
+		wt.state = waiterCancelled
+		w.stats[pri].Cancelled++
+		w.mu.Unlock()
+		return ctx.Err()
+	case waiterGranted:
+		// The slot was granted concurrently with cancellation; give it
+		// back and wake the next waiter.
+		w.inflight--
+		w.stats[pri].Admitted--
+		w.stats[pri].Cancelled++
+		w.wakeLocked()
+		w.mu.Unlock()
+		return ctx.Err()
+	default: // shed concurrently with cancellation
+		w.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// queuedAtOrAboveLocked reports whether any waiter of class >= pri is
+// queued. Caller holds w.mu.
+func (w *WorkloadManager) queuedAtOrAboveLocked(pri Priority) bool {
+	for p := int(pri); p < numPriorities; p++ {
+		if len(w.waiters[p]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// evictBelowLocked sheds the most recently queued waiter of the lowest
+// class strictly below pri, returning whether a queue slot was freed.
+// Caller holds w.mu.
+func (w *WorkloadManager) evictBelowLocked(pri Priority) bool {
+	for p := 0; p < int(pri); p++ {
+		q := w.waiters[p]
+		if len(q) == 0 {
+			continue
+		}
+		victim := q[len(q)-1]
+		w.waiters[p] = q[:len(q)-1]
+		w.queueLen--
+		victim.state = waiterShed
+		w.stats[p].Shed++
+		victim.ch <- ErrQueueFull
+		return true
+	}
+	return false
+}
+
+// removeLocked unlinks a queued waiter (cancellation path), freeing its
+// queue slot. Caller holds w.mu.
+func (w *WorkloadManager) removeLocked(wt *waiter) {
+	q := w.waiters[wt.pri]
+	for i, cand := range q {
+		if cand == wt {
+			w.waiters[wt.pri] = append(q[:i], q[i+1:]...)
+			w.queueLen--
+			return
+		}
+	}
 }
 
 // Release returns a slot, reporting the statement's latency to the control
@@ -115,13 +314,24 @@ func (w *WorkloadManager) Release(latency time.Duration) {
 	w.mu.Unlock()
 }
 
-// wakeLocked admits queued waiters up to the limit.
+// wakeLocked admits queued waiters up to the limit, highest priority
+// first, FIFO within a class.
 func (w *WorkloadManager) wakeLocked() {
-	for w.inflight < w.limit && len(w.waiters) > 0 {
-		ch := w.waiters[0]
-		w.waiters = w.waiters[1:]
-		w.inflight++
-		close(ch)
+	for w.inflight < w.limit && w.queueLen > 0 {
+		for p := numPriorities - 1; p >= 0; p-- {
+			q := w.waiters[p]
+			if len(q) == 0 {
+				continue
+			}
+			wt := q[0]
+			w.waiters[p] = q[1:]
+			w.queueLen--
+			w.inflight++
+			wt.state = waiterGranted
+			w.stats[p].Admitted++
+			wt.ch <- nil
+			break
+		}
 	}
 }
 

@@ -86,6 +86,25 @@ func (a *Autopilot) Tick() []Action {
 		a.Info.Record("transport.msgs."+ts.Type.String(), float64(ts.Count))
 	}
 
+	// Front-door server: session population, statement-cache efficiency,
+	// and the admission controller's per-class outcomes (when attached).
+	if s := a.db.srv; s != nil {
+		st := s.Stats()
+		a.Info.Record("server.sessions_open", float64(st.SessionsOpen))
+		a.Info.Record("server.sessions_opened", float64(st.SessionsOpened))
+		a.Info.Record("server.sessions_evicted", float64(st.SessionsEvicted))
+		a.Info.Record("server.statements", float64(st.Statements))
+		a.Info.Record("server.stmt_cache_hits", float64(st.CacheHits))
+		a.Info.Record("server.stmt_cache_misses", float64(st.CacheMisses))
+		a.Info.Record("server.admission_queue_len", float64(st.Workload.QueueLen))
+		a.Info.Record("server.admission_limit", float64(st.Workload.Limit))
+		for p := autonomous.PriorityLow; p <= autonomous.PriorityHigh; p++ {
+			cs := st.Workload.Class(p)
+			a.Info.Record("server.admitted."+p.String(), float64(cs.Admitted))
+			a.Info.Record("server.shed."+p.String(), float64(cs.Shed))
+		}
+	}
+
 	// Replication health (when HA is enabled).
 	if r := a.db.repl; r != nil {
 		st := r.Status()

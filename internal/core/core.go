@@ -28,6 +28,7 @@ import (
 	"repro/internal/planstore"
 	"repro/internal/rebalance"
 	"repro/internal/repl"
+	"repro/internal/server"
 	"repro/internal/spatial"
 	"repro/internal/tseries"
 )
@@ -76,6 +77,7 @@ type DB struct {
 	mm      *multimodel.DB
 	def     *cluster.Session
 	repl    *repl.Manager
+	srv     *server.Server
 }
 
 // Open builds a cluster and attaches the graph, time-series and spatial
@@ -106,9 +108,12 @@ func Open(opts Options) (*DB, error) {
 }
 
 // Close releases the instance: it stops the replication manager's
-// goroutines if HA was enabled. (The embedded cluster itself holds no
-// external resources.)
+// goroutines if HA was enabled and the front-door server's reaper if one
+// was attached. (The embedded cluster itself holds no external resources.)
 func (db *DB) Close() {
+	if db.srv != nil {
+		db.srv.Close()
+	}
 	if db.repl != nil {
 		db.repl.Close()
 	}
@@ -216,6 +221,21 @@ func (db *DB) EnableHA(cfg repl.Config) (*repl.Manager, error) {
 
 // HA returns the replication manager, or nil before EnableHA.
 func (db *DB) HA() *repl.Manager { return db.repl }
+
+// NewServer attaches the front door (internal/server): client sessions,
+// the wire protocol, and per-statement SLA admission control. One server
+// per DB; Close tears it down. An attached autopilot's Tick records the
+// server's session/cache/admission counters into the information store.
+func (db *DB) NewServer(cfg server.Config) (*server.Server, error) {
+	if db.srv != nil {
+		return nil, errors.New("core: server already attached")
+	}
+	db.srv = server.New(db.cluster, cfg)
+	return db.srv, nil
+}
+
+// Server returns the attached front-door server, or nil before NewServer.
+func (db *DB) Server() *server.Server { return db.srv }
 
 // Failover promotes a standby of primary (replaying the log tail and
 // flipping its buckets), retires the primary, and reparents the group's

@@ -1,0 +1,453 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/autonomous"
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+func newStack(t *testing.T, cfg server.Config) (*server.Server, *cluster.Cluster) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{DataNodes: 2, Mode: cluster.ModeGTMLite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(c, cfg)
+	t.Cleanup(s.Close)
+	return s, c
+}
+
+func open(t *testing.T, srv *server.Server, opts Options) *DB {
+	t.Helper()
+	db, err := Open(Fabric(srv), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, sql string, arg ...any) *Result {
+	t.Helper()
+	res, err := db.Exec(sql, arg...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestBindNamed(t *testing.T) {
+	got, err := BindNamed(
+		"INSERT INTO t VALUES (:id, :name, :score, :ok, :missing_quote, :at)",
+		map[string]any{
+			"id":            42,
+			"name":          "o'brien",
+			"score":         2.5,
+			"ok":            true,
+			"missing_quote": nil,
+			"at":            time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "INSERT INTO t VALUES (42, 'o''brien', 2.5, TRUE, NULL, '2026-08-07T12:00:00Z')"
+	if got != want {
+		t.Errorf("bound = %q\nwant    %q", got, want)
+	}
+}
+
+func TestBindNamedStruct(t *testing.T) {
+	type row struct {
+		ID      int64  `db:"id"`
+		Name    string `db:"name"`
+		Skipped string `db:"-"`
+		Untag   bool
+	}
+	got, err := BindNamed("VALUES (:id, :name, :untag)", row{ID: 7, Name: "x", Untag: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "VALUES (7, 'x', TRUE)" {
+		t.Errorf("bound = %q", got)
+	}
+	if _, err := BindNamed("VALUES (:nope)", row{}); err == nil {
+		t.Error("unknown parameter did not error")
+	}
+}
+
+func TestBindSkipsQuotedPlaceholders(t *testing.T) {
+	got, err := BindNamed("SELECT ':notaparam', :real FROM t", map[string]any{"real": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "SELECT ':notaparam', 1 FROM t" {
+		t.Errorf("bound = %q", got)
+	}
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	srv, _ := newStack(t, server.Config{})
+	db := open(t, srv, Options{PoolSize: 4})
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE people (id BIGINT, name VARCHAR(20), score DOUBLE, PRIMARY KEY(id)) DISTRIBUTE BY HASH(id)")
+	ins := db.Prepare("INSERT INTO people VALUES (:id, :name, :score)")
+	for i := 0; i < 10; i++ {
+		res, err := ins.Exec(map[string]any{"id": i, "name": fmt.Sprintf("p%d", i), "score": float64(i) / 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsAffected != 1 {
+			t.Fatalf("insert %d affected %d", i, res.RowsAffected)
+		}
+	}
+
+	type person struct {
+		ID    int64   `db:"id"`
+		Name  string  `db:"name"`
+		Score float64 `db:"score"`
+	}
+	var p person
+	if err := db.Get(&p, "SELECT id, name, score FROM people WHERE id = :id", map[string]any{"id": 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != 3 || p.Name != "p3" || p.Score != 1.5 {
+		t.Errorf("row = %+v", p)
+	}
+
+	var all []person
+	if err := db.Select(&all, "SELECT id, name, score FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 10 {
+		t.Errorf("selected %d rows", len(all))
+	}
+
+	var n int64
+	if err := db.Get(&n, "SELECT count(*) FROM people"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("count = %d", n)
+	}
+	if err := db.Get(&p, "SELECT id, name, score FROM people WHERE id = 99"); !errors.Is(err, ErrNoRows) {
+		t.Errorf("missing row: %v", err)
+	}
+}
+
+func TestPreparedStatementsHitServerCache(t *testing.T) {
+	srv, _ := newStack(t, server.Config{})
+	db := open(t, srv, Options{PoolSize: 1})
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	get := db.Prepare("SELECT v FROM kv WHERE k = :k")
+	mustExec(t, db, "INSERT INTO kv VALUES (1, 10)")
+	for i := 0; i < 3; i++ {
+		var v int64
+		if err := get.Get(&v, map[string]any{"k": 1}); err != nil {
+			t.Fatal(err)
+		}
+		if v != 10 {
+			t.Fatalf("v = %d", v)
+		}
+	}
+	// Different bound values produce different SQL text, so the server's
+	// normalized cache only helps verbatim repeats; the same key repeated
+	// must hit.
+	if hits := db.Stats().StatementsCacheHit; hits < 2 {
+		t.Errorf("server cache hits observed by driver = %d, want >= 2", hits)
+	}
+}
+
+func TestTransactionAffinity(t *testing.T) {
+	srv, _ := newStack(t, server.Config{})
+	db := open(t, srv, Options{PoolSize: 4})
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO kv VALUES (:k, :v)", map[string]any{"k": 1, "v": 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO kv VALUES (2, 20)"); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted writes are visible inside the transaction...
+	var n int64
+	if err := tx.Get(&n, "SELECT count(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("in-txn count = %d", n)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Get(&n, "SELECT count(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("committed count = %d", n)
+	}
+
+	// Rollback leaves nothing.
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO kv VALUES (3, 30)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Get(&n, "SELECT count(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("count after rollback = %d", n)
+	}
+	if _, err := tx.Exec("SELECT 1"); err == nil {
+		t.Error("exec on finished transaction did not error")
+	}
+}
+
+func TestQueueFullRetryWithBackoff(t *testing.T) {
+	wm := autonomous.NewWorkloadManager(autonomous.SLA{TargetP95: time.Second},
+		autonomous.WorkloadConfig{InitialConcurrency: 1, MaxConcurrency: 1, QueueLimit: 1}, nil)
+	srv, _ := newStack(t, server.Config{Manager: wm})
+	db := open(t, srv, Options{PoolSize: 1, RetryBase: time.Millisecond, RetryMax: 20, StmtTimeout: 2 * time.Millisecond, Seed: 1})
+
+	// Occupy the slot, park a waiter in the only queue slot, so the
+	// driver's statements shed with queue-full until the slot frees.
+	if err := wm.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan error, 1)
+	go func() { hold <- wm.AdmitCtx(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for wm.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Free the logjam after a few retries have happened.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		wm.Release(time.Millisecond) // wakes the parked waiter
+		if <-hold == nil {
+			wm.Release(time.Millisecond) // the waiter's slot frees the driver
+		}
+	}()
+	if _, err := db.Exec("SELECT 1"); err != nil {
+		t.Fatalf("retried exec failed: %v", err)
+	}
+	if db.Stats().Retries == 0 {
+		t.Error("no retries recorded")
+	}
+}
+
+func TestQueueFullGivesUpAfterRetryMax(t *testing.T) {
+	wm := autonomous.NewWorkloadManager(autonomous.SLA{TargetP95: time.Second},
+		autonomous.WorkloadConfig{InitialConcurrency: 1, MaxConcurrency: 1, QueueLimit: 1}, nil)
+	srv, _ := newStack(t, server.Config{Manager: wm})
+	db := open(t, srv, Options{PoolSize: 1, RetryBase: 100 * time.Microsecond, RetryMax: 2, StmtTimeout: time.Millisecond, Seed: 1})
+	if err := wm.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	defer wm.Release(time.Millisecond)
+	hold := make(chan error, 1)
+	go func() { hold <- wm.AdmitCtx(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for wm.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("holder never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := db.Exec("SELECT 1"); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if db.Stats().StatementsShedForGood != 1 {
+		t.Errorf("shed-for-good = %d", db.Stats().StatementsShedForGood)
+	}
+}
+
+func TestRequestLegDropReconnectsAndRetries(t *testing.T) {
+	srv, c := newStack(t, server.Config{})
+	db := open(t, srv, Options{PoolSize: 1})
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+
+	// Drop every client_req frame from existing endpoints: the pooled
+	// connection's next statement loses its request leg, redials (a fresh
+	// endpoint the fault doesn't match), re-handshakes and retries — the
+	// statement still executes exactly once.
+	fab := c.Fabric()
+	ep1 := transport.Client(1)
+	fab.InjectFault(ep1, transport.CN(), transport.Fault{Types: []transport.MsgType{transport.ClientReq}, Drop: true})
+	if _, err := db.Exec("INSERT INTO kv VALUES (1, 10)"); err != nil {
+		t.Fatalf("exec across request-leg drop: %v", err)
+	}
+	if db.Stats().Reconnects == 0 {
+		t.Error("no reconnect recorded")
+	}
+	var n int64
+	if err := db.Get(&n, "SELECT count(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("row count = %d, want exactly-once insert", n)
+	}
+
+	// Prepared handles survive the reconnect: same template, new session.
+	get := db.Prepare("SELECT v FROM kv WHERE k = :k")
+	var v int64
+	if err := get.Get(&v, map[string]any{"k": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Errorf("v = %d", v)
+	}
+}
+
+func TestResponseLegDropSurfaces(t *testing.T) {
+	srv, c := newStack(t, server.Config{})
+	db := open(t, srv, Options{PoolSize: 1})
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	ep1 := transport.Client(1)
+	c.Fabric().InjectFault(transport.CN(), ep1, transport.Fault{Types: []transport.MsgType{transport.ClientResp}, Drop: true, Count: 1})
+	// The insert executed but its response vanished: the driver must NOT
+	// retry (it could double-apply DML) — the loss surfaces.
+	_, err := db.Exec("INSERT INTO kv VALUES (1, 10)")
+	if !errors.Is(err, server.ErrResponseLost) {
+		t.Fatalf("err = %v, want ErrResponseLost", err)
+	}
+	var n int64
+	if err := db.Get(&n, "SELECT count(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("row count = %d (statement should have executed exactly once)", n)
+	}
+}
+
+func TestSessionEvictionRehandshake(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	srv, _ := newStack(t, server.Config{IdleTimeout: time.Hour, Clock: clock})
+	db := open(t, srv, Options{PoolSize: 1, HealthCheckAfter: time.Hour})
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+
+	// Evict the idle session behind the driver's back.
+	mu.Lock()
+	now = now.Add(2 * time.Hour)
+	mu.Unlock()
+	if n := srv.EvictIdle(clock()); n != 1 {
+		t.Fatalf("evicted %d", n)
+	}
+	// The driver re-handshakes transparently on StatusNoSession.
+	if _, err := db.Exec("INSERT INTO kv VALUES (1)"); err != nil {
+		t.Fatalf("exec after eviction: %v", err)
+	}
+}
+
+func TestNetDialerTCP(t *testing.T) {
+	srv, _ := newStack(t, server.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	db, err := Open(Net(l.Addr().String()), Options{PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	mustExec(t, db, "INSERT INTO kv VALUES (:k, :v)", map[string]any{"k": 1, "v": 10})
+	var v int64
+	if err := db.Get(&v, "SELECT v FROM kv WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Errorf("v = %d", v)
+	}
+}
+
+func TestPoolBoundsAndConcurrency(t *testing.T) {
+	srv, _ := newStack(t, server.Config{})
+	db := open(t, srv, Options{PoolSize: 4})
+	mustExec(t, db, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if _, err := db.Exec("INSERT INTO kv VALUES (:k, 1)", map[string]any{"k": g*100 + i}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if open := db.Stats().Open; open > 4 {
+		t.Errorf("pool opened %d connections, cap 4", open)
+	}
+	var n int64
+	if err := db.Get(&n, "SELECT count(*) FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestScanDatumAndBytes(t *testing.T) {
+	res := &Result{
+		Columns: []string{"a", "b"},
+		Rows:    []types.Row{{types.NewInt(1), types.Null}},
+	}
+	type row struct {
+		A types.Datum `db:"a"`
+		B *int        `db:"b"` // wrong-ish but NULL zeroes it
+	}
+	var r struct {
+		A types.Datum `db:"a"`
+		B int64       `db:"b"`
+	}
+	if err := scanOne(&r, res); err != nil {
+		t.Fatal(err)
+	}
+	if r.A.Int() != 1 || r.B != 0 {
+		t.Errorf("row = %+v", r)
+	}
+	_ = row{}
+}

@@ -5,16 +5,19 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/autonomous"
 	"repro/internal/benchfmt"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/dsync"
 	"repro/internal/gmdb"
 	"repro/internal/gmdb/schema"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/perfsim"
 	"repro/internal/rebalance"
 	"repro/internal/repl"
+	"repro/internal/server"
 	"repro/internal/tpcc"
 	"repro/internal/transport"
 )
@@ -1036,5 +1040,210 @@ func GeoRepl(w io.Writer, commitsPerCell int) error {
 		[]string{"quorum", "wan", "commits", "avg commit us", "max commit us", "ship batches", "zero-loss"}, rows)
 	fmt.Fprintln(w, note)
 	fmt.Fprintln(w)
+	return nil
+}
+
+// FrontDoor drives the full client path — driver pool, wire protocol over
+// the fabric, CN session objects, SLA admission gate — at user scale
+// (E17): `sessions` concurrent driver sessions split into high/normal/low
+// priority classes, first at light load and then all at once. The
+// admission queue is sized so it overflows under the full burst: low and
+// normal waiters are evicted or rejected (the driver retries with jittered
+// backoff, then gives up), while the high class — which eviction can never
+// touch and which always finds someone below it to displace — keeps its
+// p99 bounded. The table reports offered load, per-class p99 and admitted
+// throughput, and the shed rate; the experiment fails if any high-priority
+// statement was shed or low-priority latency beats high under overload.
+func FrontDoor(w io.Writer, sessions int) error {
+	if sessions < 20 {
+		sessions = 20
+	}
+	db, err := core.Open(core.Options{DataNodes: 4, HopLatency: 100 * time.Microsecond})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	srv, err := db.NewServer(server.Config{
+		SLA: autonomous.SLA{TargetP95: 100 * time.Millisecond},
+		Workload: autonomous.WorkloadConfig{
+			InitialConcurrency: 32,
+			// The floor keeps the gate from collapsing when scheduler
+			// noise at 10k goroutines inflates the measured p95.
+			MinConcurrency: 16,
+			MaxConcurrency: 64,
+			Window:         64,
+			// The queue holds a quarter of the fleet: larger than the high
+			// class (20%), far smaller than the full burst.
+			QueueLimit: sessions / 4,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	boot, err := driver.Open(driver.Fabric(srv), driver.Options{PoolSize: 1})
+	if err != nil {
+		return err
+	}
+	if _, err := boot.Exec("CREATE TABLE accounts (id BIGINT, balance BIGINT, PRIMARY KEY(id)) DISTRIBUTE BY HASH(id)"); err != nil {
+		return err
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := boot.Exec(fmt.Sprintf("INSERT INTO accounts VALUES (%d, 100)", i)); err != nil {
+			return err
+		}
+	}
+	boot.Close()
+
+	classes := []struct {
+		pri  autonomous.Priority
+		frac float64
+	}{
+		{autonomous.PriorityHigh, 0.2},
+		{autonomous.PriorityNormal, 0.3},
+		{autonomous.PriorityLow, 0.5},
+	}
+	const stmtsPerSession = 3
+	// highSLABound is the experiment's pass/fail line for the protected
+	// class's tail latency under full overload.
+	const highSLABound = 2 * time.Second
+
+	type cell struct {
+		sessions int
+		ok       int64
+		shed     int64
+		failed   int64
+		p99      time.Duration
+		rate     float64
+	}
+	runPhase := func(total int) (map[autonomous.Priority]*cell, error) {
+		cells := map[autonomous.Priority]*cell{}
+		var mu sync.Mutex
+		lats := map[autonomous.Priority][]float64{}
+		var wg sync.WaitGroup
+		var firstErr error
+		start := time.Now()
+		for _, cl := range classes {
+			n := int(float64(total) * cl.frac)
+			if n < 1 {
+				n = 1
+			}
+			cells[cl.pri] = &cell{sessions: n}
+			pool, err := driver.Open(driver.Fabric(srv), driver.Options{
+				PoolSize:    n,
+				Priority:    cl.pri,
+				StmtTimeout: 10 * time.Second,
+				RetryMax:    4,
+				RetryBase:   200 * time.Microsecond,
+				RetryCap:    5 * time.Millisecond,
+				Seed:        int64(n) + int64(cl.pri),
+			})
+			if err != nil {
+				return nil, err
+			}
+			defer pool.Close()
+			c := cells[cl.pri]
+			pri := cl.pri
+			for s := 0; s < n; s++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for k := 0; k < stmtsPerSession; k++ {
+						t0 := time.Now()
+						_, err := pool.Exec("SELECT sum(balance) FROM accounts")
+						lat := time.Since(t0)
+						mu.Lock()
+						switch {
+						case err == nil:
+							c.ok++
+							lats[pri] = append(lats[pri], float64(lat))
+						case errors.Is(err, driver.ErrShed):
+							c.shed++
+						default:
+							c.failed++
+							if firstErr == nil {
+								firstErr = err
+							}
+						}
+						mu.Unlock()
+					}
+				}(s)
+			}
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for pri, c := range cells {
+			c.p99 = time.Duration(autonomous.Percentile(lats[pri], 0.99))
+			c.rate = float64(c.ok) / elapsed
+		}
+		if firstErr != nil {
+			return cells, fmt.Errorf("frontdoor: statement failed: %w", firstErr)
+		}
+		return cells, nil
+	}
+
+	phases := []struct {
+		name  string
+		total int
+	}{
+		{"light", sessions / 10},
+		{"overload", sessions},
+	}
+	var rows [][]string
+	var overload map[autonomous.Priority]*cell
+	for _, ph := range phases {
+		cells, err := runPhase(ph.total)
+		if err != nil {
+			return err
+		}
+		if ph.name == "overload" {
+			overload = cells
+		}
+		for _, cl := range classes {
+			c := cells[cl.pri]
+			offered := int64(c.sessions * stmtsPerSession)
+			rows = append(rows, []string{
+				ph.name,
+				fmt.Sprintf("%d", c.sessions),
+				cl.pri.String(),
+				fmt.Sprintf("%d", offered),
+				benchfmt.F(c.rate),
+				fmt.Sprintf("%.2f", float64(c.p99.Microseconds())/1000),
+				benchfmt.Pct(float64(c.shed) / float64(offered)),
+			})
+		}
+	}
+	benchfmt.Table(w, "Front door at user scale — SLA admission by priority class (E17)",
+		[]string{"phase", "sessions", "class", "offered", "admitted/s", "p99 ms", "shed"}, rows)
+
+	st := srv.Stats()
+	fab := db.Cluster().Fabric().Stats()
+	fmt.Fprintf(w, "server: %d sessions opened, %d statements, stmt-cache %d hits / %d misses; fabric client traffic: %d req (%d B), %d resp (%d B)\n\n",
+		st.SessionsOpened, st.Statements, st.CacheHits, st.CacheMisses,
+		fab[transport.ClientReq].Count, fab[transport.ClientReq].Bytes,
+		fab[transport.ClientResp].Count, fab[transport.ClientResp].Bytes)
+
+	// The SLA story the table must back up: the high class is never shed
+	// or failed — every offered high-priority statement executed, with p99
+	// inside the interactive bound — while overload is real (the gate
+	// sacrificed low-priority statements to keep that true). Low's
+	// apparent p99 is survivorship: only statements admitted before the
+	// queue filled complete at all.
+	hi := overload[autonomous.PriorityHigh]
+	if shed := st.Workload.Class(autonomous.PriorityHigh).Shed; shed != 0 {
+		return fmt.Errorf("frontdoor: %d high-priority statements shed (SLA violated)", shed)
+	}
+	if hi.shed != 0 || hi.failed != 0 {
+		return fmt.Errorf("frontdoor: high-priority statements shed=%d failed=%d (SLA violated)", hi.shed, hi.failed)
+	}
+	if got, want := hi.ok, int64(hi.sessions*stmtsPerSession); got != want {
+		return fmt.Errorf("frontdoor: only %d/%d high-priority statements served", got, want)
+	}
+	if hi.p99 > highSLABound {
+		return fmt.Errorf("frontdoor: high-priority p99 %v exceeds the %v bound under overload", hi.p99, highSLABound)
+	}
+	if overload[autonomous.PriorityLow].shed == 0 {
+		return fmt.Errorf("frontdoor: overload shed no low-priority statements — not actually overloaded")
+	}
 	return nil
 }

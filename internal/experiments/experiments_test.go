@@ -45,3 +45,15 @@ func TestNetworkGTMLiteFewerGTMMessages(t *testing.T) {
 		t.Errorf("pure single-shard gtm-lite still sent %.3f GTM msgs/txn", g)
 	}
 }
+
+// TestFrontDoorShedsLowProtectsHigh is E17's acceptance check at smoke
+// scale: the run itself fails unless every high-priority statement was
+// served within the bound while overload shed low-priority ones.
+func TestFrontDoorShedsLowProtectsHigh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives hundreds of concurrent sessions")
+	}
+	if err := FrontDoor(io.Discard, 200); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+// Package server is the cluster's front door: it exposes the embedded
+// FI-MPPDB behind a length-prefixed request/response wire protocol so the
+// whole stack can be driven like a server instead of a library. Frames
+// travel either over the in-process transport fabric (per-session traffic
+// shows up in the fabric's byte/count accounting and is subject to its
+// injected faults) or over a real net.Listener — both carry the same
+// bytes. On the coordinator side each connection owns a session object
+// (auth-less handshake, per-session prepared-statement cache keyed by
+// normalized SQL, transaction affinity, idle eviction), and every
+// statement passes the workload manager's SLA admission gate before
+// executing: under overload low-priority sessions queue and shed while
+// high-priority SLAs are protected (paper §IV-A1).
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Op is a request opcode.
+type Op uint8
+
+// Request opcodes.
+const (
+	// OpHello opens a session (auth-less handshake): the response carries
+	// the session token every later request must present.
+	OpHello Op = iota + 1
+	// OpExec runs one SQL statement on the request's session.
+	OpExec
+	// OpPing is a health probe (no admission, no execution).
+	OpPing
+	// OpClose ends the session and releases its server-side state.
+	OpClose
+)
+
+// Status is a response status code.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK carries a result.
+	StatusOK Status = iota
+	// StatusError carries an execution or protocol error message.
+	StatusError
+	// StatusQueueFull means the admission gate shed the statement; the
+	// client should back off and retry (driver: jittered backoff).
+	StatusQueueFull
+	// StatusNoSession means the session token is unknown — expired by the
+	// idle reaper or never opened. The client must re-handshake.
+	StatusNoSession
+)
+
+// Request is one client -> CN frame.
+type Request struct {
+	Op Op
+	// Priority is the session's SLA class (set on OpHello; echoed on later
+	// requests but the session's handshake class wins).
+	Priority uint8
+	// Session is the token from the OpHello response (0 for OpHello).
+	Session uint64
+	// TimeoutMillis bounds the server-side admission wait (0 = server
+	// default). A cancelled wait frees the queue slot (AdmitCtx).
+	TimeoutMillis uint32
+	// SQL is the statement text (OpExec).
+	SQL string
+}
+
+// Response is one CN -> client frame.
+type Response struct {
+	Status  Status
+	Session uint64
+	Err     string
+	// CacheHit reports whether the statement parse was served from the
+	// session's prepared-statement cache.
+	CacheHit     bool
+	RowsAffected int64
+	Columns      []string
+	Rows         []types.Row
+}
+
+// maxFrame bounds a frame so a corrupted length prefix cannot allocate
+// unbounded memory.
+const maxFrame = 64 << 20
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("server: truncated frame at offset %d", r.off)
+	}
+}
+
+// EncodeRequest renders a request frame (without the length prefix — the
+// carrier adds it: the fabric as the message payload size, WriteFrame on a
+// byte stream).
+func EncodeRequest(q *Request) []byte {
+	b := make([]byte, 0, 16+len(q.SQL))
+	b = append(b, byte(q.Op), q.Priority)
+	b = appendU64(b, q.Session)
+	b = appendU32(b, q.TimeoutMillis)
+	b = appendString(b, q.SQL)
+	return b
+}
+
+// DecodeRequest parses a request frame.
+func DecodeRequest(b []byte) (*Request, error) {
+	r := &reader{b: b}
+	q := &Request{
+		Op:       Op(r.u8()),
+		Priority: r.u8(),
+	}
+	q.Session = r.u64()
+	q.TimeoutMillis = r.u32()
+	q.SQL = r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return q, nil
+}
+
+// EncodeResponse renders a response frame.
+func EncodeResponse(p *Response) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, byte(p.Status))
+	b = appendU64(b, p.Session)
+	b = appendString(b, p.Err)
+	var hit byte
+	if p.CacheHit {
+		hit = 1
+	}
+	b = append(b, hit)
+	b = appendU64(b, uint64(p.RowsAffected))
+	b = appendU32(b, uint32(len(p.Columns)))
+	for _, c := range p.Columns {
+		b = appendString(b, c)
+	}
+	b = appendU32(b, uint32(len(p.Rows)))
+	for _, row := range p.Rows {
+		b = appendU32(b, uint32(len(row)))
+		for _, d := range row {
+			b = appendDatum(b, d)
+		}
+	}
+	return b
+}
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(b []byte) (*Response, error) {
+	r := &reader{b: b}
+	p := &Response{Status: Status(r.u8())}
+	p.Session = r.u64()
+	p.Err = r.str()
+	p.CacheHit = r.u8() != 0
+	p.RowsAffected = int64(r.u64())
+	ncols := int(r.u32())
+	if r.err == nil && ncols > 0 {
+		p.Columns = make([]string, ncols)
+		for i := range p.Columns {
+			p.Columns[i] = r.str()
+		}
+	}
+	nrows := int(r.u32())
+	if r.err == nil && nrows > 0 {
+		p.Rows = make([]types.Row, 0, nrows)
+		for i := 0; i < nrows && r.err == nil; i++ {
+			arity := int(r.u32())
+			row := make(types.Row, 0, arity)
+			for j := 0; j < arity; j++ {
+				row = append(row, r.datum())
+			}
+			p.Rows = append(p.Rows, row)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}
+
+// Datum wire encoding: one kind byte, then a kind-specific payload.
+func appendDatum(b []byte, d types.Datum) []byte {
+	b = append(b, byte(d.Kind()))
+	switch d.Kind() {
+	case types.KindNull:
+	case types.KindBool:
+		var v byte
+		if d.Bool() {
+			v = 1
+		}
+		b = append(b, v)
+	case types.KindInt:
+		b = appendU64(b, uint64(d.Int()))
+	case types.KindFloat:
+		b = appendU64(b, math.Float64bits(d.Float()))
+	case types.KindString:
+		b = appendString(b, d.Str())
+	case types.KindBytes:
+		raw := d.Bytes()
+		b = appendU32(b, uint32(len(raw)))
+		b = append(b, raw...)
+	case types.KindTime:
+		b = appendU64(b, uint64(d.Time().UnixNano()))
+	}
+	return b
+}
+
+func (r *reader) datum() types.Datum {
+	switch types.Kind(r.u8()) {
+	case types.KindNull:
+		return types.Null
+	case types.KindBool:
+		return types.NewBool(r.u8() != 0)
+	case types.KindInt:
+		return types.NewInt(int64(r.u64()))
+	case types.KindFloat:
+		return types.NewFloat(math.Float64frombits(r.u64()))
+	case types.KindString:
+		return types.NewString(r.str())
+	case types.KindBytes:
+		n := int(r.u32())
+		if r.err != nil || r.off+n > len(r.b) {
+			r.fail()
+			return types.Null
+		}
+		raw := make([]byte, n)
+		copy(raw, r.b[r.off:r.off+n])
+		r.off += n
+		return types.NewBytes(raw)
+	case types.KindTime:
+		return types.NewTime(time.Unix(0, int64(r.u64())).UTC())
+	default:
+		r.fail()
+		return types.Null
+	}
+}
+
+// WriteFrame writes one length-prefixed frame to a byte stream (the TCP
+// carrier; the fabric carrier passes the frame bytes directly and charges
+// their length as the message payload).
+func WriteFrame(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from a byte stream.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("server: frame length %d exceeds limit", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,394 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/autonomous"
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *cluster.Cluster) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{DataNodes: 2, Mode: cluster.ModeGTMLite})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(c, cfg)
+	t.Cleanup(s.Close)
+	return s, c
+}
+
+// roundtrip drives one request through Handle and decodes the response.
+func roundtrip(t *testing.T, s *Server, q *Request) *Response {
+	t.Helper()
+	p, err := DecodeResponse(s.Handle(EncodeRequest(q)))
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return p
+}
+
+func hello(t *testing.T, s *Server, pri autonomous.Priority) uint64 {
+	t.Helper()
+	p := roundtrip(t, s, &Request{Op: OpHello, Priority: uint8(pri)})
+	if p.Status != StatusOK || p.Session == 0 {
+		t.Fatalf("handshake: status=%d err=%q", p.Status, p.Err)
+	}
+	return p.Session
+}
+
+func exec(t *testing.T, s *Server, sess uint64, sql string) *Response {
+	t.Helper()
+	p := roundtrip(t, s, &Request{Op: OpExec, Session: sess, SQL: sql})
+	if p.Status != StatusOK {
+		t.Fatalf("exec %q: status=%d err=%q", sql, p.Status, p.Err)
+	}
+	return p
+}
+
+func TestHandshakeExecRoundtrip(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, sess, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	for i := 0; i < 5; i++ {
+		p := exec(t, s, sess, fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i*10))
+		if p.RowsAffected != 1 {
+			t.Fatalf("insert affected %d rows", p.RowsAffected)
+		}
+	}
+	p := exec(t, s, sess, "SELECT count(*), sum(v) FROM kv")
+	if len(p.Rows) != 1 || p.Rows[0][0].Int() != 5 || p.Rows[0][1].Int() != 100 {
+		t.Fatalf("select rows = %v", p.Rows)
+	}
+	st := s.Stats()
+	if st.SessionsOpen != 1 || st.SessionsOpened != 1 {
+		t.Errorf("sessions open=%d opened=%d", st.SessionsOpen, st.SessionsOpened)
+	}
+	if st.Statements != 7 {
+		t.Errorf("statements = %d, want 7", st.Statements)
+	}
+}
+
+func TestStmtCacheHitsOnRepeats(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, sess, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	q := "SELECT count(*) FROM kv"
+	if p := exec(t, s, sess, q); p.CacheHit {
+		t.Fatal("first execution reported a cache hit")
+	}
+	// Same statement, different case and spacing: still one cache entry.
+	if p := exec(t, s, sess, "select   COUNT(*)\n\tFROM kv"); !p.CacheHit {
+		t.Fatal("normalized repeat missed the statement cache")
+	}
+	if p := exec(t, s, sess, q); !p.CacheHit {
+		t.Fatal("verbatim repeat missed the statement cache")
+	}
+	st := s.Stats()
+	if st.CacheHits != 2 || st.CacheMisses != 2 { // CREATE + first SELECT
+		t.Errorf("cache hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+
+	// A second session has its own cache: no cross-session hits.
+	sess2 := hello(t, s, autonomous.PriorityNormal)
+	if p := exec(t, s, sess2, q); p.CacheHit {
+		t.Error("statement cache leaked across sessions")
+	}
+}
+
+func TestStmtCacheEviction(t *testing.T) {
+	s, _ := newTestServer(t, Config{StmtCacheSize: 2})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, sess, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	exec(t, s, sess, "SELECT count(*) FROM kv") // evicts CREATE
+	exec(t, s, sess, "SELECT sum(v) FROM kv")   // evicts nothing yet (cap 2)
+	if p := exec(t, s, sess, "SELECT count(*) FROM kv"); !p.CacheHit {
+		t.Error("recently used statement was evicted")
+	}
+	if p := exec(t, s, sess, "CREATE TABLE kv2 (k BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)"); p.CacheHit {
+		t.Error("evicted statement reported a cache hit")
+	}
+}
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * FROM t", "select * from t"},
+		{"select\t*\n  from   t", "select * from t"},
+		{"  SELECT 1  ", "select 1"},
+		{"SELECT 'It''s UPPER  case'", "select 'It''s UPPER  case'"},
+		{"select 'a'||'B'", "select 'a'||'B'"},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if NormalizeSQL("SELECT 'x'") == NormalizeSQL("SELECT 'X'") {
+		t.Error("normalization folded string literal content")
+	}
+}
+
+func TestTxnAffinityAcrossRequests(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, sess, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	exec(t, s, sess, "BEGIN")
+	exec(t, s, sess, "INSERT INTO kv VALUES (1, 10)")
+	exec(t, s, sess, "INSERT INTO kv VALUES (2, 20)")
+	exec(t, s, sess, "COMMIT")
+	p := exec(t, s, sess, "SELECT count(*) FROM kv")
+	if p.Rows[0][0].Int() != 2 {
+		t.Fatalf("committed rows = %v", p.Rows)
+	}
+
+	// A rolled-back transaction leaves nothing behind.
+	exec(t, s, sess, "BEGIN")
+	exec(t, s, sess, "INSERT INTO kv VALUES (3, 30)")
+	exec(t, s, sess, "ROLLBACK")
+	p = exec(t, s, sess, "SELECT count(*) FROM kv")
+	if p.Rows[0][0].Int() != 2 {
+		t.Fatalf("rows after rollback = %v", p.Rows)
+	}
+}
+
+func TestCloseAbandonedTxnRollsBack(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, sess, "CREATE TABLE kv (k BIGINT, v BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)")
+	exec(t, s, sess, "BEGIN")
+	exec(t, s, sess, "INSERT INTO kv VALUES (1, 10)")
+	if p := roundtrip(t, s, &Request{Op: OpClose, Session: sess}); p.Status != StatusOK {
+		t.Fatalf("close: %q", p.Err)
+	}
+	sess2 := hello(t, s, autonomous.PriorityNormal)
+	p := exec(t, s, sess2, "SELECT count(*) FROM kv")
+	if p.Rows[0][0].Int() != 0 {
+		t.Fatalf("abandoned txn leaked rows: %v", p.Rows)
+	}
+}
+
+func TestNoSessionStatus(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	p := roundtrip(t, s, &Request{Op: OpExec, Session: 999, SQL: "SELECT 1"})
+	if p.Status != StatusNoSession {
+		t.Fatalf("status = %d, want StatusNoSession", p.Status)
+	}
+}
+
+func TestSessionLimit(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxSessions: 2})
+	hello(t, s, autonomous.PriorityNormal)
+	hello(t, s, autonomous.PriorityNormal)
+	p := roundtrip(t, s, &Request{Op: OpHello})
+	if p.Status != StatusError {
+		t.Fatalf("third handshake: status=%d", p.Status)
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	s, _ := newTestServer(t, Config{IdleTimeout: time.Hour, Clock: clock})
+	idle := hello(t, s, autonomous.PriorityNormal)
+	busy := hello(t, s, autonomous.PriorityNormal)
+	inTxn := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, inTxn, "BEGIN")
+
+	advance(30 * time.Minute)
+	exec(t, s, busy, "SELECT 1")
+	advance(31 * time.Minute)
+	if n := s.EvictIdle(clock()); n != 1 {
+		t.Fatalf("evicted %d sessions, want 1 (idle only)", n)
+	}
+	if p := roundtrip(t, s, &Request{Op: OpExec, Session: idle, SQL: "SELECT 1"}); p.Status != StatusNoSession {
+		t.Errorf("evicted session status = %d", p.Status)
+	}
+	exec(t, s, busy, "SELECT 1") // survived
+	// The in-txn session is never evicted, even when long idle (the busy
+	// one, now idle past the timeout, is).
+	advance(2 * time.Hour)
+	if n := s.EvictIdle(clock()); n != 1 {
+		t.Fatalf("second sweep evicted %d sessions, want 1 (busy only)", n)
+	}
+	exec(t, s, inTxn, "COMMIT")
+	if got := s.Stats().SessionsEvicted; got != 2 {
+		t.Errorf("evicted counter = %d", got)
+	}
+}
+
+func TestAdmissionQueueFullStatus(t *testing.T) {
+	wm := autonomous.NewWorkloadManager(autonomous.SLA{TargetP95: time.Second},
+		autonomous.WorkloadConfig{InitialConcurrency: 1, MaxConcurrency: 1, QueueLimit: 1}, nil)
+	s, _ := newTestServer(t, Config{Manager: wm})
+	sess := hello(t, s, autonomous.PriorityNormal)
+
+	// Occupy the only slot, then park one waiter in the only queue slot.
+	if err := wm.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan *Response, 1)
+	go func() {
+		queued <- roundtrip(t, s, &Request{Op: OpExec, Session: sess, SQL: "SELECT 1", TimeoutMillis: 5000})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for wm.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Queue full, same priority: the arrival is shed.
+	sess2 := hello(t, s, autonomous.PriorityNormal)
+	if p := roundtrip(t, s, &Request{Op: OpExec, Session: sess2, SQL: "SELECT 1"}); p.Status != StatusQueueFull {
+		t.Fatalf("status = %d err=%q, want StatusQueueFull", p.Status, p.Err)
+	}
+
+	// Freeing the slot lets the queued statement run.
+	wm.Release(time.Millisecond)
+	if p := <-queued; p.Status != StatusOK {
+		t.Fatalf("queued exec: status=%d err=%q", p.Status, p.Err)
+	}
+}
+
+func TestAdmissionTimeoutStatus(t *testing.T) {
+	wm := autonomous.NewWorkloadManager(autonomous.SLA{TargetP95: time.Second},
+		autonomous.WorkloadConfig{InitialConcurrency: 1, MaxConcurrency: 1}, nil)
+	s, _ := newTestServer(t, Config{Manager: wm})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	if err := wm.Admit(); err != nil {
+		t.Fatal(err)
+	}
+	p := roundtrip(t, s, &Request{Op: OpExec, Session: sess, SQL: "SELECT 1", TimeoutMillis: 5})
+	if p.Status != StatusError || p.Err != errAdmissionTimeout.Error() {
+		t.Fatalf("status=%d err=%q, want admission timeout", p.Status, p.Err)
+	}
+	if wm.QueueLen() != 0 {
+		t.Fatal("timed-out statement leaked a queue slot")
+	}
+	wm.Release(time.Millisecond)
+}
+
+func TestDispatchAccountsAndInjectsFaults(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	ep := s.NewClientEndpoint()
+
+	req := EncodeRequest(&Request{Op: OpExec, Session: sess, SQL: "SELECT 1"})
+	raw, err := s.Dispatch(ep, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := DecodeResponse(raw); err != nil || p.Status != StatusOK {
+		t.Fatalf("dispatch response: %v %+v", err, p)
+	}
+	// Client traffic is visible in the fabric accounting.
+	fab := c.Fabric()
+	if n := fab.Stats()[transport.ClientReq].Count; n != 1 {
+		t.Errorf("client_req count = %d", n)
+	}
+	if n := fab.Stats()[transport.ClientResp].Count; n != 1 {
+		t.Errorf("client_resp count = %d", n)
+	}
+
+	// A dropped request leg surfaces as ErrRequestLost (never executed).
+	fab.InjectFault(ep, transport.CN(), transport.Fault{Drop: true, Count: 1})
+	if _, err := s.Dispatch(ep, req); !errors.Is(err, ErrRequestLost) {
+		t.Fatalf("request-leg drop: %v", err)
+	}
+	// A dropped response leg surfaces as ErrResponseLost (may have executed).
+	fab.InjectFault(transport.CN(), ep, transport.Fault{Drop: true, Count: 1})
+	if _, err := s.Dispatch(ep, req); !errors.Is(err, ErrResponseLost) {
+		t.Fatalf("response-leg drop: %v", err)
+	}
+	fab.ClearFaults()
+	if _, err := s.Dispatch(ep, req); err != nil {
+		t.Fatalf("after clearing faults: %v", err)
+	}
+}
+
+func TestServeTCPRoundtrip(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go s.Serve(l)
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	send := func(q *Request) *Response {
+		t.Helper()
+		if err := WriteFrame(conn, EncodeRequest(q)); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := DecodeResponse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p := send(&Request{Op: OpHello})
+	if p.Status != StatusOK || p.Session == 0 {
+		t.Fatalf("tcp handshake: %+v", p)
+	}
+	sess := p.Session
+	if p := send(&Request{Op: OpExec, Session: sess, SQL: "CREATE TABLE kv (k BIGINT, PRIMARY KEY(k)) DISTRIBUTE BY HASH(k)"}); p.Status != StatusOK {
+		t.Fatalf("tcp create: %q", p.Err)
+	}
+	if p := send(&Request{Op: OpExec, Session: sess, SQL: "INSERT INTO kv VALUES (7)"}); p.Status != StatusOK || p.RowsAffected != 1 {
+		t.Fatalf("tcp insert: %+v", p)
+	}
+	if p := send(&Request{Op: OpExec, Session: sess, SQL: "SELECT k FROM kv"}); len(p.Rows) != 1 || p.Rows[0][0].Int() != 7 {
+		t.Fatalf("tcp select: %+v", p)
+	}
+
+	// Closing the connection closes its session.
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().SessionsOpen != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session not closed with its connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestProtocolRoundtripDatums(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	sess := hello(t, s, autonomous.PriorityNormal)
+	exec(t, s, sess, "CREATE TABLE mixed (id BIGINT, name VARCHAR(20), score DOUBLE, ok BOOLEAN, PRIMARY KEY(id)) DISTRIBUTE BY HASH(id)")
+	exec(t, s, sess, "INSERT INTO mixed VALUES (1, 'it''s', 2.5, TRUE)")
+	p := exec(t, s, sess, "SELECT id, name, score, ok FROM mixed")
+	row := p.Rows[0]
+	if row[0].Int() != 1 || row[1].Str() != "it's" || row[2].Float() != 2.5 || !row[3].Bool() {
+		t.Fatalf("row = %v", row)
+	}
+	if len(p.Columns) != 4 {
+		t.Fatalf("columns = %v", p.Columns)
+	}
+}

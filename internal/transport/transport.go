@@ -60,13 +60,20 @@ const (
 	RebalCopy
 	// RebalDelta is a bucket-migration phase-4 (post-freeze) delta stream.
 	RebalDelta
+	// ClientReq is one client -> CN request frame of the front-door wire
+	// protocol (payload = encoded frame bytes), so per-session traffic is
+	// accounted and fault-injectable like any other fabric message.
+	ClientReq
+	// ClientResp is the CN -> client response frame.
+	ClientResp
 
-	numMsgTypes = int(RebalDelta) + 1
+	numMsgTypes = int(ClientResp) + 1
 )
 
 var msgTypeNames = [numMsgTypes]string{
 	"snapshot_req", "gtm_round", "scan_frag", "write", "prepare",
 	"commit", "abort", "repl_ship", "rebal_copy", "rebal_delta",
+	"client_req", "client_resp",
 }
 
 func (t MsgType) String() string {
@@ -97,6 +104,8 @@ const (
 	KindDN
 	// KindGTM is the global transaction manager.
 	KindGTM
+	// KindClient is one front-door client connection, identified by ID.
+	KindClient
 )
 
 // Endpoint names one party of a link. CN and GTM are singletons (ID 0).
@@ -111,6 +120,8 @@ func (e Endpoint) String() string {
 		return "cn"
 	case KindGTM:
 		return "gtm"
+	case KindClient:
+		return fmt.Sprintf("client%d", e.ID)
 	default:
 		return fmt.Sprintf("dn%d", e.ID)
 	}
@@ -124,6 +135,9 @@ func DN(id int) Endpoint { return Endpoint{Kind: KindDN, ID: id} }
 
 // GTM returns the global-transaction-manager endpoint.
 func GTM() Endpoint { return Endpoint{Kind: KindGTM} }
+
+// Client returns the endpoint of front-door client connection id.
+func Client(id int) Endpoint { return Endpoint{Kind: KindClient, ID: id} }
 
 // Sentinel errors. ErrDropped and ErrPartitioned both wrap ErrUnreachable,
 // so callers that only care "the message did not arrive" match once.
