@@ -1,5 +1,5 @@
 // Package repro_test holds the benchmark harness that regenerates every
-// table and figure of the paper's evaluation (experiment ids E1–E14 in
+// table and figure of the paper's evaluation (experiment ids E1–E18 in
 // DESIGN.md). Run with:
 //
 //	go test -bench=. -benchmem
@@ -623,6 +623,59 @@ func BenchmarkNetworkMessages(b *testing.B) {
 			}
 			b.ReportMetric(gtmPerTxn, "gtm-msgs/txn")
 			b.ReportMetric(totalPerTxn, "msgs/txn")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E18 — near-data processing
+// ---------------------------------------------------------------------------
+
+// BenchmarkNDPSelectiveScan measures E18's headline: scan_frag bytes per
+// query for a selective filter + TopN scatter scan with pushdown off (rows
+// pulled to the CN, filtered there) vs full NDP (DN-side vectorized filter,
+// projected columns, per-fragment bounded TopN).
+func BenchmarkNDPSelectiveScan(b *testing.B) {
+	db, err := core.Open(core.Options{DataNodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	db.MustExec("CREATE TABLE nf (k BIGINT, v BIGINT, p1 BIGINT, p2 BIGINT, p3 BIGINT, p4 BIGINT) DISTRIBUTE BY HASH(k) USING COLUMN")
+	s := db.Session()
+	const total = 16384
+	s.Exec("BEGIN")
+	for lo := 0; lo < total; lo += 512 {
+		q := "INSERT INTO nf VALUES "
+		for i := lo; i < lo+512; i++ {
+			if i > lo {
+				q += ","
+			}
+			q += fmt.Sprintf("(%d, %d, %d, %d, %d, %d)", i, i, i, i, i, i)
+		}
+		s.Exec(q)
+	}
+	s.Exec("COMMIT")
+	const query = "SELECT k, v FROM nf WHERE v >= 15872 ORDER BY v DESC LIMIT 10"
+	c := db.Cluster()
+	for _, push := range []bool{false, true} {
+		name := "off"
+		if push {
+			name = "full"
+		}
+		b.Run(name, func(b *testing.B) {
+			c.DisableNDP = !push
+			defer func() { c.DisableNDP = false }()
+			before := c.Fabric().Stats().Get(transport.ScanFrag)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := c.Fabric().Stats().Get(transport.ScanFrag)
+			b.ReportMetric(float64(after.Bytes-before.Bytes)/float64(b.N), "scanfrag-B/query")
 		})
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp]
 //	        [-duration seconds] [-sessions n]
 package main
 
@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha, net, georepl, frontdoor")
+	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha, net, georepl, frontdoor, ndp")
 	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
 	sessions := flag.Int("sessions", 10000, "concurrent driver sessions (frontdoor)")
 	flag.Parse()
@@ -51,9 +51,10 @@ func main() {
 	run("net", func() error { _, err := experiments.Network(w, 400); return err })
 	run("georepl", func() error { return experiments.GeoRepl(w, 150) })
 	run("frontdoor", func() error { return experiments.FrontDoor(w, *sessions) })
+	run("ndp", func() error { return experiments.NDP(w) })
 
 	switch *exp {
-	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha", "net", "georepl", "frontdoor":
+	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha", "net", "georepl", "frontdoor", "ndp":
 	default:
 		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -190,6 +190,16 @@ type Cluster struct {
 	// DisableSegmentPrune turns off zone-map segment pruning on columnar
 	// scans (ablation knob for E13).
 	DisableSegmentPrune bool
+	// NDP ablation knobs (E18). Zero values leave every pushdown level on.
+	// DisableNDP refuses ScanNDP entirely (scans fall back to the legacy
+	// ScanPred/Scan + coordinator-Filter path); the finer-grained knobs
+	// keep NDP filtering but turn off one reduction each. Results are
+	// identical at every setting — pushdown only changes where rows are
+	// dropped, never which rows survive.
+	DisableNDP           bool
+	DisableNDPProjection bool
+	DisableNDPTopN       bool
+	DisableNDPBloom      bool
 	// fab carries every cross-node message: latency model, per-type
 	// counters, fault injection (see internal/transport).
 	fab *transport.Fabric

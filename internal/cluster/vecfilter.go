@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"repro/internal/colstore"
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+// Vectorized selection for NDP scans: pushed-filter conjuncts of the shape
+// col-op-const run directly over decoded column vectors as tight loops,
+// clearing a selection bitmap instead of evaluating the expression
+// interpreter per row. Conjuncts the compiler cannot cover stay in a
+// residual expression the fragment evaluates row-wise — semantics are
+// always identical to exec.EvalBool over the full predicate (NULL
+// comparisons are false, comparison errors propagate).
+
+// vecKernel applies one compiled conjunct to a batch, clearing sel[i] for
+// rows that fail it. sel has b.N entries.
+type vecKernel func(b *colstore.Batch, sel []bool) error
+
+// vecFilter is an ordered set of kernels (one per vectorized conjunct).
+type vecFilter struct {
+	kernels []vecKernel
+}
+
+// apply runs every kernel over the batch.
+func (vf *vecFilter) apply(b *colstore.Batch, sel []bool) error {
+	for _, k := range vf.kernels {
+		if err := k(b, sel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compileVecFilter splits pred into conjuncts and compiles each
+// col-op-const comparison into a kernel; everything else is ANDed back
+// together as the residual. pos maps table columns to their scan
+// projection positions. Returns (nil, pred-equivalent) when nothing
+// vectorizes.
+func compileVecFilter(pred exec.Expr, schema *types.Schema, pos map[int]int) (*vecFilter, exec.Expr) {
+	var vf vecFilter
+	var residual exec.Expr
+	for _, cj := range splitConjuncts(pred, nil) {
+		if k := compileVecKernel(cj, schema, pos); k != nil {
+			vf.kernels = append(vf.kernels, k)
+			continue
+		}
+		if residual == nil {
+			residual = cj
+		} else {
+			residual = &exec.BinOp{Op: "AND", Left: residual, Right: cj}
+		}
+	}
+	if len(vf.kernels) == 0 {
+		return nil, residual
+	}
+	return &vf, residual
+}
+
+// compileVecKernel recognizes one col-op-const conjunct (either
+// orientation) and returns its kernel, or nil when the conjunct must stay
+// row-wise.
+func compileVecKernel(e exec.Expr, schema *types.Schema, pos map[int]int) vecKernel {
+	b, ok := e.(*exec.BinOp)
+	if !ok {
+		return nil
+	}
+	op := b.Op
+	col, okL := b.Left.(*exec.ColRef)
+	v, okR := constVal(b.Right)
+	if !okL || !okR {
+		col, okL = b.Right.(*exec.ColRef)
+		v, okR = constVal(b.Left)
+		if !okL || !okR {
+			return nil
+		}
+		op = flipOp(op)
+	}
+	switch op {
+	case "<", "<=", ">", ">=", "=", "<>":
+	default:
+		return nil
+	}
+	if col.Index < 0 || col.Index >= schema.Len() {
+		return nil
+	}
+	at, ok := pos[col.Index]
+	if !ok {
+		return nil
+	}
+
+	constIsInt := v.Kind() == types.KindInt
+	constIsNum := constIsInt || v.Kind() == types.KindFloat
+	cI := int64(0)
+	if constIsInt {
+		cI = v.Int()
+	}
+	cF := 0.0
+	if constIsNum {
+		cF = v.Float()
+	}
+	okI := intCmp(op, cI)
+	okF := floatCmp(op, cF)
+
+	return func(b *colstore.Batch, sel []bool) error {
+		vec := b.Cols[at]
+		nulls := vec.Nulls
+		switch {
+		case vec.Kind == types.KindInt && constIsInt:
+			xs := vec.Ints
+			for i := range sel {
+				if sel[i] && ((nulls != nil && nulls[i]) || !okI(xs[i])) {
+					sel[i] = false
+				}
+			}
+		case vec.Kind == types.KindInt && constIsNum:
+			xs := vec.Ints
+			for i := range sel {
+				if sel[i] && ((nulls != nil && nulls[i]) || !okF(float64(xs[i]))) {
+					sel[i] = false
+				}
+			}
+		case vec.Kind == types.KindFloat && constIsNum:
+			xs := vec.Floats
+			for i := range sel {
+				if sel[i] && ((nulls != nil && nulls[i]) || !okF(xs[i])) {
+					sel[i] = false
+				}
+			}
+		default:
+			// Non-numeric column or constant: per-row datum comparison with
+			// exactly BinOp.Eval's semantics (types.Compare, errors
+			// propagate, NULLs fail the conjunct).
+			for i := range sel {
+				if !sel[i] {
+					continue
+				}
+				d := vec.DatumAt(i)
+				if d.IsNull() {
+					sel[i] = false
+					continue
+				}
+				c, err := types.Compare(d, v)
+				if err != nil {
+					return err
+				}
+				if !cmpSatisfies(op, c) {
+					sel[i] = false
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// intCmp specializes an integer comparison against a constant.
+func intCmp(op string, c int64) func(int64) bool {
+	switch op {
+	case "<":
+		return func(x int64) bool { return x < c }
+	case "<=":
+		return func(x int64) bool { return x <= c }
+	case ">":
+		return func(x int64) bool { return x > c }
+	case ">=":
+		return func(x int64) bool { return x >= c }
+	case "=":
+		return func(x int64) bool { return x == c }
+	default: // "<>"
+		return func(x int64) bool { return x != c }
+	}
+}
+
+// floatCmp specializes a float comparison against a constant.
+func floatCmp(op string, c float64) func(float64) bool {
+	switch op {
+	case "<":
+		return func(x float64) bool { return x < c }
+	case "<=":
+		return func(x float64) bool { return x <= c }
+	case ">":
+		return func(x float64) bool { return x > c }
+	case ">=":
+		return func(x float64) bool { return x >= c }
+	case "=":
+		return func(x float64) bool { return x == c }
+	default: // "<>"
+		return func(x float64) bool { return x != c }
+	}
+}
+
+// cmpSatisfies maps a types.Compare result onto a comparison operator.
+func cmpSatisfies(op string, c int) bool {
+	switch op {
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	case ">=":
+		return c >= 0
+	case "=":
+		return c == 0
+	default: // "<>"
+		return c != 0
+	}
+}

@@ -332,7 +332,13 @@ type HashJoin struct {
 	LeftKeys    []Expr
 	RightKeys   []Expr
 	ExtraOn     Expr
-	out         *types.Schema
+	// Bloom, when set, receives a bloom filter over the build side's
+	// BloomKey-th key before the probe side opens — sideways information
+	// passing so an NDP probe-side scan can drop non-matching rows on the
+	// DN (see plan.ScanPushdown).
+	Bloom    *BloomHandle
+	BloomKey int
+	out      *types.Schema
 
 	table   map[string][]types.Row
 	cur     types.Row
@@ -349,11 +355,10 @@ func (j *HashJoin) Schema() *types.Schema {
 	return j.out
 }
 
-// Open implements Operator.
+// Open implements Operator. The build side is collected before the probe
+// side opens so a sideways bloom filter (j.Bloom) is always published
+// before any probe-side scan fragment starts.
 func (j *HashJoin) Open(ctx *Ctx) error {
-	if err := j.Left.Open(ctx); err != nil {
-		return err
-	}
 	rows, err := Collect(ctx, j.Right)
 	if err != nil {
 		return err
@@ -368,6 +373,23 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 			continue // NULL keys never match
 		}
 		j.table[key] = append(j.table[key], r)
+	}
+	if j.Bloom != nil {
+		bf := NewBloom(len(rows))
+		for _, r := range rows {
+			v, err := j.RightKeys[j.BloomKey].Eval(ctx, r)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue // NULL keys never match; nothing to admit
+			}
+			bf.Add(v)
+		}
+		j.Bloom.Set(bf)
+	}
+	if err := j.Left.Open(ctx); err != nil {
+		return err
 	}
 	j.cur = nil
 	return nil
@@ -994,6 +1016,8 @@ func WalkCounted(op Operator, visit func(*Counted)) {
 	case *Agg:
 		WalkCounted(o.Child, visit)
 	case *Sort:
+		WalkCounted(o.Child, visit)
+	case *TopN:
 		WalkCounted(o.Child, visit)
 	case *Limit:
 		WalkCounted(o.Child, visit)

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// lcgRows builds a deterministic pseudo-random row set (a, b) with plenty
+// of duplicate keys, so TopN tie-breaking is actually exercised.
+func lcgRows(n int) []types.Row {
+	rows := make([]types.Row, n)
+	x := int64(12345)
+	for i := range rows {
+		x = (x*1103515245 + 12347) % (1 << 31)
+		rows[i] = intRow(x%17, int64(i)) // a in [0,17): heavy ties; b unique
+	}
+	return rows
+}
+
+// sortLimit is the reference plan TopN replaces: stable Sort then Limit.
+func sortLimit(t *testing.T, rows []types.Row, keys []SortKey, limit int64) []types.Row {
+	t.Helper()
+	return collect(t, &Limit{
+		Child: &Sort{Child: NewValues(schema2("a", "b"), rows), Keys: keys},
+		Count: limit,
+	})
+}
+
+func rowsEqual(t *testing.T, label string, got, want []types.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("%s: row %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTopNMatchesSortLimit: the bounded-heap operator must be
+// byte-identical to the stable Sort+Limit plan it replaces, including
+// tie-breaking (first-arrived wins), for every limit around the data size.
+func TestTopNMatchesSortLimit(t *testing.T) {
+	rows := lcgRows(200)
+	keyCases := [][]SortKey{
+		{{Expr: &ColRef{Index: 0}}},
+		{{Expr: &ColRef{Index: 0}, Desc: true}},
+		{{Expr: &ColRef{Index: 0}, Desc: true}, {Expr: &ColRef{Index: 1}}},
+	}
+	for ki, keys := range keyCases {
+		for _, limit := range []int64{0, 1, 7, 50, 199, 200, 500} {
+			topn := collect(t, &TopN{Child: NewValues(schema2("a", "b"), rows), Keys: keys, Limit: limit})
+			want := sortLimit(t, rows, keys, limit)
+			rowsEqual(t, fmt.Sprintf("keys=%d limit=%d", ki, limit), topn, want)
+		}
+	}
+}
+
+// TestTopNBareLimit: with no sort keys the operator degenerates to LIMIT —
+// the first K rows in arrival order, and the heap reports Full so a
+// streaming caller can stop early.
+func TestTopNBareLimit(t *testing.T) {
+	rows := lcgRows(40)
+	got := collect(t, &TopN{Child: NewValues(schema2("a", "b"), rows), Limit: 5})
+	rowsEqual(t, "bare limit", got, rows[:5])
+
+	h := NewTopNHeap(NewCtx(time.Unix(0, 0)), nil, 3)
+	for i, r := range rows {
+		if h.Full() != (i >= 3) {
+			t.Fatalf("Full() = %v after %d pushes", h.Full(), i)
+		}
+		if err := h.Push(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted, err := h.SortedRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEqual(t, "bare-limit heap", sorted, rows[:3])
+}
+
+// TestTopNFragmentMergeDeterministic is the distributed-claim test: split
+// one row stream into k fragments (the exchange's ordered concat), run each
+// through its own bounded heap, ship survivors in arrival order, and TopN
+// the merged stream at the CN. At every split factor the result must be
+// byte-identical to TopN over the unsplit stream — this is the invariant
+// that lets the DN drop rows without the CN noticing, ties included.
+func TestTopNFragmentMergeDeterministic(t *testing.T) {
+	all := lcgRows(240)
+	keys := []SortKey{{Expr: &ColRef{Index: 0}, Desc: true}} // ties on a galore
+	const limit = 10
+	ctx := NewCtx(time.Unix(0, 0))
+	want := collect(t, &TopN{Child: NewValues(schema2("a", "b"), all), Keys: keys, Limit: limit})
+
+	for _, frags := range []int{1, 2, 4, 16} {
+		per := len(all) / frags
+		var shipped []types.Row
+		for f := 0; f < frags; f++ {
+			h := NewTopNHeap(ctx, keys, limit)
+			for _, r := range all[f*per : (f+1)*per] {
+				if err := h.Push(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			part, err := h.ArrivalRows()
+			if err != nil {
+				t.Fatal(err)
+			}
+			shipped = append(shipped, part...)
+		}
+		got := collect(t, &TopN{Child: NewValues(schema2("a", "b"), shipped), Keys: keys, Limit: limit})
+		rowsEqual(t, fmt.Sprintf("frags=%d", frags), got, want)
+		if len(shipped) > frags*limit {
+			t.Fatalf("frags=%d shipped %d rows, heap bound is %d", frags, len(shipped), frags*limit)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md's experiment index E1–E15). cmd/fibench is a
+// evaluation (see DESIGN.md's experiment index E1–E18). cmd/fibench is a
 // thin CLI over these functions and bench_test.go wraps them as Go
 // benchmarks; both print the same tables.
 package experiments
@@ -1244,6 +1244,181 @@ func FrontDoor(w io.Writer, sessions int) error {
 	}
 	if overload[autonomous.PriorityLow].shed == 0 {
 		return fmt.Errorf("frontdoor: overload shed no low-priority statements — not actually overloaded")
+	}
+	return nil
+}
+
+// NDP regenerates E18 (near-data processing): scan_frag traffic and latency
+// for a selective filter+TopN scatter query and a skewed hash join as the
+// pushdown levels stack — off (row pull-up, the predicate a pruning hint
+// only), exact DN-side filtering, projection shipping, per-fragment bounded
+// TopN, and a sideways bloom filter built from the join's small side. Every
+// level and every parallel degree must return byte-identical results; the
+// run fails if full pushdown does not cut scan_frag bytes by at least 10x
+// on the TopN query, or if the bloom semi-join does not ship strictly fewer
+// bytes than the pull-up join.
+func NDP(w io.Writer) error {
+	db, err := core.Open(core.Options{DataNodes: 4})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	s := db.Session()
+	// Eight columns so projection shipping has something to cut: the TopN
+	// query touches two of them, the join three.
+	if _, err := s.Exec("CREATE TABLE nfacts (k BIGINT, grp BIGINT, v BIGINT, p1 BIGINT, p2 BIGINT, p3 BIGINT, p4 BIGINT, p5 BIGINT) DISTRIBUTE BY HASH(k) USING COLUMN"); err != nil {
+		return err
+	}
+	const total = 4 * 8192 // ~one sealed segment per shard
+	if _, err := s.Exec("BEGIN"); err != nil {
+		return err
+	}
+	const batch = 512
+	for lo := 0; lo < total; lo += batch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO nfacts VALUES ")
+		for i := lo; i < lo+batch; i++ {
+			if i > lo {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d, %d, %d, %d, %d, %d)", i, i%500, i, i, i, i, i, i)
+		}
+		if _, err := s.Exec(sb.String()); err != nil {
+			return err
+		}
+	}
+	if _, err := s.Exec("COMMIT"); err != nil {
+		return err
+	}
+	// Small dimension side for the skewed join: 10 of the 500 grp values
+	// match, so ~98% of fact rows can never find a partner — exactly the
+	// shape a sideways bloom filter exists for. Row store, so the join also
+	// exercises the NDP row path.
+	if _, err := s.Exec("CREATE TABLE ndims (id BIGINT, tag BIGINT) DISTRIBUTE BY HASH(id)"); err != nil {
+		return err
+	}
+	{
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO ndims VALUES ")
+		for i := 0; i < 10; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i, i*100)
+		}
+		if _, err := s.Exec(sb.String()); err != nil {
+			return err
+		}
+	}
+
+	c := db.Cluster()
+	fab := c.Fabric()
+	fab.SetBaseLatency(500 * time.Microsecond)
+	fab.SetBandwidth(64e6) // byte-proportional hop cost so shipped bytes show up in latency
+	defer fab.SetBaseLatency(0)
+	defer fab.SetBandwidth(0)
+
+	const scanQ = "SELECT k, v FROM nfacts WHERE v >= 31744 ORDER BY v DESC LIMIT 10"
+	const joinQ = "SELECT f.k, f.v, d.tag FROM nfacts f, ndims d WHERE f.grp = d.id"
+
+	// measure runs query iters times inside one transaction and returns the
+	// per-query scan_frag byte delta (request + response legs), the rows
+	// shipped to the CN, the mean latency, and a fingerprint of the result.
+	measure := func(query string) (bytes int64, shipped int64, lat time.Duration, key string, err error) {
+		const iters = 3
+		if _, err = s.Exec("BEGIN"); err != nil {
+			return
+		}
+		before := fab.Stats().Get(transport.ScanFrag)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			res, e := s.Exec(query)
+			if e != nil {
+				err = e
+				return
+			}
+			shipped = res.RowsShipped
+			key = fmt.Sprintf("%v", res.Rows)
+		}
+		lat = time.Since(start) / iters
+		after := fab.Stats().Get(transport.ScanFrag)
+		if _, err = s.Exec("COMMIT"); err != nil {
+			return
+		}
+		bytes = (after.Bytes - before.Bytes) / iters
+		return
+	}
+
+	levels := []struct {
+		name                   string
+		ndp, proj, topn, bloom bool // disable flags
+	}{
+		{"off", true, true, true, true},
+		{"filter", false, true, true, true},
+		{"+projection", false, false, true, true},
+		{"+topn", false, false, false, true},
+		{"+bloom", false, false, false, false},
+	}
+	scanBytes := map[string]int64{}
+	joinBytes := map[string]int64{}
+	var scanKey, joinKey string
+	var rows [][]string
+	for _, lv := range levels {
+		c.DisableNDP, c.DisableNDPProjection, c.DisableNDPTopN, c.DisableNDPBloom = lv.ndp, lv.proj, lv.topn, lv.bloom
+		sBytes, sShipped, sLat, sKey, err := measure(scanQ)
+		if err != nil {
+			return err
+		}
+		jBytes, jShipped, jLat, jKey, err := measure(joinQ)
+		if err != nil {
+			return err
+		}
+		if scanKey == "" {
+			scanKey, joinKey = sKey, jKey
+		} else if sKey != scanKey || jKey != joinKey {
+			return fmt.Errorf("ndp: results diverge at level %q from pushdown-off baseline", lv.name)
+		}
+		scanBytes[lv.name] = sBytes
+		joinBytes[lv.name] = jBytes
+		rows = append(rows, []string{
+			lv.name,
+			fmt.Sprintf("%d", sBytes),
+			fmt.Sprintf("%d", sShipped),
+			sLat.Round(time.Microsecond).String(),
+			fmt.Sprintf("%d", jBytes),
+			fmt.Sprintf("%d", jShipped),
+			jLat.Round(time.Microsecond).String(),
+		})
+	}
+	c.DisableNDP, c.DisableNDPProjection, c.DisableNDPTopN, c.DisableNDPBloom = false, false, false, false
+
+	// Full pushdown must stay byte-identical at every parallel degree: the
+	// per-fragment bounded heaps ship their survivors in scan order, so the
+	// CN merge cannot observe the degree.
+	for _, degree := range []int{1, 2, 4} {
+		c.ParallelDegree = degree
+		_, _, _, sKey, err := measure(scanQ)
+		if err != nil {
+			return err
+		}
+		_, _, _, jKey, err := measure(joinQ)
+		if err != nil {
+			return err
+		}
+		if sKey != scanKey || jKey != joinKey {
+			return fmt.Errorf("ndp: results diverge at parallel degree %d", degree)
+		}
+	}
+	c.ParallelDegree = 0
+
+	benchfmt.Table(w, "Near-data processing — pushdown levels, 32k-row x 8-col scatter @4 shards (E18)",
+		[]string{"pushdown", "scan+topn B/q", "rows to CN", "latency", "join B/q", "rows to CN", "latency"}, rows)
+
+	if off, full := scanBytes["off"], scanBytes["+topn"]; full <= 0 || off < 10*full {
+		return fmt.Errorf("ndp: scan_frag bytes off=%d full=%d — wanted >= 10x reduction", off, full)
+	}
+	if pull, bloom := joinBytes["+topn"], joinBytes["+bloom"]; bloom >= pull {
+		return fmt.Errorf("ndp: bloom join shipped %d B vs pull-up %d B — wanted strictly fewer", bloom, pull)
 	}
 	return nil
 }

@@ -71,6 +71,54 @@ type PredicateAccess interface {
 	ScanPred(t *TableMeta, pred exec.Expr) (exec.Operator, bool)
 }
 
+// TopNPush asks the engine to keep only the top Limit rows per partition.
+// Keys are compiled against the table schema; an empty Keys means a bare
+// LIMIT (keep the first Limit rows in scan order and stop early).
+type TopNPush struct {
+	Keys  []exec.SortKey
+	Limit int64 // rows to keep per partition (already includes any OFFSET)
+}
+
+// ScanPushdown carries everything the planner pushes into an NDP scan
+// (near-data processing, Taurus-style). Pred is fixed when the scan is
+// created; the remaining fields are filled in by later planning passes —
+// projection analysis sets Cols, ORDER BY/LIMIT recognition sets TopN, and
+// join analysis sets Bloom. The engine must therefore read the spec when
+// the scan *opens*, not when it is constructed.
+type ScanPushdown struct {
+	// Pred is the pushed filter (AND of the single-table conjuncts), or
+	// nil. Unlike PredicateAccess's hint contract, NDP filtering is exact:
+	// the planner drops its own Filter, so the scan must evaluate Pred on
+	// every row. Always partition-pure.
+	Pred exec.Expr
+	// Cols lists the table column positions the plan references; the scan
+	// ships only these (emitting schema-width rows with NULLs elsewhere so
+	// compiled column indexes stay valid). nil means ship all columns.
+	Cols []int
+	// TopN, when set, bounds each partition's output to the top rows a
+	// CN-side merge could ever keep.
+	TopN *TopNPush
+	// Bloom, when set, is filled by a downstream hash join with a filter
+	// over its build-side keys before this scan opens; the scan drops rows
+	// whose BloomCol datum cannot match (NULLs included — the join is
+	// inner, so they can never produce output).
+	Bloom    *exec.BloomHandle
+	BloomCol int
+}
+
+// NDPAccess is the near-data-processing Access extension: the engine
+// evaluates pushed filters against vectorized column batches on each
+// partition, ships only referenced columns, caps output with a bounded
+// TopN heap, and probes sideways bloom filters — so scan fragments carry
+// pre-reduced batches instead of full-width row streams.
+type NDPAccess interface {
+	Access
+	// ScanNDP returns a pushdown-capable scan honoring spec (whose Cols/
+	// TopN/Bloom fields may be filled after this call, see ScanPushdown),
+	// or ok=false to fall back to ScanPred/Scan semantics.
+	ScanNDP(t *TableMeta, spec *ScanPushdown) (exec.Operator, bool)
+}
+
 // Hooks supplies the multi-model table-function engines (paper §II-B). A
 // nil hook makes the corresponding table function an error.
 type Hooks struct {

@@ -125,7 +125,13 @@ func (pc *pctx) joinPair(lop exec.Operator, lscope *Scope, rop exec.Operator, rs
 
 	var join exec.Operator
 	if len(leftKeys) > 0 {
-		join = &exec.HashJoin{Type: jt, Left: lop, Right: rop, LeftKeys: leftKeys, RightKeys: rightKeys, ExtraOn: residual}
+		hj := &exec.HashJoin{Type: jt, Left: lop, Right: rop, LeftKeys: leftKeys, RightKeys: rightKeys, ExtraOn: residual}
+		if jt == exec.InnerJoin {
+			_, lEst := pc.stepOf(lop)
+			_, rEst := pc.stepOf(rop)
+			pc.tryBloomPushdown(hj, lop, lEst, rEst)
+		}
+		join = hj
 	} else {
 		t := jt
 		if t == exec.InnerJoin && residual == nil && on == nil {
@@ -310,19 +316,35 @@ func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.O
 		}
 	}
 
-	// Predicate-aware scan when the engine offers one and the predicate is
-	// safe to evaluate on a partition (the engine uses it only as a
-	// skip-hint; the Filter below still runs per row).
+	// NDP scan when the engine offers one and the predicate (if any) is
+	// safe to evaluate on a partition. Unlike the PredicateAccess hint
+	// path below, NDP filtering is exact — the engine evaluates the
+	// predicate on every row DN-side — so no Filter goes on top, and later
+	// passes may additionally push projections, TopN and bloom filters
+	// into the spec (see ScanPushdown).
 	var scan exec.Operator
-	if pa, ok := pc.p.Access.(PredicateAccess); ok && combinedPred != nil && exec.IsPartitionPure(combinedPred) {
-		scan, _ = pa.ScanPred(meta, combinedPred)
-	}
-	if scan == nil {
-		scan = pc.p.Access.Scan(meta)
+	var spec *ScanPushdown
+	if nd, ok := pc.p.Access.(NDPAccess); ok && (combinedPred == nil || exec.IsPartitionPure(combinedPred)) {
+		sp := &ScanPushdown{Pred: combinedPred}
+		if s, ok := nd.ScanNDP(meta, sp); ok {
+			scan, spec = s, sp
+		}
 	}
 	op := scan
-	if combinedPred != nil {
-		op = &exec.Filter{Child: op, Pred: combinedPred}
+	if scan == nil {
+		// Predicate-aware scan when the engine offers one and the predicate
+		// is safe to evaluate on a partition (the engine uses it only as a
+		// skip-hint; the Filter below still runs per row).
+		if pa, ok := pc.p.Access.(PredicateAccess); ok && combinedPred != nil && exec.IsPartitionPure(combinedPred) {
+			scan, _ = pa.ScanPred(meta, combinedPred)
+		}
+		if scan == nil {
+			scan = pc.p.Access.Scan(meta)
+		}
+		op = scan
+		if combinedPred != nil {
+			op = &exec.Filter{Child: op, Pred: combinedPred}
+		}
 	}
 
 	rows := float64(1000)
@@ -338,7 +360,10 @@ func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.O
 	}
 	c := &exec.Counted{Child: op, StepText: stepText, EstimatedRows: est}
 	*pc.counted = append(*pc.counted, c)
-	pc.lastScan = &scanInfo{meta: meta, pred: combinedPred, counted: c}
+	pc.lastScan = &scanInfo{meta: meta, pred: combinedPred, counted: c, spec: spec}
+	if spec != nil && pc.scans != nil {
+		(*pc.scans)[c] = pc.lastScan
+	}
 	return c, scope, nil
 }
 

@@ -1,0 +1,245 @@
+package plan
+
+// Near-data-processing planning passes (Taurus NDP, paper §III-B): after a
+// query block is fully planned, the planner walks the final operator tree
+// to work out which table columns each NDP scan must actually ship
+// (projection pushdown), recognizes ORDER BY + LIMIT over a bare scan as a
+// per-fragment bounded TopN, and wires sideways bloom filters from hash-
+// join build sides into probe-side scans. All three only *narrow* what a
+// scan ships — an unvisited or unanalyzable scan simply ships everything,
+// so conservatism is always safe.
+
+import (
+	"repro/internal/exec"
+)
+
+// exprNeeds records the columns of the current row that e references into
+// need. It reports false when the expression's column set cannot be
+// bounded — it contains a subplan (whose inner tree may reach any column
+// of this row through outer references) or an out-of-range reference — in
+// which case the caller must assume all columns are needed.
+func exprNeeds(e exec.Expr, need []bool) bool {
+	ok := true
+	exec.WalkExpr(e, func(x exec.Expr) bool {
+		switch v := x.(type) {
+		case *exec.ColRef:
+			if v.Index >= 0 && v.Index < len(need) {
+				need[v.Index] = true
+			} else {
+				ok = false
+			}
+		case *exec.Subplan:
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// addExprCols widens need (over a schema of n columns) with the columns the
+// given expressions reference. A nil need already means "all columns" and
+// stays nil; any unanalyzable expression collapses the result to nil.
+func addExprCols(need []bool, n int, exprs ...exec.Expr) []bool {
+	if need == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	copy(out, need)
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if !exprNeeds(e, out) {
+			return nil
+		}
+	}
+	return out
+}
+
+// colsFromNeed converts a requirement set into a ScanPushdown.Cols list:
+// nil (all columns needed) stays nil, a full set also collapses to nil,
+// and otherwise the referenced positions are listed in order.
+func colsFromNeed(need []bool) []int {
+	if need == nil {
+		return nil
+	}
+	cols := make([]int, 0, len(need))
+	for i, b := range need {
+		if b {
+			cols = append(cols, i)
+		}
+	}
+	if len(cols) == len(need) {
+		return nil
+	}
+	return cols
+}
+
+// pushProjections walks the finished plan top-down, threading the set of
+// columns each operator's output is consumed through, and records the
+// final per-scan requirement into each NDP scan's pushdown spec. Operators
+// the walk does not understand (exchange internals, materialized CTE refs,
+// multi-model sources) terminate the walk down that branch; scans below
+// them keep Cols=nil and ship every column.
+func pushProjections(root exec.Operator, scans map[*exec.Counted]*scanInfo) {
+	if len(scans) == 0 {
+		return
+	}
+	var walk func(op exec.Operator, need []bool)
+	walk = func(op exec.Operator, need []bool) {
+		switch o := op.(type) {
+		case *exec.Counted:
+			if info := scans[o]; info != nil && info.spec != nil {
+				info.spec.Cols = colsFromNeed(need)
+				return
+			}
+			walk(o.Child, need)
+		case *exec.Filter:
+			walk(o.Child, addExprCols(need, o.Child.Schema().Len(), o.Pred))
+		case *exec.Project:
+			childNeed := make([]bool, o.Child.Schema().Len())
+			for _, e := range o.Exprs {
+				if !exprNeeds(e, childNeed) {
+					childNeed = nil
+					break
+				}
+			}
+			walk(o.Child, childNeed)
+		case *exec.Sort:
+			walk(o.Child, addExprCols(need, o.Child.Schema().Len(), keyExprs(o.Keys)...))
+		case *exec.TopN:
+			walk(o.Child, addExprCols(need, o.Child.Schema().Len(), keyExprs(o.Keys)...))
+		case *exec.Limit:
+			walk(o.Child, need)
+		case *exec.Distinct:
+			// Row identity matters: every column participates.
+			walk(o.Child, nil)
+		case *exec.Concat:
+			for _, c := range o.Children {
+				walk(c, need)
+			}
+		case *exec.Agg:
+			childNeed := make([]bool, o.Child.Schema().Len())
+			ok := true
+			for _, g := range o.GroupBy {
+				ok = ok && exprNeeds(g, childNeed)
+			}
+			for _, a := range o.Aggs {
+				if a.Arg != nil {
+					ok = ok && exprNeeds(a.Arg, childNeed)
+				}
+			}
+			if !ok {
+				childNeed = nil
+			}
+			walk(o.Child, childNeed)
+		case *exec.HashJoin:
+			ln, rn := splitJoinNeed(need, o.Left.Schema().Len(), o.Right.Schema().Len(), o.ExtraOn)
+			ln = addExprCols(ln, o.Left.Schema().Len(), o.LeftKeys...)
+			rn = addExprCols(rn, o.Right.Schema().Len(), o.RightKeys...)
+			walk(o.Left, ln)
+			walk(o.Right, rn)
+		case *exec.NestedLoopJoin:
+			ln, rn := splitJoinNeed(need, o.Left.Schema().Len(), o.Right.Schema().Len(), o.On)
+			walk(o.Left, ln)
+			walk(o.Right, rn)
+		}
+	}
+	walk(root, nil)
+}
+
+// keyExprs projects the expressions out of a sort-key list.
+func keyExprs(keys []exec.SortKey) []exec.Expr {
+	out := make([]exec.Expr, len(keys))
+	for i, k := range keys {
+		out[i] = k.Expr
+	}
+	return out
+}
+
+// splitJoinNeed maps a requirement set over a join's concatenated output
+// into per-side requirements, folding in the columns the join condition
+// itself reads (cond is compiled against the combined row).
+func splitJoinNeed(need []bool, nLeft, nRight int, cond exec.Expr) (ln, rn []bool) {
+	combined := make([]bool, nLeft+nRight)
+	if need != nil {
+		copy(combined, need)
+	}
+	all := need == nil
+	if cond != nil && !exprNeeds(cond, combined) {
+		all = true
+	}
+	if all {
+		return nil, nil
+	}
+	ln, rn = make([]bool, nLeft), make([]bool, nRight)
+	copy(ln, combined[:nLeft])
+	copy(rn, combined[nLeft:])
+	return ln, rn
+}
+
+// tryTopNPushdown fires when a query block's ORDER BY + LIMIT sits
+// directly on a single NDP scan (no residual filter, join, aggregation or
+// DISTINCT in between): each scan fragment then keeps only the top
+// limit rows under the same keys — everything a CN-side merge could ever
+// retain — instead of shipping the whole partition. sortKeys reference
+// projection outputs; they are remapped to the underlying table-schema
+// expressions, which must be partition-pure to evaluate on a DN.
+func (pc *pctx) tryTopNPushdown(projChild exec.Operator, sortKeys []exec.SortKey, exprs []exec.Expr, limit int64) {
+	ls := pc.lastScan
+	if ls == nil || ls.spec == nil || exec.Operator(ls.counted) != projChild {
+		return
+	}
+	keys := make([]exec.SortKey, 0, len(sortKeys))
+	for _, sk := range sortKeys {
+		cr, ok := sk.Expr.(*exec.ColRef)
+		if !ok || cr.Index < 0 || cr.Index >= len(exprs) {
+			return
+		}
+		e := exprs[cr.Index]
+		if !exec.IsPartitionPure(e) {
+			return
+		}
+		keys = append(keys, exec.SortKey{Expr: e, Desc: sk.Desc})
+	}
+	ls.spec.TopN = &TopNPush{Keys: keys, Limit: limit}
+}
+
+// tryBloomPushdown wires sideways information passing into an inner hash
+// join whose probe (left) side is a bare NDP scan: the join publishes a
+// bloom filter over its build-side keys through a shared handle, and the
+// scan's fragments drop rows whose join-key datum cannot match before
+// they ever cross the fabric (a DN-side semi-join). Only fires when the
+// build side is not estimated to be larger than the probe side — shipping
+// a filter of the big side to prune the small side would cost more than
+// it saves.
+func (pc *pctx) tryBloomPushdown(hj *exec.HashJoin, lop exec.Operator, lEst, rEst float64) {
+	if pc.scans == nil {
+		return
+	}
+	lc, ok := lop.(*exec.Counted)
+	if !ok {
+		return
+	}
+	info := (*pc.scans)[lc]
+	if info == nil || info.spec == nil || info.spec.Bloom != nil {
+		return
+	}
+	if lEst > 0 && rEst > lEst {
+		return
+	}
+	for i, lk := range hj.LeftKeys {
+		cr, ok := lk.(*exec.ColRef)
+		if !ok {
+			continue
+		}
+		if !exec.IsPartitionPure(hj.RightKeys[i]) {
+			continue
+		}
+		h := exec.NewBloomHandle()
+		info.spec.Bloom, info.spec.BloomCol = h, cr.Index
+		hj.Bloom, hj.BloomKey = h, i
+		return
+	}
+}

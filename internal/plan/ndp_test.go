@@ -1,0 +1,196 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+// ndpCatalog wraps fakeCatalog with NDPAccess support. The returned scan
+// reads its ScanPushdown at emit time (late binding, like the engine) and
+// honors Pred, Cols (sparse rows) and Bloom; TopN is deliberately ignored —
+// shipping more rows than the fragment heap would is always safe, and it
+// keeps the fake honest about the CN not depending on DN truncation.
+type ndpCatalog struct {
+	*fakeCatalog
+	refuse bool
+	specs  map[string]*ScanPushdown
+}
+
+func (c *ndpCatalog) ScanNDP(meta *TableMeta, spec *ScanPushdown) (exec.Operator, bool) {
+	if c.refuse {
+		return nil, false
+	}
+	if c.specs == nil {
+		c.specs = map[string]*ScanPushdown{}
+	}
+	c.specs[strings.ToLower(meta.Name)] = spec
+	tb := c.tables[strings.ToLower(meta.Name)]
+	ctx := exec.NewCtx(time.Unix(0, 0))
+	return exec.NewSource(meta.Name, meta.Schema, func(emit func(types.Row) bool) {
+		bf := spec.Bloom.Get()
+		for _, r := range tb.rows {
+			if spec.Pred != nil {
+				ok, err := exec.EvalBool(spec.Pred, ctx, r)
+				if err != nil || !ok {
+					continue
+				}
+			}
+			if bf != nil {
+				d := r[spec.BloomCol]
+				if d.IsNull() || !bf.MayContain(d) {
+					continue
+				}
+			}
+			out := r
+			if spec.Cols != nil {
+				out = make(types.Row, len(r))
+				for _, ci := range spec.Cols {
+					out[ci] = r[ci]
+				}
+			}
+			if !emit(out) {
+				return
+			}
+		}
+	}), true
+}
+
+func newNDPPlanner() (*ndpCatalog, *Planner) {
+	nc := &ndpCatalog{fakeCatalog: newFixture()}
+	return nc, &Planner{Catalog: nc, Access: nc}
+}
+
+func TestNDPScanSpecFilterProjectionTopN(t *testing.T) {
+	nc, p := newNDPPlanner()
+	rows, plan := planAndRun(t, p, "SELECT a1 FROM olap.t1 WHERE b1 < 100 ORDER BY a1 DESC LIMIT 5")
+	want := []int64{49, 49, 48, 48, 47}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i, w := range want {
+		if rows[i][0].Int() != w {
+			t.Fatalf("row %d = %v, want %d", i, rows[i], w)
+		}
+	}
+	spec := nc.specs["olap.t1"]
+	if spec == nil || spec.Pred == nil {
+		t.Fatal("predicate not pushed into the NDP spec")
+	}
+	// Only a1 is needed above the scan: the pushed filter consumed b1 and
+	// the planner dropped its own Filter, so the ship set is just col 0.
+	if len(spec.Cols) != 1 || spec.Cols[0] != 0 {
+		t.Errorf("spec.Cols = %v, want [0]", spec.Cols)
+	}
+	if spec.TopN == nil || spec.TopN.Limit != 5 || len(spec.TopN.Keys) != 1 || !spec.TopN.Keys[0].Desc {
+		t.Errorf("spec.TopN = %+v, want 1 desc key limit 5", spec.TopN)
+	}
+	// The CN plan must not re-filter: NDP filtering is exact.
+	for _, cn := range plan.Counted {
+		if strings.HasPrefix(cn.StepText, "FILTER(") {
+			t.Errorf("CN filter survived NDP pushdown: %s", cn.StepText)
+		}
+	}
+}
+
+func TestNDPBareLimitPushdown(t *testing.T) {
+	nc, p := newNDPPlanner()
+	rows, _ := planAndRun(t, p, "SELECT b1 FROM olap.t1 LIMIT 3")
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	spec := nc.specs["olap.t1"]
+	if spec == nil || spec.TopN == nil || spec.TopN.Limit != 3 || len(spec.TopN.Keys) != 0 {
+		t.Errorf("spec.TopN = %+v, want keyless limit 3", spec.TopN)
+	}
+	if spec != nil && spec.Pred != nil {
+		t.Errorf("unexpected pred: %v", spec.Pred)
+	}
+}
+
+func TestNDPTopNFallbacks(t *testing.T) {
+	nc, p := newNDPPlanner()
+	// DISTINCT must not push TopN (dedup happens above the scan) and must
+	// ship all columns.
+	planAndRun(t, p, "SELECT DISTINCT a1 FROM olap.t1 ORDER BY a1 LIMIT 3")
+	if spec := nc.specs["olap.t1"]; spec == nil || spec.TopN != nil {
+		t.Errorf("DISTINCT pushed TopN: %+v", spec)
+	}
+	// Aggregates consume the scan; the limit applies to groups, not rows.
+	nc.specs = nil
+	planAndRun(t, p, "SELECT a1, count(*) FROM olap.t1 GROUP BY a1 ORDER BY a1 LIMIT 4")
+	if spec := nc.specs["olap.t1"]; spec != nil && spec.TopN != nil {
+		t.Errorf("aggregate pushed TopN: %+v", spec.TopN)
+	}
+	// ORDER BY over a join output cannot push below either scan.
+	nc.specs = nil
+	planAndRun(t, p, "SELECT t1.b1 FROM olap.t1, olap.t2 WHERE t1.a1 = t2.a2 ORDER BY t1.b1 LIMIT 2")
+	for name, spec := range nc.specs {
+		if spec.TopN != nil {
+			t.Errorf("join scan %s got TopN: %+v", name, spec.TopN)
+		}
+	}
+}
+
+func TestNDPSubqueryPredNotPushed(t *testing.T) {
+	nc, p := newNDPPlanner()
+	rows, _ := planAndRun(t, p, "SELECT b1 FROM olap.t1 WHERE b1 = (SELECT min(a2) FROM olap.t2)")
+	if len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// A subquery predicate is not partition-pure: it must stay in a CN
+	// filter, never inside an NDP spec (the scan itself may still use NDP
+	// with a nil pred).
+	if spec, ok := nc.specs["olap.t1"]; ok && spec.Pred != nil {
+		t.Errorf("impure predicate pushed into NDP spec: %v", spec.Pred)
+	}
+}
+
+func TestNDPBloomOnInnerHashJoin(t *testing.T) {
+	nc, p := newNDPPlanner()
+	rows, _ := planAndRun(t, p, "SELECT t1.b1, t2.c2 FROM olap.t1, olap.t2 WHERE t1.a1 = t2.a2")
+	if len(rows) != 200 {
+		t.Fatalf("join rows = %d, want 200", len(rows))
+	}
+	probe := nc.specs["olap.t1"]
+	if probe == nil || probe.Bloom == nil || probe.BloomCol != 0 {
+		t.Fatalf("probe-side spec = %+v, want bloom on col 0", probe)
+	}
+	if build := nc.specs["olap.t2"]; build == nil || build.Bloom != nil {
+		t.Errorf("build-side spec = %+v, want no bloom", build)
+	}
+}
+
+func TestNDPBloomSkipsOuterJoin(t *testing.T) {
+	nc, p := newNDPPlanner()
+	rows, _ := planAndRun(t, p, "SELECT t1.b1 FROM olap.t1 LEFT JOIN olap.t2 ON t1.a1 = t2.a2")
+	if len(rows) != 200 {
+		t.Fatalf("left join rows = %d, want 200", len(rows))
+	}
+	// A bloom drop on the probe side would eat unmatched outer rows.
+	if spec := nc.specs["olap.t1"]; spec == nil || spec.Bloom != nil {
+		t.Errorf("outer join probe spec = %+v, want no bloom", spec)
+	}
+}
+
+func TestNDPRefusalFallsBack(t *testing.T) {
+	nc, p := newNDPPlanner()
+	nc.refuse = true
+	rows, plan := planAndRun(t, p, "SELECT a1 FROM olap.t1 WHERE b1 < 10")
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// With the engine refusing, the filter must stay in the CN plan.
+	var filtered bool
+	for _, cn := range plan.Counted {
+		if strings.HasPrefix(cn.StepText, "FILTER(") || strings.Contains(cn.StepText, "SCAN(") {
+			filtered = true
+		}
+	}
+	if !filtered {
+		t.Error("no scan/filter step in fallback plan")
+	}
+}

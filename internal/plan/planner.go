@@ -94,6 +94,11 @@ type pctx struct {
 	// recognize the aggregate-over-single-scan pattern and push partial
 	// aggregation down to the partitions.
 	lastScan *scanInfo
+	// scans indexes every NDP scan in the statement by its instrumented
+	// wrapper, shared across all nested contexts like counted, so the
+	// post-planning NDP passes (pushProjections, tryBloomPushdown) can
+	// find each scan's pushdown spec from the operator tree.
+	scans *map[*exec.Counted]*scanInfo
 }
 
 // scanInfo describes one instrumented base-table scan.
@@ -101,6 +106,9 @@ type scanInfo struct {
 	meta    *TableMeta
 	pred    exec.Expr // nil when no predicate was pushed into the scan
 	counted *exec.Counted
+	// spec is the scan's NDP pushdown spec, nil when the scan went through
+	// the legacy Scan/ScanPred path.
+	spec *ScanPushdown
 }
 
 type cteDef struct {
@@ -118,19 +126,24 @@ func TableScope(meta *TableMeta, alias string) *Scope { return scopeForTable(met
 // inside the expression plan against the planner's catalog.
 func (p *Planner) CompileScalar(e sqlx.Expr, scope *Scope) (exec.Expr, error) {
 	var counted []*exec.Counted
-	pc := &pctx{p: p, scope: scope, ctes: map[string]*cteDef{}, counted: &counted}
+	scans := map[*exec.Counted]*scanInfo{}
+	pc := &pctx{p: p, scope: scope, ctes: map[string]*cteDef{}, counted: &counted, scans: &scans}
 	return pc.compileExpr(e)
 }
 
 // PlanSelect compiles a SELECT statement.
 func (p *Planner) PlanSelect(sel *sqlx.Select) (*Plan, error) {
 	var counted []*exec.Counted
-	pc := &pctx{p: p, ctes: map[string]*cteDef{}, counted: &counted}
+	scans := map[*exec.Counted]*scanInfo{}
+	pc := &pctx{p: p, ctes: map[string]*cteDef{}, counted: &counted, scans: &scans}
 	op, scope, names, err := pc.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
 	_ = scope
+	// NDP projection pushdown: narrow each scan's shipped columns to the
+	// set the finished plan actually references.
+	pushProjections(op, scans)
 	return &Plan{Root: op, OutputNames: names, Counted: counted}, nil
 }
 
@@ -140,7 +153,7 @@ func (pc *pctx) child() *pctx {
 	for k, v := range pc.ctes {
 		ctes[k] = v
 	}
-	return &pctx{p: pc.p, outer: pc, ctes: ctes, counted: pc.counted}
+	return &pctx{p: pc.p, outer: pc, ctes: ctes, counted: pc.counted, scans: pc.scans}
 }
 
 // planSelect compiles one query block (including any UNION arms); it
@@ -328,6 +341,7 @@ func (pc *pctx) planSelectBlock(sel *sqlx.Select) (exec.Operator, *Scope, []stri
 		}
 		fullSchema = &types.Schema{Columns: cols}
 	}
+	projChild := op
 	op = &exec.Project{Child: op, Exprs: exprs, Out: fullSchema}
 
 	if sel.Distinct {
@@ -337,8 +351,23 @@ func (pc *pctx) planSelectBlock(sel *sqlx.Select) (exec.Operator, *Scope, []stri
 		op = &exec.Distinct{Child: op}
 	}
 
+	// ORDER BY + LIMIT compiles to a bounded TopN — row-for-row identical
+	// to a stable Sort followed by Limit, in O(limit) memory. When the
+	// block is a bare NDP scan the same bound is also pushed into the
+	// scan's fragments (see tryTopNPushdown).
+	limitK := int64(-1)
+	if sel.Limit >= 0 {
+		limitK = sel.Limit + sel.Offset
+	}
+	if limitK >= 0 && !sel.Distinct && !hasAgg {
+		pc.tryTopNPushdown(projChild, sortKeys, exprs, limitK)
+	}
 	if len(sortKeys) > 0 {
-		op = &exec.Sort{Child: op, Keys: sortKeys}
+		if limitK >= 0 {
+			op = &exec.TopN{Child: op, Keys: sortKeys, Limit: limitK}
+		} else {
+			op = &exec.Sort{Child: op, Keys: sortKeys}
+		}
 	}
 	if len(exprs) > hiddenStart {
 		// Strip hidden sort columns.

@@ -266,3 +266,68 @@ func TestMsgTypeStrings(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+// TestScanFragLegAccounting pins down the wire accounting contract the NDP
+// scan path relies on: scan_frag request legs (CN->DN, zero bytes except a
+// pushed bloom filter) and response legs (DN->CN, the shipped batch) share
+// one message type, with the per-direction split recoverable from the link
+// counters and a measurement window recoverable via Stats.Sub.
+func TestScanFragLegAccounting(t *testing.T) {
+	f := New(Config{})
+	f.TrackLinks(true)
+	const bloomBytes = 64
+	resp := []int{800, 0, 160, 240}
+	for dn := 0; dn < 4; dn++ {
+		if err := f.Send(CN(), DN(dn), ScanFrag, bloomBytes); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Send(DN(dn), CN(), ScanFrag, resp[dn]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var respTotal int64
+	for _, b := range resp {
+		respTotal += int64(b)
+	}
+	st := f.Stats()
+	if got := st.Get(ScanFrag).Count; got != 8 {
+		t.Fatalf("scan_frag count = %d, want 8 (4 request + 4 response legs)", got)
+	}
+	if got, want := st.Get(ScanFrag).Bytes, int64(4*bloomBytes)+respTotal; got != want {
+		t.Fatalf("scan_frag bytes = %d, want %d", got, want)
+	}
+	var reqLeg, respLeg int64
+	for _, ls := range f.LinkStats() {
+		switch {
+		case ls.From == CN() && ls.To.Kind == KindDN:
+			reqLeg += ls.Bytes
+			if ls.Bytes != bloomBytes {
+				t.Fatalf("request leg to %v carried %d B, want %d", ls.To, ls.Bytes, bloomBytes)
+			}
+		case ls.From.Kind == KindDN && ls.To == CN():
+			respLeg += ls.Bytes
+		}
+	}
+	if reqLeg != 4*bloomBytes {
+		t.Fatalf("request legs = %d B, want %d", reqLeg, 4*bloomBytes)
+	}
+	if respLeg != respTotal {
+		t.Fatalf("response legs = %d B, want %d", respLeg, respTotal)
+	}
+
+	// A measured window: everything before the snapshot cancels out.
+	base := f.Stats()
+	if err := f.Send(DN(2), CN(), ScanFrag, 320); err != nil {
+		t.Fatal(err)
+	}
+	d := f.Stats().Sub(base)
+	if got := d.Get(ScanFrag).Count; got != 1 {
+		t.Fatalf("window count = %d, want 1", got)
+	}
+	if got := d.Get(ScanFrag).Bytes; got != 320 {
+		t.Fatalf("window bytes = %d, want 320", got)
+	}
+	if got := d.TotalBytes(); got != 320 {
+		t.Fatalf("window total bytes = %d, want 320", got)
+	}
+}
