@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp|htap]
 //	        [-duration seconds] [-sessions n]
 package main
 
@@ -11,52 +11,67 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig3, table1, fig8, fig11, learn, tpcc, ablation, sync, mpp, expand, parallel, ha, net, georepl, frontdoor, ndp")
+	exp := flag.String("exp", "all", "experiment to run (see -exp list)")
 	duration := flag.Float64("duration", 2.0, "virtual seconds per simulator run (fig3/ablation)")
 	sessions := flag.Int("sessions", 10000, "concurrent driver sessions (frontdoor)")
 	flag.Parse()
 
 	w := os.Stdout
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
+	// Ordered registry: names print in this order for -exp list/errors and
+	// run in this order under -exp all.
+	type entry struct {
+		name string
+		fn   func() error
+	}
+	registry := []entry{
+		{"fig3", func() error { experiments.Fig3(w, *duration); return nil }},
+		{"table1", func() error { return experiments.Table1(w) }},
+		{"fig8", func() error { return experiments.Fig8(w) }},
+		{"fig11", func() error { _, err := experiments.Fig11(w, 200, 2000); return err }},
+		{"learn", func() error { _, err := experiments.Learn(w); return err }},
+		{"tpcc", func() error { return experiments.TPCC(w, 200) }},
+		{"ablation", func() error {
+			experiments.AblationCrossShard(w, *duration)
+			experiments.AblationGTMService(w, *duration)
+			return nil
+		}},
+		{"sync", func() error { experiments.EdgeSync(w, 6, 20); return nil }},
+		{"mpp", func() error { return experiments.MPPExtensions(w) }},
+		{"expand", func() error { return experiments.Expand(w, 300) }},
+		{"parallel", func() error { return experiments.Parallel(w) }},
+		{"ha", func() error { return experiments.HA(w, 300) }},
+		{"net", func() error { _, err := experiments.Network(w, 400); return err }},
+		{"georepl", func() error { return experiments.GeoRepl(w, 150) }},
+		{"frontdoor", func() error { return experiments.FrontDoor(w, *sessions) }},
+		{"ndp", func() error { return experiments.NDP(w) }},
+		{"htap", func() error { return experiments.HTAP(w, 300) }},
+	}
+
+	known := *exp == "all"
+	for _, e := range registry {
+		if *exp != "all" && *exp != e.name {
+			continue
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "fibench: %s: %v\n", name, err)
+		known = true
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "fibench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 	}
-
-	run("fig3", func() error { experiments.Fig3(w, *duration); return nil })
-	run("table1", func() error { return experiments.Table1(w) })
-	run("fig8", func() error { return experiments.Fig8(w) })
-	run("fig11", func() error { _, err := experiments.Fig11(w, 200, 2000); return err })
-	run("learn", func() error { _, err := experiments.Learn(w); return err })
-	run("tpcc", func() error { return experiments.TPCC(w, 200) })
-	run("ablation", func() error {
-		experiments.AblationCrossShard(w, *duration)
-		experiments.AblationGTMService(w, *duration)
-		return nil
-	})
-	run("sync", func() error { experiments.EdgeSync(w, 6, 20); return nil })
-	run("mpp", func() error { return experiments.MPPExtensions(w) })
-	run("expand", func() error { return experiments.Expand(w, 300) })
-	run("parallel", func() error { return experiments.Parallel(w) })
-	run("ha", func() error { return experiments.HA(w, 300) })
-	run("net", func() error { _, err := experiments.Network(w, 400); return err })
-	run("georepl", func() error { return experiments.GeoRepl(w, 150) })
-	run("frontdoor", func() error { return experiments.FrontDoor(w, *sessions) })
-	run("ndp", func() error { return experiments.NDP(w) })
-
-	switch *exp {
-	case "all", "fig3", "table1", "fig8", "fig11", "learn", "tpcc", "ablation", "sync", "mpp", "expand", "parallel", "ha", "net", "georepl", "frontdoor", "ndp":
-	default:
-		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q\n", *exp)
+	if !known {
+		names := make([]string, 0, len(registry)+1)
+		names = append(names, "all")
+		for _, e := range registry {
+			names = append(names, e.name)
+		}
+		fmt.Fprintf(os.Stderr, "fibench: unknown experiment %q; available: %s\n",
+			*exp, strings.Join(names, ", "))
 		os.Exit(2)
 	}
 }

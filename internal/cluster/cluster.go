@@ -200,6 +200,10 @@ type Cluster struct {
 	DisableNDPProjection bool
 	DisableNDPTopN       bool
 	DisableNDPBloom      bool
+	// DisableHTAPReads keeps analytical statements on the primary row
+	// path even when an HTAP provider is installed (ablation knob for
+	// E19's primary-vs-replica comparison; the replicas keep applying).
+	DisableHTAPReads bool
 	// fab carries every cross-node message: latency model, per-type
 	// counters, fault injection (see internal/transport).
 	fab *transport.Fabric
@@ -225,9 +229,17 @@ type Cluster struct {
 	// place, so a rebalance targeting the dead node can re-target the live
 	// successor (guarded by routeMu).
 	successor map[int]int
-	// tap receives committed write records (standby replication); nil
-	// until internal/repl installs one.
-	tap atomic.Pointer[tapBox]
+	// tap publishes the installed commit taps (standby replication, HTAP
+	// ingest); nil until a subscriber installs one. tapPrimary is the
+	// SetCommitTap slot, tapExtras the AddCommitTap subscriptions; both
+	// are guarded by tapMu and flattened into the atomic box.
+	tap        atomic.Pointer[tapBox]
+	tapMu      sync.Mutex
+	tapPrimary CommitTap
+	tapExtras  []*tapEntry
+	// analytical publishes the HTAP read provider (columnar replicas plus
+	// freshness gate); nil until htap.Enable installs one.
+	analytical atomic.Pointer[analyticalBox]
 	// stash parks prepared 2PC legs' records across the in-doubt window
 	// (guarded by stashMu).
 	stashMu sync.Mutex
@@ -358,6 +370,26 @@ func (c *Cluster) TableScanStats(name string) (colstore.ScanStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// ColstoreStats aggregates columnar storage and scan counters across every
+// columnar partition in the cluster — segment shape, tombstones,
+// compression, and zone-map pruning, for the autopilot's information
+// store.
+func (c *Cluster) ColstoreStats() (colstore.TableStats, colstore.ScanStats) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var ts colstore.TableStats
+	var ss colstore.ScanStats
+	for _, ti := range c.tables {
+		for _, p := range ti.colParts() {
+			if p != nil {
+				ts.Add(p.Stats())
+				ss.Add(p.ScanStats())
+			}
+		}
+	}
+	return ts, ss
 }
 
 // shardFor routes a distribution-key datum to a data node through the

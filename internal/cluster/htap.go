@@ -1,0 +1,141 @@
+// HTAP integration points (paper §II-III, GaussDB/Taurus): the
+// analytical-read provider interface internal/htap implements, barrier
+// seeding of columnar replicas from the primaries, and the exported row
+// digest replicas use to verify convergence against PartitionDigest.
+
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/plan"
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// AnalyticalProvider is the cluster's view of the HTAP manager: a
+// freshness gate consulted once per analytical statement, and per-(table,
+// primary) columnar replica lookup for its scan fragments.
+type AnalyticalProvider interface {
+	// Gate decides whether the replicas covering dnIDs are fresh enough
+	// to serve one statement. Under a blocking freshness policy it may
+	// sleep until the apply watermark catches up; returning false
+	// degrades the statement to the primary row path.
+	Gate(dnIDs []int) bool
+	// Replica returns the columnar replica mirroring table name on
+	// primary dn, plus the replica-local transaction manager whose
+	// snapshots govern its visibility. ok=false falls the fragment back
+	// to the primary partition.
+	Replica(name string, dn int) (*colstore.Table, *txnkit.TxnManager, bool)
+}
+
+type analyticalBox struct{ p AnalyticalProvider }
+
+// SetAnalyticalReads installs (or, with nil, removes) the HTAP read
+// provider consulted by analytical statement routing.
+func (c *Cluster) SetAnalyticalReads(p AnalyticalProvider) {
+	if p == nil {
+		c.analytical.Store(nil)
+		return
+	}
+	c.analytical.Store(&analyticalBox{p: p})
+}
+
+// analyticalReads returns the installed provider, nil when HTAP is off.
+func (c *Cluster) analyticalReads() AnalyticalProvider {
+	b := c.analytical.Load()
+	if b == nil {
+		return nil
+	}
+	return b.p
+}
+
+// AnalyticalSeed is the barrier snapshot of one distributed table handed
+// to the HTAP manager at install time.
+type AnalyticalSeed struct {
+	Meta *plan.TableMeta
+	// Rows maps each primary dn to that partition's physically stored
+	// visible rows — unfiltered by bucket ownership, so the replica
+	// mirrors the partition exactly and later OpReap records find their
+	// rows. Scans re-apply the ownership filter, as on the primary.
+	Rows map[int][]types.Row
+}
+
+// SeedAnalyticalReplicas snapshots every non-replicated stored table under
+// a full routing + catalog barrier and hands the snapshots to install,
+// which must build the replicas and subscribe its commit tap before
+// returning. Because the tap attaches while the barrier is held, the
+// replica sees exactly the rows in the seed plus every later committed
+// record: no gap, no overlap. Replicated tables are not seeded — their
+// fragments always read the primary copy.
+func (c *Cluster) SeedAnalyticalReplicas(install func(primaries []int, seeds []AnalyticalSeed) error) error {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	// scanTargetsLocked consults the retired set under mu.RLock itself, so
+	// it must run before the catalog lock below (lock order: routeMu, mu).
+	primaries := c.scanTargetsLocked()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var tis []*TableInfo
+	for _, ti := range c.tables {
+		if !ti.replicated {
+			tis = append(tis, ti)
+		}
+	}
+	sort.Slice(tis, func(i, j int) bool { return tis[i].Meta.Name < tis[j].Meta.Name })
+
+	// Writes already committed keep settling while we hold the barrier
+	// (commit paths take no route lock); drain them so the seed is a
+	// definite prefix of the commit stream.
+	deadline := time.Now().Add(c.drainTimeout())
+	for _, ti := range tis {
+		parts := ti.parts.Load()
+		for _, dn := range primaries {
+			if err := waitSettled(parts, dn, nil, deadline); err != nil {
+				return fmt.Errorf("htap seed: table %q dn%d: %w", ti.Meta.Name, dn, err)
+			}
+		}
+	}
+
+	seeds := make([]AnalyticalSeed, 0, len(tis))
+	for _, ti := range tis {
+		s := AnalyticalSeed{Meta: ti.Meta, Rows: make(map[int][]types.Row, len(primaries))}
+		for _, dn := range primaries {
+			s.Rows[dn] = c.rawVisibleRows(ti, dn, c.node(dn), nil)
+		}
+		seeds = append(seeds, s)
+	}
+	return install(primaries, seeds)
+}
+
+// DigestRows hashes a row multiset with the same encoding PartitionDigest
+// uses, so an HTAP replica can be digest-compared against its primary
+// partition. Order-independent (commutative sum).
+func DigestRows(rows []types.Row) TableDigest {
+	var d TableDigest
+	for _, r := range rows {
+		h := fnv.New64a()
+		h.Write([]byte(encodeRow(r)))
+		d.Sum += h.Sum64()
+		d.Rows++
+	}
+	return d
+}
+
+// OwnsRow returns a predicate matching rows the current routing map
+// assigns to owner (nil when the table has no distribution key). HTAP
+// replicas use it to filter physically mirrored but disowned rows, exactly
+// like primary partition scans do after a bucket migration.
+func (c *Cluster) OwnsRow(meta *plan.TableMeta, owner int) func(types.Row) bool {
+	if meta.DistKey < 0 {
+		return nil
+	}
+	owners := c.BucketOwners()
+	dk := meta.DistKey
+	return func(r types.Row) bool { return owners[BucketOf(r[dk])] == owner }
+}

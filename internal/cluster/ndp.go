@@ -5,7 +5,6 @@ import (
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/transport"
-	"repro/internal/txnkit"
 	"repro/internal/types"
 )
 
@@ -211,8 +210,7 @@ func (c *Cluster) fragKeepDatum(ti *TableInfo, f readFrag) func(types.Datum) boo
 // the bloom filter (if any), then the pre-reduced rows come back charged
 // at their projected width.
 func (a *stmtAccess) runNDPFragment(ctx *exec.Ctx, ti *TableInfo, f readFrag, p *ndpProgram, emit func(types.Row) bool) error {
-	xid := a.t.touch(f.phys)
-	snap, err := a.snapshotFor(f.phys)
+	src, err := a.fragSource(ti, f)
 	if err != nil {
 		return err
 	}
@@ -247,10 +245,12 @@ func (a *stmtAccess) runNDPFragment(ctx *exec.Ctx, ti *TableInfo, f readFrag, p 
 		return emit(row)
 	}
 
-	if ti.columnar() {
-		a.ndpScanColumnar(ctx, ti, f, p, xid, snap, bf, deliver, &scanErr)
+	// HTAP replicas are columnar, so offloaded fragments of row tables run
+	// the vectorized body too.
+	if src.col != nil {
+		a.ndpScanColumnar(ctx, ti, f, p, src, bf, deliver, &scanErr)
 	} else {
-		a.ndpScanRows(ctx, ti, f, p, xid, snap, bf, deliver, &scanErr)
+		a.ndpScanRows(ctx, ti, f, p, src, bf, deliver, &scanErr)
 	}
 	if scanErr != nil {
 		return scanErr
@@ -278,11 +278,11 @@ func (a *stmtAccess) runNDPFragment(ctx *exec.Ctx, ti *TableInfo, f readFrag, p 
 // over decoded column vectors, then ownership / bloom / residual checks,
 // and only then are surviving rows materialized — sparse, at schema width,
 // carrying just the projected columns.
-func (a *stmtAccess) ndpScanColumnar(ctx *exec.Ctx, ti *TableInfo, f readFrag, p *ndpProgram, xid txnkit.XID, snap *txnkit.Snapshot, bf *exec.Bloom, deliver func(types.Row) bool, scanErr *error) {
+func (a *stmtAccess) ndpScanColumnar(ctx *exec.Ctx, ti *TableInfo, f readFrag, p *ndpProgram, src fragSource, bf *exec.Bloom, deliver func(types.Row) bool, scanErr *error) {
 	owns := a.s.c.fragKeepDatum(ti, f)
 	var sel []bool
 	var sparse types.Row // reused for residual predicate evaluation
-	ti.colParts()[f.phys].ScanBatchesWhere(xid, snap, p.scanCols, p.keep, func(b *colstore.Batch) bool {
+	src.col.ScanBatchesWhere(src.xid, src.snap, p.scanCols, p.keep, func(b *colstore.Batch) bool {
 		if cap(sel) < b.N {
 			sel = make([]bool, b.N)
 		}
@@ -340,9 +340,9 @@ func (a *stmtAccess) ndpScanColumnar(ctx *exec.Ctx, ti *TableInfo, f readFrag, p
 // ndpScanRows is the row-store fragment body: the same exact filtering,
 // but row-at-a-time, and — unlike the legacy path's full Clone — only the
 // projected columns are copied out of the store's row.
-func (a *stmtAccess) ndpScanRows(ctx *exec.Ctx, ti *TableInfo, f readFrag, p *ndpProgram, xid txnkit.XID, snap *txnkit.Snapshot, bf *exec.Bloom, deliver func(types.Row) bool, scanErr *error) {
+func (a *stmtAccess) ndpScanRows(ctx *exec.Ctx, ti *TableInfo, f readFrag, p *ndpProgram, src fragSource, bf *exec.Bloom, deliver func(types.Row) bool, scanErr *error) {
 	owns := a.s.c.fragFilter(ti, f)
-	ti.rowParts()[f.phys].Scan(xid, snap, func(r types.Row) bool {
+	src.row.Scan(src.xid, src.snap, func(r types.Row) bool {
 		if owns != nil && !owns(r) {
 			return true
 		}

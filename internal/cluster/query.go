@@ -6,9 +6,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/colstore"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sqlx"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/txnkit"
 	"repro/internal/types"
@@ -32,8 +34,20 @@ type stmtAccess struct {
 	readMap  map[int]int
 	splitSet map[int]int
 
-	mu    sync.Mutex // guards snaps
+	// scatter marks the statement as unrouted (scans every primary) —
+	// the shape eligible for HTAP replica service. Written during
+	// routing, before any fragment starts.
+	scatter bool
+	// htap, when non-nil, redirects this statement's distributed-table
+	// fragments to the columnar analytical replicas; the primaries are
+	// never touched, so the statement takes no transaction legs there.
+	htap AnalyticalProvider
+
+	mu    sync.Mutex // guards snaps, htapSnaps
 	snaps map[int]*txnkit.Snapshot
+	// htapSnaps caches one replica-local snapshot per DN so concurrent
+	// fragments (and multiple tables on one DN) read consistently.
+	htapSnaps map[int]*txnkit.Snapshot
 
 	// rowsShipped counts rows that crossed a partition -> coordinator
 	// boundary; two-phase aggregation exists to shrink this number.
@@ -43,10 +57,11 @@ type stmtAccess struct {
 func (s *Session) newStmtAccess(t *txn) *stmtAccess {
 	return &stmtAccess{
 		s: s, t: t,
-		routed:   map[string][]int{},
-		readMap:  map[int]int{},
-		splitSet: map[int]int{},
-		snaps:    map[int]*txnkit.Snapshot{},
+		routed:    map[string][]int{},
+		readMap:   map[int]int{},
+		splitSet:  map[int]int{},
+		snaps:     map[int]*txnkit.Snapshot{},
+		htapSnaps: map[int]*txnkit.Snapshot{},
 	}
 }
 
@@ -139,6 +154,76 @@ func (c *Cluster) fragFilter(ti *TableInfo, f readFrag) func(types.Row) bool {
 	}
 }
 
+// htapServes reports whether fragments of ti will attempt to read the
+// HTAP columnar replicas (replicated tables always read the primary copy).
+func (a *stmtAccess) htapServes(ti *TableInfo) bool {
+	return a.htap != nil && !ti.replicated
+}
+
+// htapReplica resolves the columnar replica serving fragment f of ti under
+// the statement-cached per-DN replica snapshot. ok=false (replicated
+// table, standby-redirected fragment, or no replica for that primary —
+// e.g. a standby promoted after HTAP was enabled) falls the fragment back
+// to the primary partition.
+func (a *stmtAccess) htapReplica(ti *TableInfo, f readFrag) (*colstore.Table, *txnkit.Snapshot, bool) {
+	if !a.htapServes(ti) || f.phys != f.logical {
+		return nil, nil, false
+	}
+	tbl, txm, ok := a.htap.Replica(ti.Meta.Name, f.phys)
+	if !ok {
+		return nil, nil, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap, cached := a.htapSnaps[f.phys]
+	if !cached {
+		s := txm.LocalSnapshot()
+		snap = &s
+		a.htapSnaps[f.phys] = snap
+	}
+	return tbl, snap, true
+}
+
+// fragSource is the resolved physical source of one scan fragment: either
+// an HTAP columnar replica (xid 0 under a replica-local snapshot) or the
+// primary partition under the transaction's snapshot.
+type fragSource struct {
+	col     *colstore.Table
+	row     *storage.Table
+	xid     txnkit.XID
+	snap    *txnkit.Snapshot
+	replica bool
+}
+
+// fragSource resolves fragment f's source. Touching the primary (which
+// takes a transaction leg there) happens only when the fragment is
+// primary-served; replica fragments leave the transaction untouched.
+func (a *stmtAccess) fragSource(ti *TableInfo, f readFrag) (fragSource, error) {
+	if tbl, snap, ok := a.htapReplica(ti, f); ok {
+		return fragSource{col: tbl, snap: snap, replica: true}, nil
+	}
+	xid := a.t.touch(f.phys)
+	snap, err := a.snapshotFor(f.phys)
+	if err != nil {
+		return fragSource{}, err
+	}
+	if ti.columnar() {
+		return fragSource{col: ti.colParts()[f.phys], xid: xid, snap: snap}, nil
+	}
+	return fragSource{row: ti.rowParts()[f.phys], xid: xid, snap: snap}, nil
+}
+
+// scanRowsWhere streams the source's visible rows through fn (cloned on
+// the row-store path), applying the zone-map segment pruner on columnar
+// sources.
+func (src fragSource) scanRowsWhere(keep func(*colstore.Segment) bool, fn func(types.Row) bool) {
+	if src.col != nil {
+		src.col.ScanRowsWhere(src.xid, src.snap, keep, fn)
+		return
+	}
+	src.row.Scan(src.xid, src.snap, func(r types.Row) bool { return fn(r.Clone()) })
+}
+
 // Scan implements plan.Access.
 func (a *stmtAccess) Scan(meta *plan.TableMeta) exec.Operator {
 	return a.scan(meta, nil)
@@ -178,13 +263,14 @@ func (a *stmtAccess) scan(meta *plan.TableMeta, pred exec.Expr) exec.Operator {
 		for i, f := range fragSet {
 			f := f
 			frags[i] = func(_ *exec.Ctx, emit func(types.Row) bool) error {
-				xid := a.t.touch(f.phys)
-				snap, err := a.snapshotFor(f.phys)
+				src, err := a.fragSource(ti, f)
 				if err != nil {
 					return err
 				}
 				// Fragment dispatch: CN -> DN request, then the row stream
 				// back (payload = shipped rows, for the bandwidth model).
+				// HTAP replicas are co-located with their primary DN, so
+				// the same endpoints are charged either way.
 				if err := a.s.c.sendDN(f.phys, transport.ScanFrag, 0); err != nil {
 					return err
 				}
@@ -198,13 +284,7 @@ func (a *stmtAccess) scan(meta *plan.TableMeta, pred exec.Expr) exec.Operator {
 					shipped++
 					return emit(r)
 				}
-				if ti.columnar() {
-					ti.colParts()[f.phys].ScanRowsWhere(xid, snap, keep, counted)
-				} else {
-					ti.rowParts()[f.phys].Scan(xid, snap, func(r types.Row) bool {
-						return counted(r.Clone())
-					})
-				}
+				src.scanRowsWhere(keep, counted)
 				return a.s.c.sendFromDN(f.phys, transport.ScanFrag, rowPayload(ti, shipped))
 			}
 		}
@@ -230,13 +310,15 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 		if err := a.s.c.requireLive(fragPhys(fragSet)); err != nil {
 			return nil, err
 		}
-		// Vectorized fast path: columnar partition and every group/agg
+		// Vectorized fast path: columnar source and every group/agg
 		// expression a bare column reference -> aggregate directly over the
 		// decoded column vectors (the predicate, if any, evaluates row-wise
-		// over the projection). Bucket-ownership filtering is per-row, so
-		// once a migration has started the row-at-a-time fallback runs.
+		// over the projection). HTAP replicas are columnar, which is what
+		// buys row tables the vectorized path on offloaded statements.
+		// Bucket-ownership filtering is per-row, so once a migration has
+		// started the row-at-a-time fallback runs.
 		var vp *vecPlan
-		if ti.columnar() && !a.s.c.needsBucketFilter(ti) {
+		if (ti.columnar() || a.htapServes(ti)) && !a.s.c.needsBucketFilter(ti) {
 			vp, _ = buildVecPlan(meta.Schema.Len(), pred, groupBy, aggs, out)
 		}
 		keep := a.s.c.segmentPruner(pred)
@@ -244,8 +326,7 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 		for i, f := range fragSet {
 			f := f
 			frags[i] = func(ctx *exec.Ctx, emit func(types.Row) bool) error {
-				xid := a.t.touch(f.phys)
-				snap, err := a.snapshotFor(f.phys)
+				src, err := a.fragSource(ti, f)
 				if err != nil {
 					return err
 				}
@@ -266,8 +347,8 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 					}
 					return nil
 				}
-				if vp != nil {
-					rows, err := runVectorizedPartialAgg(ti.colParts()[f.phys], xid, snap, vp, keep, ctx)
+				if vp != nil && src.col != nil {
+					rows, err := runVectorizedPartialAgg(src.col, src.xid, src.snap, vp, keep, ctx)
 					if err != nil {
 						return err
 					}
@@ -277,25 +358,18 @@ func (a *stmtAccess) ScanPartialAgg(meta *plan.TableMeta, pred exec.Expr, groupB
 				// All of it evaluates "on the data node"; only the
 				// aggregate's output crosses to the coordinator.
 				owns := a.s.c.fragFilter(ti, f)
-				var src exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
-					emitOwned := func(r types.Row) bool {
+				var srcOp exec.Operator = exec.NewSource(meta.Name, meta.Schema, func(emitRow func(types.Row) bool) {
+					src.scanRowsWhere(keep, func(r types.Row) bool {
 						if owns != nil && !owns(r) {
 							return true
 						}
 						return emitRow(r)
-					}
-					if ti.columnar() {
-						ti.colParts()[f.phys].ScanRowsWhere(xid, snap, keep, emitOwned)
-						return
-					}
-					ti.rowParts()[f.phys].Scan(xid, snap, func(r types.Row) bool {
-						return emitOwned(r.Clone())
 					})
 				})
 				if pred != nil {
-					src = &exec.Filter{Child: src, Pred: pred}
+					srcOp = &exec.Filter{Child: srcOp, Pred: pred}
 				}
-				partial := &exec.Agg{Child: src, GroupBy: groupBy, Aggs: aggs, Out: out}
+				partial := &exec.Agg{Child: srcOp, GroupBy: groupBy, Aggs: aggs, Out: out}
 				rows, err := exec.Collect(ctx, partial)
 				if err != nil {
 					return err
@@ -324,10 +398,18 @@ func (s *Session) plannerWithAccess(a *stmtAccess) *plan.Planner {
 func (s *Session) planSelect(t *txn, sel *sqlx.Select) (*plan.Plan, *stmtAccess, error) {
 	access := s.newStmtAccess(t)
 	dnSet := s.routeSelect(t, sel, access)
-	// Read-replica rewrite must run before the touch: an offloaded shard's
-	// primary is never touched, so the transaction stays standby-only there.
-	dnSet = s.c.applyStandbyReads(t, access, dnSet)
-	t.touchSet(dnSet)
+	if prov := s.htapProvider(t, access, sel, dnSet); prov != nil {
+		// HTAP offload: fragments scan the columnar replicas under
+		// replica-local snapshots. The primaries are never touched, so
+		// the statement takes no transaction legs and no GTM round.
+		access.htap = prov
+	} else {
+		// Read-replica rewrite must run before the touch: an offloaded
+		// shard's primary is never touched, so the transaction stays
+		// standby-only there.
+		dnSet = s.c.applyStandbyReads(t, access, dnSet)
+		t.touchSet(dnSet)
+	}
 	t.refreshGlobalSnapshot()
 	p, err := s.plannerWithAccess(access).PlanSelect(sel)
 	if err != nil {
@@ -351,6 +433,32 @@ func (s *Session) execSelect(t *txn, sel *sqlx.Select) (*Result, error) {
 		s.c.Store.Capture(p.Counted)
 	}
 	return &Result{Columns: p.OutputNames, Rows: rows, Plan: p, RowsShipped: access.rowsShipped.Load()}, nil
+}
+
+// htapProvider decides whether the statement is served by the columnar
+// analytical replicas: HTAP must be installed and enabled, the statement
+// must be a scatter read inside a transaction with no legs and no prior
+// DML (read-own-writes stays on the primary), its AST must classify as an
+// analytical shape, and the freshness gate must admit it — under a
+// blocking policy that last call is where a stale replica catches up.
+func (s *Session) htapProvider(t *txn, access *stmtAccess, sel *sqlx.Select, dnSet []int) AnalyticalProvider {
+	if s.c.DisableHTAPReads || !access.scatter {
+		return nil
+	}
+	prov := s.c.analyticalReads()
+	if prov == nil {
+		return nil
+	}
+	if t.dmlSeen() || t.hasAnyLeg() {
+		return nil
+	}
+	if _, analytical := plan.AnalyticalShape(sel); !analytical {
+		return nil
+	}
+	if !prov.Gate(dnSet) {
+		return nil
+	}
+	return prov
 }
 
 // ---------------------------------------------------------------------------
@@ -464,6 +572,7 @@ func (s *Session) routeSelect(t *txn, sel *sqlx.Select, access *stmtAccess) []in
 	case unrouted || len(shards) == 0:
 		// Clear per-table routing: a scatter statement scans every primary.
 		access.routed = map[string][]int{}
+		access.scatter = true
 		return s.c.scanTargetsLocked()
 	default:
 		out := make([]int, 0, len(shards))

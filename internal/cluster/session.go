@@ -72,6 +72,33 @@ type txn struct {
 	// Written only by the statement-executor goroutine (DML never runs in
 	// parallel fragments), read at commit — no lock needed.
 	pending map[int][]WriteRec
+
+	// dml marks that the transaction has executed (or is executing) a
+	// write statement; HTAP routing then keeps every read on the primary
+	// so the session observes its own uncommitted writes. Guarded by mu:
+	// it is set before INSERT ... SELECT plans its source query.
+	dml bool
+}
+
+// markDML flags the transaction as writing (see txn.dml).
+func (t *txn) markDML() {
+	t.mu.Lock()
+	t.dml = true
+	t.mu.Unlock()
+}
+
+// dmlSeen reports whether the transaction has run DML.
+func (t *txn) dmlSeen() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dml
+}
+
+// hasAnyLeg reports whether the transaction holds a leg on any data node.
+func (t *txn) hasAnyLeg() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.xids) > 0
 }
 
 func (s *Session) newTxn() *txn {
@@ -516,6 +543,9 @@ func (s *Session) evalConstRow(pl *plan.Planner, exprs []sqlx.Expr) (types.Row, 
 }
 
 func (s *Session) execInsert(t *txn, ins *sqlx.Insert) (*Result, error) {
+	// Mark before planning: INSERT ... SELECT's source query must read
+	// the primaries, not a (bounded-staleness) HTAP replica.
+	t.markDML()
 	ti, err := s.c.tableInfo(ins.Table)
 	if err != nil {
 		return nil, err
@@ -675,6 +705,7 @@ func shortAlias(name string) string {
 }
 
 func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
+	t.markDML()
 	ti, err := s.c.tableInfo(up.Table)
 	if err != nil {
 		return nil, err
@@ -792,6 +823,7 @@ func (s *Session) execUpdate(t *txn, up *sqlx.Update) (*Result, error) {
 }
 
 func (s *Session) execDelete(t *txn, del *sqlx.Delete) (*Result, error) {
+	t.markDML()
 	ti, err := s.c.tableInfo(del.Table)
 	if err != nil {
 		return nil, err

@@ -89,29 +89,89 @@ type CommitTap interface {
 	Committed(dnID int, recs []WriteRec) (wait func())
 }
 
-// tapBox wraps the tap so the hot path can load it with one atomic read.
-type tapBox struct{ t CommitTap }
+// tapBox holds the installed taps so the hot path can load the whole fan-out
+// set with one atomic read. The box is rebuilt copy-on-write under tapMu.
+type tapBox struct{ taps []CommitTap }
 
-// SetCommitTap installs (or, with nil, removes) the commit tap.
+// tapEntry identifies one AddCommitTap subscription for detachment.
+type tapEntry struct{ t CommitTap }
+
+// SetCommitTap installs (or, with nil, removes) the replication commit tap.
+// This is a dedicated slot — repl.Manager.Close clearing it does not detach
+// subscribers added with AddCommitTap (the HTAP manager), and vice versa.
 func (c *Cluster) SetCommitTap(t CommitTap) {
-	if t == nil {
+	c.tapMu.Lock()
+	defer c.tapMu.Unlock()
+	c.tapPrimary = t
+	c.storeTapsLocked()
+}
+
+// AddCommitTap subscribes an additional tap to the commit stream and
+// returns a function that detaches exactly that subscription. Every
+// installed tap sees every committed leg, in per-DN commit order.
+func (c *Cluster) AddCommitTap(t CommitTap) (detach func()) {
+	c.tapMu.Lock()
+	defer c.tapMu.Unlock()
+	e := &tapEntry{t: t}
+	c.tapExtras = append(c.tapExtras, e)
+	c.storeTapsLocked()
+	return func() {
+		c.tapMu.Lock()
+		defer c.tapMu.Unlock()
+		for i, x := range c.tapExtras {
+			if x == e {
+				c.tapExtras = append(c.tapExtras[:i:i], c.tapExtras[i+1:]...)
+				break
+			}
+		}
+		c.storeTapsLocked()
+	}
+}
+
+// storeTapsLocked publishes the current tap set. Caller holds tapMu.
+func (c *Cluster) storeTapsLocked() {
+	taps := make([]CommitTap, 0, 1+len(c.tapExtras))
+	if c.tapPrimary != nil {
+		taps = append(taps, c.tapPrimary)
+	}
+	for _, e := range c.tapExtras {
+		taps = append(taps, e.t)
+	}
+	if len(taps) == 0 {
 		c.tap.Store(nil)
 		return
 	}
-	c.tap.Store(&tapBox{t: t})
+	c.tap.Store(&tapBox{taps: taps})
 }
 
 // tapInstalled reports whether commits must capture write records.
 func (c *Cluster) tapInstalled() bool { return c.tap.Load() != nil }
 
-// tapCommitted hands one leg's records to the tap. Caller holds the data
-// node's commit lock; the returned wait (if any) must run after unlocking.
+// tapCommitted fans one leg's records out to every installed tap. Caller
+// holds the data node's commit lock; the returned wait (if any) composes
+// the taps' waits and must run after unlocking.
 func (c *Cluster) tapCommitted(dnID int, recs []WriteRec) func() {
 	tb := c.tap.Load()
 	if tb == nil || len(recs) == 0 {
 		return nil
 	}
-	return tb.t.Committed(dnID, recs)
+	var waits []func()
+	for _, t := range tb.taps {
+		if w := t.Committed(dnID, recs); w != nil {
+			waits = append(waits, w)
+		}
+	}
+	switch len(waits) {
+	case 0:
+		return nil
+	case 1:
+		return waits[0]
+	}
+	return func() {
+		for _, w := range waits {
+			w()
+		}
+	}
 }
 
 // commitLeg commits one transaction leg under the node's commit lock and

@@ -4,9 +4,11 @@
 // vectorized execution engine operates on.
 //
 // Column tables are optimized for the paper's OLAP workloads: bulk ingest
-// and scan-heavy queries. Updates and deletes are intentionally not
-// supported on columnar tables (use row storage for mutable data); this
-// mirrors the common MPP engine split and is documented in DESIGN.md.
+// and scan-heavy queries. User-facing columnar tables are append-only
+// (updates and deletes go to row storage, mirroring the common MPP engine
+// split documented in DESIGN.md). Tables switched into delta-merge mode
+// with EnableTombstones — the HTAP analytical replicas — additionally
+// support MVCC deletes via per-row xmax stamps (see tombstone.go).
 package colstore
 
 import (
@@ -139,9 +141,22 @@ type Segment struct {
 	rows  int
 	cols  []column
 	xmins []txnkit.XID
+	// xmaxs holds per-row delete stamps in delta-merge mode (nil on
+	// append-only tables). Stamps are written by the HTAP apply goroutine
+	// while scans run, so every element access is atomic; 0 = not deleted.
+	xmaxs []uint64
 	// mins/maxs are the zone maps; Null marks columns without one
 	// (unorderable kind or no non-NULL values).
 	mins, maxs []types.Datum
+}
+
+// xmaxAt returns the delete stamp of row i (0 = never deleted). Element
+// access is atomic because tombstone stamping races concurrent scans.
+func (s *Segment) xmaxAt(i int) txnkit.XID {
+	if s.xmaxs == nil {
+		return 0
+	}
+	return txnkit.XID(atomic.LoadUint64(&s.xmaxs[i]))
 }
 
 // Rows returns the segment's row count.
@@ -197,9 +212,15 @@ func (s *Segment) Encoding(c int) string {
 // seal compresses buffered rows into a Segment. Column encodings are chosen
 // per column: RLE when integer runs average >= 2, dictionary when string
 // cardinality is below 50%, plain otherwise.
-func seal(schema *types.Schema, rows []types.Row, xmins []txnkit.XID) *Segment {
+func seal(schema *types.Schema, rows []types.Row, xmins []txnkit.XID, xmaxs []uint64) *Segment {
 	n := len(rows)
 	seg := &Segment{rows: n, xmins: append([]txnkit.XID(nil), xmins...)}
+	if xmaxs != nil {
+		seg.xmaxs = make([]uint64, n)
+		for i := range xmaxs {
+			atomic.StoreUint64(&seg.xmaxs[i], atomic.LoadUint64(&xmaxs[i]))
+		}
+	}
 	seg.cols = make([]column, schema.Len())
 	seg.mins = make([]types.Datum, schema.Len())
 	seg.maxs = make([]types.Datum, schema.Len())
@@ -413,6 +434,14 @@ type Table struct {
 	bufXmins []txnkit.XID
 	txm      *txnkit.TxnManager
 
+	// Delta-merge mode (HTAP replicas): bufXmaxs parallels buf with
+	// atomically-accessed delete stamps, and index locates live rows by
+	// encoded value for DeleteMatching. All nil on append-only tables.
+	mutable    bool
+	bufXmaxs   []uint64
+	index      map[string][]rowLoc
+	tombstones atomic.Int64
+
 	// Zone-map effectiveness counters, atomic because parallel query
 	// fragments (and concurrent statements) scan partitions concurrently.
 	segsScanned atomic.Int64
@@ -468,6 +497,10 @@ func (t *Table) Insert(xid txnkit.XID, row types.Row) error {
 	defer t.mu.Unlock()
 	t.buf = append(t.buf, row)
 	t.bufXmins = append(t.bufXmins, xid)
+	if t.mutable {
+		t.bufXmaxs = append(t.bufXmaxs, 0)
+		t.indexAddLocked(row, rowLoc{seg: -1, idx: len(t.buf) - 1})
+	}
 	if len(t.buf) >= SegmentRows {
 		t.sealLocked()
 	}
@@ -484,9 +517,21 @@ func (t *Table) Flush() {
 }
 
 func (t *Table) sealLocked() {
-	t.segments = append(t.segments, seal(t.schema, t.buf, t.bufXmins))
+	t.segments = append(t.segments, seal(t.schema, t.buf, t.bufXmins, t.bufXmaxs))
+	if t.mutable {
+		t.indexResealLocked(len(t.segments) - 1)
+	}
 	t.buf = nil
 	t.bufXmins = nil
+	t.bufXmaxs = nil
+}
+
+// DeltaLen returns the current delta-buffer length (cheap; the HTAP apply
+// loop polls it to decide when to seal on batch boundaries).
+func (t *Table) DeltaLen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.buf)
 }
 
 // SegmentCount returns the number of sealed segments.
@@ -526,6 +571,7 @@ func (t *Table) ScanBatchesWhere(xid txnkit.XID, snap *txnkit.Snapshot, cols []i
 	segs := t.segments
 	buf := t.buf
 	bufXmins := t.bufXmins
+	bufXmaxs := t.bufXmaxs
 	t.mu.RUnlock()
 
 	for _, seg := range segs {
@@ -544,7 +590,7 @@ func (t *Table) ScanBatchesWhere(xid txnkit.XID, snap *txnkit.Snapshot, cols []i
 			// Visibility selection vector first.
 			sel := make([]int, 0, hi-lo)
 			for i := lo; i < hi; i++ {
-				if t.txm.TupleVisible(snap, xid, seg.xmins[i], 0) {
+				if t.txm.TupleVisible(snap, xid, seg.xmins[i], seg.xmaxAt(i)) {
 					sel = append(sel, i)
 				}
 			}
@@ -586,7 +632,11 @@ func (t *Table) ScanBatchesWhere(xid txnkit.XID, snap *txnkit.Snapshot, cols []i
 			batch.Cols[v] = &Vector{Kind: t.schema.Columns[c].Kind}
 		}
 		for i, row := range buf {
-			if !t.txm.TupleVisible(snap, xid, bufXmins[i], 0) {
+			var xmax txnkit.XID
+			if bufXmaxs != nil {
+				xmax = txnkit.XID(atomic.LoadUint64(&bufXmaxs[i]))
+			}
+			if !t.txm.TupleVisible(snap, xid, bufXmins[i], xmax) {
 				continue
 			}
 			for v, c := range cols {

@@ -1,0 +1,276 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+func newDeltaTable(t *testing.T) (*Table, *txnkit.TxnManager) {
+	t.Helper()
+	tbl, txm := newColTable(t)
+	tbl.EnableTombstones()
+	return tbl, txm
+}
+
+func insertRows(t *testing.T, tbl *Table, txm *txnkit.TxnManager, rows []types.Row) {
+	t.Helper()
+	xid := txm.Begin()
+	for _, r := range rows {
+		if err := tbl.Insert(xid, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txm.Commit(xid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func visibleIDs(tbl *Table, txm *txnkit.TxnManager) map[int64]int {
+	snap := txm.LocalSnapshot()
+	ids := map[int64]int{}
+	tbl.ScanRows(0, &snap, func(r types.Row) bool {
+		ids[r[0].Int()]++
+		return true
+	})
+	return ids
+}
+
+func TestDeleteMatchingInDelta(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	loadRows(t, tbl, txm, 10) // stays in the delta buffer (< SegmentRows)
+
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	victim := types.Row{
+		types.NewInt(0), types.NewString("g3"), types.NewFloat(1.5),
+		rowAtCol3(t, tbl, txm, 3),
+	}
+	if err := tbl.DeleteMatching(xid, &snap, victim); err != nil {
+		t.Fatalf("DeleteMatching: %v", err)
+	}
+	if err := txm.Commit(xid); err != nil {
+		t.Fatal(err)
+	}
+	after := txm.LocalSnapshot()
+	if got := tbl.VisibleCount(0, &after); got != 9 {
+		t.Errorf("visible after delete = %d, want 9", got)
+	}
+	if got := tbl.Stats().Tombstones; got != 1 {
+		t.Errorf("tombstones = %d, want 1", got)
+	}
+}
+
+// rowAtCol3 fetches the ts datum of the row with val==want so the victim
+// row matches exactly.
+func rowAtCol3(t *testing.T, tbl *Table, txm *txnkit.TxnManager, id int64) types.Datum {
+	t.Helper()
+	snap := txm.LocalSnapshot()
+	var d types.Datum
+	found := false
+	tbl.ScanRows(0, &snap, func(r types.Row) bool {
+		if r[0].Int() == id/100 && r[2].Float() == float64(id)*0.5 {
+			d, found = r[3], true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("row %d not found", id)
+	}
+	return d
+}
+
+func TestDeleteMatchingAcrossSeal(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	loadRows(t, tbl, txm, 100)
+	tbl.Flush() // rows move to a sealed segment; index must follow
+
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	victim := types.Row{
+		types.NewInt(0), types.NewString("g3"),
+		types.NewFloat(0.5 * 7), rowAtCol3(t, tbl, txm, 7),
+	}
+	if err := tbl.DeleteMatching(xid, &snap, victim); err != nil {
+		t.Fatalf("DeleteMatching after seal: %v", err)
+	}
+	if err := txm.Commit(xid); err != nil {
+		t.Fatal(err)
+	}
+	after := txm.LocalSnapshot()
+	if got := tbl.VisibleCount(0, &after); got != 99 {
+		t.Errorf("visible = %d, want 99", got)
+	}
+	// Deleting the same row again is a divergence error.
+	xid2 := txm.Begin()
+	snap2 := txm.LocalSnapshot()
+	if err := tbl.DeleteMatching(xid2, &snap2, victim); err == nil {
+		t.Error("second delete of the same row succeeded")
+	}
+	_ = txm.Abort(xid2)
+}
+
+func TestDeleteRespectsSnapshots(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	rows := []types.Row{mkTsRow(1, "a", 1), mkTsRow(2, "a", 2)}
+	insertRows(t, tbl, txm, rows)
+
+	// A snapshot taken before the delete commits must still see both rows.
+	before := txm.LocalSnapshot()
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	if err := tbl.DeleteMatching(xid, &snap, rows[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Deleter's own snapshot: the row is gone for xid itself via xmax.
+	if err := txm.Commit(xid); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := tbl.VisibleCount(0, &before); got != 2 {
+		t.Errorf("pre-delete snapshot sees %d rows, want 2", got)
+	}
+	after := txm.LocalSnapshot()
+	if got := tbl.VisibleCount(0, &after); got != 1 {
+		t.Errorf("post-delete snapshot sees %d rows, want 1", got)
+	}
+}
+
+func mkTsRow(id int64, grp string, val float64) types.Row {
+	return types.Row{
+		types.NewInt(id),
+		types.NewString(grp),
+		types.NewFloat(val),
+		types.Null,
+	}
+}
+
+func TestDeleteWhere(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	var rows []types.Row
+	for i := int64(0); i < 40; i++ {
+		rows = append(rows, mkTsRow(i, fmt.Sprintf("g%d", i%2), float64(i)))
+	}
+	insertRows(t, tbl, txm, rows[:20])
+	tbl.Flush()
+	insertRows(t, tbl, txm, rows[20:]) // second half stays in delta
+
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	n := tbl.DeleteWhere(xid, &snap, func(r types.Row) bool { return r[0].Int()%2 == 0 })
+	if err := txm.Commit(xid); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Errorf("DeleteWhere stamped %d rows, want 20", n)
+	}
+	ids := visibleIDs(tbl, txm)
+	if len(ids) != 20 {
+		t.Errorf("visible ids = %d, want 20", len(ids))
+	}
+	for id := range ids {
+		if id%2 == 0 {
+			t.Errorf("even id %d survived DeleteWhere", id)
+		}
+	}
+}
+
+func TestAbortedDeleteLeavesRowVisible(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	row := mkTsRow(1, "a", 1)
+	insertRows(t, tbl, txm, []types.Row{row})
+
+	xid := txm.Begin()
+	snap := txm.LocalSnapshot()
+	if err := tbl.DeleteMatching(xid, &snap, row); err != nil {
+		t.Fatal(err)
+	}
+	if err := txm.Abort(xid); err != nil {
+		t.Fatal(err)
+	}
+	after := txm.LocalSnapshot()
+	if got := tbl.VisibleCount(0, &after); got != 1 {
+		t.Errorf("row invisible after aborted delete (visible=%d)", got)
+	}
+}
+
+// TestConcurrentDeleteAndScan runs deletes against concurrent scans with
+// the race detector watching the atomic xmax words.
+func TestConcurrentDeleteAndScan(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	var rows []types.Row
+	for i := int64(0); i < 400; i++ {
+		rows = append(rows, mkTsRow(i, "g", float64(i)))
+	}
+	insertRows(t, tbl, txm, rows[:200])
+	tbl.Flush()
+	insertRows(t, tbl, txm, rows[200:])
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 400; i += 2 {
+			xid := txm.Begin()
+			snap := txm.LocalSnapshot()
+			if err := tbl.DeleteMatching(xid, &snap, rows[i]); err != nil {
+				t.Errorf("delete %d: %v", i, err)
+			}
+			_ = txm.Commit(xid)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			snap := txm.LocalSnapshot()
+			tbl.ScanRows(0, &snap, func(r types.Row) bool { return true })
+		}
+	}()
+	wg.Wait()
+	ids := visibleIDs(tbl, txm)
+	if len(ids) != 200 {
+		t.Errorf("visible = %d, want 200", len(ids))
+	}
+	if got := tbl.Stats().Tombstones; got != 200 {
+		t.Errorf("tombstones = %d, want 200", got)
+	}
+}
+
+func TestStatsAndCompression(t *testing.T) {
+	tbl, txm := newDeltaTable(t)
+	loadRows(t, tbl, txm, 300)
+	tbl.Flush()
+	loadRows(t, tbl, txm, 5)
+
+	st := tbl.Stats()
+	if st.Segments != 1 || st.SegmentRows != 300 || st.DeltaRows != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.LogicalValues == 0 || st.CompressedValues == 0 {
+		t.Errorf("value counters empty: %+v", st)
+	}
+	if r := st.CompressionRatio(); r < 1 {
+		t.Errorf("compression ratio %.2f < 1 on RLE-friendly data", r)
+	}
+	var agg TableStats
+	agg.Add(st)
+	agg.Add(st)
+	if agg.Segments != 2 || agg.SegmentRows != 600 {
+		t.Errorf("aggregated stats = %+v", agg)
+	}
+}
+
+func TestEnableTombstonesPanicsOnNonEmpty(t *testing.T) {
+	tbl, txm := newColTable(t)
+	loadRows(t, tbl, txm, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("EnableTombstones on non-empty table did not panic")
+		}
+	}()
+	tbl.EnableTombstones()
+}

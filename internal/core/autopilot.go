@@ -145,6 +145,37 @@ func (a *Autopilot) Tick() []Action {
 		}
 	}
 
+	// HTAP analytical replicas (when enabled): apply watermarks, routing
+	// outcomes, and the replicas' columnar storage shape.
+	if h := a.db.htap; h != nil {
+		st := h.Status()
+		a.Info.Record("htap.replicas", float64(len(st.Replicas)))
+		a.Info.Record("htap.records_applied", float64(st.RecordsApplied))
+		a.Info.Record("htap.legs_applied", float64(st.LegsApplied))
+		a.Info.Record("htap.max_replica_lag", float64(st.MaxLagRecords))
+		a.Info.Record("htap.queries_offloaded", float64(st.QueriesOffloaded))
+		a.Info.Record("htap.queries_degraded", float64(st.QueriesDegraded))
+		a.Info.Record("htap.gate_blocks", float64(st.GateBlocks))
+		a.Info.Record("htap.gate_timeouts", float64(st.GateTimeouts))
+		var lag int64
+		for _, rs := range st.Replicas {
+			lag += rs.LagRecords
+		}
+		a.Info.Record("htap.lag_records", float64(lag))
+	}
+
+	// Columnar storage health across the cluster's own columnar tables:
+	// segment shape, tombstone accumulation, compression, zone-map pruning.
+	colTS, colSS := c.ColstoreStats()
+	a.Info.Record("colstore.segments", float64(colTS.Segments))
+	a.Info.Record("colstore.segment_rows", float64(colTS.SegmentRows))
+	a.Info.Record("colstore.delta_rows", float64(colTS.DeltaRows))
+	a.Info.Record("colstore.tombstones", float64(colTS.Tombstones))
+	a.Info.Record("colstore.compression_ratio", colTS.CompressionRatio())
+	a.Info.Record("colstore.segs_scanned", float64(colSS.SegmentsScanned))
+	a.Info.Record("colstore.segs_pruned", float64(colSS.SegmentsPruned))
+	a.Info.Record("colstore.rows_scanned", float64(colSS.RowsScanned))
+
 	// --- act (self-healing / self-configuring) -------------------------
 	if inDoubt > 0 {
 		committed, aborted := c.RecoverInDoubt()

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/htap"
 	"repro/internal/multimodel"
 	"repro/internal/planstore"
 	"repro/internal/rebalance"
@@ -78,6 +79,7 @@ type DB struct {
 	def     *cluster.Session
 	repl    *repl.Manager
 	srv     *server.Server
+	htap    *htap.Manager
 }
 
 // Open builds a cluster and attaches the graph, time-series and spatial
@@ -113,6 +115,9 @@ func Open(opts Options) (*DB, error) {
 func (db *DB) Close() {
 	if db.srv != nil {
 		db.srv.Close()
+	}
+	if db.htap != nil {
+		db.htap.Close()
 	}
 	if db.repl != nil {
 		db.repl.Close()
@@ -221,6 +226,29 @@ func (db *DB) EnableHA(cfg repl.Config) (*repl.Manager, error) {
 
 // HA returns the replication manager, or nil before EnableHA.
 func (db *DB) HA() *repl.Manager { return db.repl }
+
+// EnableHTAP attaches columnar analytical replicas (internal/htap): every
+// primary shard gets a columnar mirror seeded under a cluster-wide barrier
+// and fed from the commit-log tap from then on. Large scans, aggregates
+// and NDP-shaped statements route to the replicas subject to the
+// freshness bound in cfg; point reads, DML, and transactions that have
+// already written stay on the row primaries. Call it while the workload
+// is quiesced (seeding drains in-flight writes, like EnableHA). Close()
+// tears the manager down.
+func (db *DB) EnableHTAP(cfg htap.Config) (*htap.Manager, error) {
+	if db.htap != nil {
+		return nil, errors.New("core: HTAP already enabled")
+	}
+	m, err := htap.Enable(db.cluster, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: enabling HTAP: %w", err)
+	}
+	db.htap = m
+	return m, nil
+}
+
+// HTAP returns the analytical-replica manager, or nil before EnableHTAP.
+func (db *DB) HTAP() *htap.Manager { return db.htap }
 
 // NewServer attaches the front door (internal/server): client sessions,
 // the wire protocol, and per-statement SLA admission control. One server

@@ -21,6 +21,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/gmdb"
 	"repro/internal/gmdb/schema"
+	"repro/internal/htap"
 	"repro/internal/mme"
 	"repro/internal/perfsim"
 	"repro/internal/rebalance"
@@ -1421,4 +1422,264 @@ func NDP(w io.Writer) error {
 		return fmt.Errorf("ndp: bloom join shipped %d B vs pull-up %d B — wanted strictly fewer", bloom, pull)
 	}
 	return nil
+}
+
+// HTAP (E19) validates the columnar analytical replicas (§II-III,
+// GaussDB/Taurus) on the live engine in three phases: (A) identity — every
+// analytical answer from the replicas matches the primary row path at
+// every freshness setting and policy; (B) OLTP isolation — TPC-C
+// throughput with concurrent analytics on the replicas vs the same
+// analytics competing on the primaries; (C) the freshness-bound vs
+// analytical-throughput trade-off under sustained write load.
+func HTAP(w io.Writer, txns int) error {
+	analyticalQs := []string{
+		"SELECT count(*), sum(s_qty) FROM stock",
+		"SELECT o_w_id, count(*), sum(o_lines) FROM orders GROUP BY o_w_id ORDER BY o_w_id",
+		"SELECT sum(c_balance), sum(c_payments), count(*) FROM customer",
+		"SELECT d_w_id, sum(d_ytd) FROM district GROUP BY d_w_id ORDER BY d_w_id",
+	}
+	cfg := tpcc.DefaultConfig(4, 0.9)
+
+	// --- Phase A: identity at every freshness setting --------------------
+	c, err := cluster.New(cluster.Config{DataNodes: 4})
+	if err != nil {
+		return err
+	}
+	if err := tpcc.Load(c, cfg); err != nil {
+		return err
+	}
+	m, err := htap.Enable(c, htap.Config{})
+	if err != nil {
+		return err
+	}
+	d := tpcc.NewDriver(c, cfg, 0)
+	if err := d.Run(txns / 2); err != nil {
+		m.Close()
+		return err
+	}
+	if err := m.WaitCaughtUp(10 * time.Second); err != nil {
+		m.Close()
+		return err
+	}
+	settings := []struct {
+		bound  int64
+		policy htap.Policy
+	}{
+		{0, htap.PolicyBlock},
+		{0, htap.PolicyDegrade},
+		{256, htap.PolicyBlock},
+		{1 << 20, htap.PolicyBlock},
+	}
+	s := c.NewSession()
+	for _, set := range settings {
+		m.SetFreshnessBound(set.bound)
+		m.SetPolicy(set.policy)
+		for _, q := range analyticalQs {
+			c.DisableHTAPReads = true
+			want, err := s.Exec(q)
+			if err != nil {
+				m.Close()
+				return err
+			}
+			c.DisableHTAPReads = false
+			got, err := s.Exec(q)
+			if err != nil {
+				m.Close()
+				return err
+			}
+			if fmt.Sprintf("%v", got.Rows) != fmt.Sprintf("%v", want.Rows) {
+				m.Close()
+				return fmt.Errorf("htap: replica answer diverges from primary at bound=%d policy=%s for %q",
+					set.bound, set.policy, q)
+			}
+		}
+	}
+	offloadedA := m.Status().QueriesOffloaded
+	if offloadedA == 0 {
+		m.Close()
+		return errors.New("htap: no statement offloaded to the replicas in phase A")
+	}
+	m.Close()
+
+	// --- Phase B: OLTP throughput, analytics on primary vs replicas ------
+	type phaseB struct {
+		name      string
+		enable    bool // HTAP replicas on
+		analytics bool // concurrent analytical scanner on
+	}
+	configs := []phaseB{
+		{"tpcc alone", false, false},
+		{"analytics on primary", false, true},
+		{"analytics on replicas", true, true},
+	}
+	tput := map[string]float64{}
+	var rowsB [][]string
+	for _, pb := range configs {
+		c, err := cluster.New(cluster.Config{DataNodes: 4})
+		if err != nil {
+			return err
+		}
+		if err := tpcc.Load(c, cfg); err != nil {
+			return err
+		}
+		var m *htap.Manager
+		if pb.enable {
+			if m, err = htap.Enable(c, htap.Config{MaxLagRecords: 1 << 20}); err != nil {
+				return err
+			}
+		}
+		stopScan := make(chan struct{})
+		var scanned int64
+		var wg sync.WaitGroup
+		if pb.analytics {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sess := c.NewSession()
+				for i := 0; ; i++ {
+					select {
+					case <-stopScan:
+						return
+					default:
+					}
+					if _, err := sess.Exec(analyticalQs[i%len(analyticalQs)]); err == nil {
+						scanned++
+					}
+				}
+			}()
+		}
+		d := tpcc.NewDriver(c, cfg, 1)
+		start := time.Now()
+		err = d.Run(txns)
+		elapsed := time.Since(start)
+		close(stopScan)
+		wg.Wait()
+		if err != nil {
+			return err
+		}
+		invariant := "OK"
+		if err := tpcc.CheckInvariants(c, cfg); err != nil {
+			invariant = err.Error()
+		}
+		offloaded := int64(0)
+		if m != nil {
+			if err := m.WaitCaughtUp(10 * time.Second); err != nil {
+				return err
+			}
+			st := m.Status()
+			offloaded = st.QueriesOffloaded
+			// Zero-divergence check: every replica partition digest equals
+			// its primary's.
+			for _, rs := range st.Replicas {
+				for _, tbl := range c.DistributedTableNames() {
+					want, err := c.PartitionDigest(tbl, rs.DN, rs.DN)
+					if err != nil {
+						return err
+					}
+					got, err := m.ReplicaDigest(tbl, rs.DN)
+					if err != nil {
+						return err
+					}
+					if got != want {
+						return fmt.Errorf("htap: %s replica on dn%d diverged from primary", tbl, rs.DN)
+					}
+				}
+			}
+			m.Close()
+		}
+		tput[pb.name] = float64(d.Stats.Committed) / elapsed.Seconds()
+		rowsB = append(rowsB, []string{
+			pb.name,
+			fmt.Sprintf("%d", d.Stats.Committed),
+			benchfmt.F(tput[pb.name]),
+			fmt.Sprintf("%d", scanned),
+			fmt.Sprintf("%d", offloaded),
+			invariant,
+		})
+	}
+	benchfmt.Table(w, "HTAP — TPC-C with concurrent analytics, primary vs columnar replicas (E19)",
+		[]string{"configuration", "committed", "txn/s", "analytical q", "offloaded", "invariants"}, rowsB)
+	if tput["analytics on replicas"] < 0.5*tput["tpcc alone"] {
+		return fmt.Errorf("htap: OLTP throughput %.0f txn/s with replica analytics vs %.0f alone — regression beyond noise",
+			tput["analytics on replicas"], tput["tpcc alone"])
+	}
+
+	// --- Phase C: freshness bound vs analytical throughput ---------------
+	c, err = cluster.New(cluster.Config{DataNodes: 4})
+	if err != nil {
+		return err
+	}
+	if err := tpcc.Load(c, cfg); err != nil {
+		return err
+	}
+	m, err = htap.Enable(c, htap.Config{BlockTimeout: 250 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+
+	stopWrites := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		wd := tpcc.NewDriver(c, cfg, 2)
+		for {
+			select {
+			case <-stopWrites:
+				return
+			default:
+			}
+			_ = wd.RunOne()
+		}
+	}()
+
+	sweep := []struct {
+		bound  int64
+		policy htap.Policy
+	}{
+		{0, htap.PolicyBlock},
+		{0, htap.PolicyDegrade},
+		{64, htap.PolicyBlock},
+		{1024, htap.PolicyBlock},
+		{1 << 20, htap.PolicyBlock},
+	}
+	var rowsC [][]string
+	sess := c.NewSession()
+	const probes = 40
+	for _, set := range sweep {
+		m.SetFreshnessBound(set.bound)
+		m.SetPolicy(set.policy)
+		before := m.Status()
+		start := time.Now()
+		for i := 0; i < probes; i++ {
+			if _, err := sess.Exec(analyticalQs[i%len(analyticalQs)]); err != nil {
+				close(stopWrites)
+				wwg.Wait()
+				return err
+			}
+		}
+		elapsed := time.Since(start)
+		after := m.Status()
+		rowsC = append(rowsC, []string{
+			fmt.Sprintf("%d", set.bound),
+			set.policy.String(),
+			benchfmt.F(float64(probes) / elapsed.Seconds()),
+			fmt.Sprintf("%d", after.QueriesOffloaded-before.QueriesOffloaded),
+			fmt.Sprintf("%d", after.QueriesDegraded-before.QueriesDegraded),
+			fmt.Sprintf("%d", after.MaxLagRecords),
+		})
+	}
+	close(stopWrites)
+	wwg.Wait()
+	benchfmt.Table(w, "HTAP — freshness bound vs analytical throughput under write load (E19)",
+		[]string{"bound (recs)", "policy", "analytical q/s", "offloaded", "degraded", "lag"}, rowsC)
+
+	if err := m.WaitCaughtUp(10 * time.Second); err != nil {
+		return err
+	}
+	if err := tpcc.CheckInvariants(c, cfg); err != nil {
+		return fmt.Errorf("htap: invariants after phase C: %w", err)
+	}
+	return m.Err()
 }

@@ -1,0 +1,586 @@
+// Package htap implements HTAP analytical replicas (paper §II-III,
+// GaussDB/Taurus; Polynesia in PAPERS.md): per-shard columnar replicas fed
+// by the cluster's commit-log tap, kept consistent with the row primaries
+// by replaying committed write records in per-DN commit order.
+//
+// Each primary data node gets one replica: a set of colstore tables in
+// delta-merge mode (insert append + xmax tombstones for update/delete)
+// under a replica-local transaction manager, so analytical scans read a
+// transactionally consistent per-DN prefix of the commit stream. A
+// configurable freshness bound (maximum apply lag, in records) governs
+// routing: a statement whose replicas lag beyond the bound either blocks
+// until they catch up (PolicyBlock) or degrades to the primary row path
+// (PolicyDegrade). Consistency is enforced by that bound, not by shared
+// locks — analytical scans never contend with OLTP commits.
+package htap
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/colstore"
+	"repro/internal/plan"
+	"repro/internal/txnkit"
+	"repro/internal/types"
+)
+
+// Policy selects what a statement does when its replicas exceed the
+// freshness bound.
+type Policy uint8
+
+const (
+	// PolicyBlock waits (up to BlockTimeout) for the apply watermark to
+	// catch up, then degrades.
+	PolicyBlock Policy = iota
+	// PolicyDegrade sends the statement to the primary row path
+	// immediately.
+	PolicyDegrade
+)
+
+func (p Policy) String() string {
+	if p == PolicyDegrade {
+		return "degrade"
+	}
+	return "block"
+}
+
+// Config tunes the HTAP manager. The zero value is a strict configuration:
+// replicas must be fully applied (lag 0) before serving, blocking up to
+// the default timeout.
+type Config struct {
+	// MaxLagRecords is the freshness bound: the largest apply lag (records
+	// enqueued minus applied, per replica) at which a replica may still
+	// serve analytical reads. 0 requires fully-applied replicas.
+	MaxLagRecords int64
+	// Policy picks blocking vs degrading when the bound is exceeded.
+	Policy Policy
+	// BlockTimeout caps how long PolicyBlock waits before degrading
+	// (default 2s).
+	BlockTimeout time.Duration
+	// MergeBatch is the maximum number of commit legs merged per apply
+	// round (default 32).
+	MergeBatch int
+	// SealRows seals a replica table's delta buffer into a compressed
+	// segment once it holds at least this many rows (default 512; the
+	// colstore also self-seals at colstore.SegmentRows regardless).
+	SealRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockTimeout <= 0 {
+		c.BlockTimeout = 2 * time.Second
+	}
+	if c.MergeBatch <= 0 {
+		c.MergeBatch = 32
+	}
+	if c.SealRows <= 0 {
+		c.SealRows = 512
+	}
+	return c
+}
+
+// replTable is one replicated table on one replica.
+type replTable struct {
+	tbl  *colstore.Table
+	meta *plan.TableMeta
+}
+
+// leg is one committed transaction leg's records, queued for apply.
+type leg struct {
+	recs []cluster.WriteRec
+}
+
+// replica is the columnar mirror of one primary data node.
+type replica struct {
+	dn int
+	// txm is the replica-local transaction manager; one per replica, so
+	// snapshots are consistent across all of its tables.
+	txm *txnkit.TxnManager
+
+	tmu    sync.RWMutex
+	tables map[string]*replTable
+
+	qmu   sync.Mutex
+	queue []leg
+	wake  chan struct{}
+
+	// Watermarks, all monotonic: enq* advance under the primary's commit
+	// lock, app* advance as the apply loop commits replica transactions.
+	enqLegs atomic.Int64
+	enqRecs atomic.Int64
+	appLegs atomic.Int64
+	appRecs atomic.Int64
+}
+
+// lag returns the replica's current apply lag in records.
+func (r *replica) lag() int64 { return r.enqRecs.Load() - r.appRecs.Load() }
+
+func (r *replica) table(name string) *replTable {
+	r.tmu.RLock()
+	defer r.tmu.RUnlock()
+	return r.tables[name]
+}
+
+// Manager owns the analytical replicas: it subscribes to the cluster
+// commit tap, runs one apply goroutine per replica, and implements
+// cluster.AnalyticalProvider for statement routing.
+type Manager struct {
+	c        *cluster.Cluster
+	cfg      Config
+	replicas map[int]*replica // keyed by primary dn; immutable after Enable
+
+	// Runtime-adjustable freshness knobs (E19 sweeps them on a live
+	// manager).
+	maxLag       atomic.Int64
+	policy       atomic.Int32
+	blockTimeout atomic.Int64 // nanoseconds
+
+	detach func() // commit-tap unsubscribe
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// paused freezes the apply loops mid-stream (freshness-bound tests).
+	paused atomic.Bool
+
+	// failure poisons the manager: apply hit a divergence it cannot
+	// repair, so the gate refuses every statement from then on.
+	failure atomic.Pointer[applyFailure]
+
+	// Routing counters.
+	offloaded    atomic.Int64
+	degraded     atomic.Int64
+	gateBlocks   atomic.Int64
+	gateTimeouts atomic.Int64
+}
+
+type applyFailure struct{ err error }
+
+// Enable builds columnar replicas of every distributed table under a
+// cluster-wide barrier, subscribes to the commit tap before the barrier
+// lifts (so the replicas see exactly the seed plus every later committed
+// record), installs analytical-read routing, and starts the apply loops.
+func Enable(c *cluster.Cluster, cfg Config) (*Manager, error) {
+	m := &Manager{
+		c:        c,
+		cfg:      cfg.withDefaults(),
+		replicas: make(map[int]*replica),
+		stop:     make(chan struct{}),
+	}
+	m.maxLag.Store(m.cfg.MaxLagRecords)
+	m.policy.Store(int32(m.cfg.Policy))
+	m.blockTimeout.Store(int64(m.cfg.BlockTimeout))
+
+	err := c.SeedAnalyticalReplicas(func(primaries []int, seeds []cluster.AnalyticalSeed) error {
+		for _, dn := range primaries {
+			m.replicas[dn] = &replica{
+				dn:     dn,
+				txm:    txnkit.NewTxnManager(),
+				tables: make(map[string]*replTable),
+				wake:   make(chan struct{}, 1),
+			}
+		}
+		for _, seed := range seeds {
+			for dn, rows := range seed.Rows {
+				r := m.replicas[dn]
+				rt := r.createTable(seed.Meta)
+				xid := r.txm.Begin()
+				for _, row := range rows {
+					if err := rt.tbl.Insert(xid, row); err != nil {
+						_ = r.txm.Abort(xid)
+						return fmt.Errorf("htap: seeding %q on dn%d: %w", seed.Meta.Name, dn, err)
+					}
+				}
+				if err := r.txm.Commit(xid); err != nil {
+					return err
+				}
+				rt.tbl.Flush()
+			}
+		}
+		// Subscribe while the barrier is still held: every commit after
+		// this point reaches the queues, and none before it can.
+		m.detach = c.AddCommitTap(m)
+		return nil
+	})
+	if err != nil {
+		if m.detach != nil {
+			m.detach()
+		}
+		return nil, err
+	}
+	for _, r := range m.replicas {
+		m.wg.Add(1)
+		go m.applyReplica(r)
+	}
+	c.SetAnalyticalReads(m)
+	return m, nil
+}
+
+// Close detaches routing and the commit tap, then stops the apply loops.
+// Queued-but-unapplied records are dropped — the replicas are disposable
+// derived state.
+func (m *Manager) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	m.c.SetAnalyticalReads(nil)
+	if m.detach != nil {
+		m.detach()
+	}
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// createTable registers an empty delta-merge table on the replica.
+func (r *replica) createTable(meta *plan.TableMeta) *replTable {
+	tbl := colstore.NewTable(meta.Name, meta.Schema, r.txm)
+	tbl.EnableTombstones()
+	rt := &replTable{tbl: tbl, meta: meta}
+	r.tmu.Lock()
+	r.tables[meta.Name] = rt
+	r.tmu.Unlock()
+	return rt
+}
+
+// ---------------------------------------------------------------------------
+// Commit-tap ingest
+// ---------------------------------------------------------------------------
+
+// Committed implements cluster.CommitTap. It runs under the data node's
+// commit lock, so it only enqueues: the records land in the replica's
+// queue in commit order and the watermarks advance. Legs from nodes
+// without a replica (standbys, post-enable primaries) are ignored — their
+// fragments read the primary.
+func (m *Manager) Committed(dnID int, recs []cluster.WriteRec) func() {
+	r := m.replicas[dnID]
+	if r == nil {
+		return nil
+	}
+	r.qmu.Lock()
+	r.queue = append(r.queue, leg{recs: recs})
+	r.qmu.Unlock()
+	r.enqLegs.Add(1)
+	r.enqRecs.Add(int64(len(recs)))
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// take dequeues up to max legs.
+func (r *replica) take(max int) []leg {
+	r.qmu.Lock()
+	defer r.qmu.Unlock()
+	n := len(r.queue)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := append([]leg(nil), r.queue[:n]...)
+	rest := r.queue[n:]
+	if len(rest) == 0 {
+		r.queue = nil // release the backing array
+	} else {
+		r.queue = append(r.queue[:0], rest...)
+	}
+	return out
+}
+
+// applyReplica is one replica's apply loop: drain queued legs in batches,
+// replay each leg as one replica-local transaction, seal delta buffers on
+// batch boundaries.
+func (m *Manager) applyReplica(r *replica) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-r.wake:
+		}
+		for !m.paused.Load() {
+			legs := r.take(m.cfg.MergeBatch)
+			if len(legs) == 0 {
+				break
+			}
+			for _, l := range legs {
+				if err := m.applyLeg(r, l.recs); err != nil {
+					m.failure.Store(&applyFailure{err: err})
+					return
+				}
+				r.appLegs.Add(1)
+				r.appRecs.Add(int64(len(l.recs)))
+			}
+			// Batch boundary: seal delta buffers that crossed the merge
+			// threshold so scans run on compressed, zone-mapped segments.
+			r.tmu.RLock()
+			for _, rt := range r.tables {
+				if rt.tbl.DeltaLen() >= m.cfg.SealRows {
+					rt.tbl.Flush()
+				}
+			}
+			r.tmu.RUnlock()
+		}
+	}
+}
+
+// applyLeg replays one committed leg as a single replica transaction, so
+// the leg's writes become visible atomically, exactly as they did on the
+// primary.
+func (m *Manager) applyLeg(r *replica, recs []cluster.WriteRec) error {
+	xid := r.txm.Begin()
+	snap := r.txm.LocalSnapshot()
+	for _, rec := range recs {
+		rt := r.table(rec.Table)
+		if rt == nil {
+			// Table created after Enable: the tap has carried every write
+			// since its creation, so an empty replica table is exact.
+			meta, err := m.c.Resolve(rec.Table)
+			if err != nil {
+				_ = r.txm.Abort(xid)
+				return fmt.Errorf("htap: dn%d: unknown table %q in commit stream: %w", r.dn, rec.Table, err)
+			}
+			rt = r.createTable(meta)
+		}
+		var err error
+		switch rec.Op {
+		case cluster.OpInsert:
+			err = rt.tbl.Insert(xid, rec.Row)
+		case cluster.OpUpdate:
+			if err = rt.tbl.DeleteMatching(xid, &snap, rec.Old); err == nil {
+				err = rt.tbl.Insert(xid, rec.Row)
+			}
+		case cluster.OpDelete:
+			err = rt.tbl.DeleteMatching(xid, &snap, rec.Old)
+		case cluster.OpReap:
+			// The primary physically drops the bucket's rows after a
+			// migration; the replica expresses the same removal as an MVCC
+			// delete, which future snapshots see identically.
+			if dk := rt.meta.DistKey; dk >= 0 {
+				rt.tbl.DeleteWhere(xid, &snap, func(row types.Row) bool {
+					return cluster.BucketOf(row[dk]) == rec.Bucket
+				})
+			}
+		}
+		if err != nil {
+			_ = r.txm.Abort(xid)
+			return fmt.Errorf("htap: dn%d: replica diverged applying %s on %q: %w", r.dn, rec.Op, rec.Table, err)
+		}
+	}
+	return r.txm.Commit(xid)
+}
+
+// ---------------------------------------------------------------------------
+// Routing: cluster.AnalyticalProvider
+// ---------------------------------------------------------------------------
+
+// Gate implements the freshness bound. Called once per analytical
+// statement with the primaries it would scan; true admits the statement to
+// the replicas. Under PolicyBlock a stale replica is waited on — the
+// target watermark is captured at gate time, so the wait terminates as
+// long as the apply loop is running (and times out into degradation when
+// it is paused or wedged).
+func (m *Manager) Gate(dnIDs []int) bool {
+	if m.failure.Load() != nil || m.closed.Load() {
+		m.degraded.Add(1)
+		return false
+	}
+	maxLag := m.maxLag.Load()
+	var stale []*replica
+	var targets []int64
+	for _, dn := range dnIDs {
+		r := m.replicas[dn]
+		if r == nil {
+			continue // no replica: that fragment reads the primary anyway
+		}
+		if enq := r.enqRecs.Load(); enq-r.appRecs.Load() > maxLag {
+			stale = append(stale, r)
+			targets = append(targets, enq-maxLag)
+		}
+	}
+	if len(stale) == 0 {
+		m.offloaded.Add(1)
+		return true
+	}
+	if Policy(m.policy.Load()) == PolicyDegrade {
+		m.degraded.Add(1)
+		return false
+	}
+	m.gateBlocks.Add(1)
+	deadline := time.Now().Add(time.Duration(m.blockTimeout.Load()))
+	for i, r := range stale {
+		for r.appRecs.Load() < targets[i] {
+			if time.Now().After(deadline) {
+				m.gateTimeouts.Add(1)
+				m.degraded.Add(1)
+				return false
+			}
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+	m.offloaded.Add(1)
+	return true
+}
+
+// Replica implements cluster.AnalyticalProvider table lookup.
+func (m *Manager) Replica(name string, dn int) (*colstore.Table, *txnkit.TxnManager, bool) {
+	r := m.replicas[dn]
+	if r == nil {
+		return nil, nil, false
+	}
+	rt := r.table(name)
+	if rt == nil {
+		return nil, nil, false
+	}
+	return rt.tbl, r.txm, true
+}
+
+// ---------------------------------------------------------------------------
+// Freshness knobs, test hooks, verification
+// ---------------------------------------------------------------------------
+
+// SetFreshnessBound adjusts the maximum apply lag (records) at runtime.
+func (m *Manager) SetFreshnessBound(records int64) { m.maxLag.Store(records) }
+
+// SetPolicy adjusts the staleness policy at runtime.
+func (m *Manager) SetPolicy(p Policy) { m.policy.Store(int32(p)) }
+
+// SetBlockTimeout adjusts how long PolicyBlock waits before degrading.
+func (m *Manager) SetBlockTimeout(d time.Duration) { m.blockTimeout.Store(int64(d)) }
+
+// SetApplyPaused freezes (true) or resumes (false) every apply loop —
+// enqueued records accumulate as lag while paused. Test hook for the
+// freshness bound.
+func (m *Manager) SetApplyPaused(paused bool) {
+	m.paused.Store(paused)
+	if !paused {
+		for _, r := range m.replicas {
+			select {
+			case r.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// Err returns the apply failure that poisoned the manager, if any.
+func (m *Manager) Err() error {
+	if f := m.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// WaitCaughtUp blocks until every replica's applied watermark reaches the
+// enqueue watermark observed at call time, or the timeout expires.
+func (m *Manager) WaitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, r := range m.replicas {
+		target := r.enqRecs.Load()
+		for r.appRecs.Load() < target {
+			if err := m.Err(); err != nil {
+				return err
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("htap: dn%d apply lag %d records after %v", r.dn, r.lag(), timeout)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// ReplicaDigest digests the replica rows of table name on dn that the
+// routing map currently assigns to dn, under a fresh replica snapshot —
+// directly comparable to cluster.PartitionDigest(name, dn, dn).
+func (m *Manager) ReplicaDigest(name string, dn int) (cluster.TableDigest, error) {
+	r := m.replicas[dn]
+	if r == nil {
+		return cluster.TableDigest{}, fmt.Errorf("htap: no replica for dn%d", dn)
+	}
+	rt := r.table(name)
+	if rt == nil {
+		return cluster.TableDigest{}, fmt.Errorf("htap: no replica table %q on dn%d", name, dn)
+	}
+	owns := m.c.OwnsRow(rt.meta, dn)
+	snap := r.txm.LocalSnapshot()
+	var rows []types.Row
+	rt.tbl.ScanRows(0, &snap, func(row types.Row) bool {
+		if owns == nil || owns(row) {
+			rows = append(rows, row)
+		}
+		return true
+	})
+	return cluster.DigestRows(rows), nil
+}
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+// ReplicaStatus reports one replica's watermarks.
+type ReplicaStatus struct {
+	DN              int
+	Tables          int
+	EnqueuedRecords int64
+	AppliedRecords  int64
+	AppliedLegs     int64
+	LagRecords      int64
+}
+
+// Status is a point-in-time snapshot of the manager.
+type Status struct {
+	Replicas []ReplicaStatus
+	// Aggregates across replicas.
+	RecordsApplied int64
+	LegsApplied    int64
+	MaxLagRecords  int64 // largest current per-replica lag
+	// Routing counters.
+	QueriesOffloaded int64
+	QueriesDegraded  int64
+	GateBlocks       int64
+	GateTimeouts     int64
+	// Colstore aggregates across every replica table (segment shape,
+	// tombstones, compression).
+	Colstore colstore.TableStats
+	Scans    colstore.ScanStats
+}
+
+// Status collects the manager's current watermarks and replica storage
+// statistics.
+func (m *Manager) Status() Status {
+	st := Status{
+		QueriesOffloaded: m.offloaded.Load(),
+		QueriesDegraded:  m.degraded.Load(),
+		GateBlocks:       m.gateBlocks.Load(),
+		GateTimeouts:     m.gateTimeouts.Load(),
+	}
+	for _, r := range m.replicas {
+		rs := ReplicaStatus{
+			DN:              r.dn,
+			EnqueuedRecords: r.enqRecs.Load(),
+			AppliedRecords:  r.appRecs.Load(),
+			AppliedLegs:     r.appLegs.Load(),
+		}
+		rs.LagRecords = rs.EnqueuedRecords - rs.AppliedRecords
+		r.tmu.RLock()
+		rs.Tables = len(r.tables)
+		for _, rt := range r.tables {
+			st.Colstore.Add(rt.tbl.Stats())
+			st.Scans.Add(rt.tbl.ScanStats())
+		}
+		r.tmu.RUnlock()
+		st.RecordsApplied += rs.AppliedRecords
+		st.LegsApplied += rs.AppliedLegs
+		if rs.LagRecords > st.MaxLagRecords {
+			st.MaxLagRecords = rs.LagRecords
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	return st
+}
