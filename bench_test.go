@@ -1,5 +1,5 @@
 // Package repro_test holds the benchmark harness that regenerates every
-// table and figure of the paper's evaluation (experiment ids E1–E18 in
+// table and figure of the paper's evaluation (experiment ids E1–E20 in
 // DESIGN.md). Run with:
 //
 //	go test -bench=. -benchmem

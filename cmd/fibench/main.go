@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp|htap]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp|htap|joins]
 //	        [-duration seconds] [-sessions n]
 package main
 
@@ -51,6 +51,7 @@ func main() {
 		{"frontdoor", func() error { return experiments.FrontDoor(w, *sessions) }},
 		{"ndp", func() error { return experiments.NDP(w) }},
 		{"htap", func() error { return experiments.HTAP(w, 300) }},
+		{"joins", func() error { return experiments.Joins(w) }},
 	}
 
 	known := *exp == "all"

@@ -204,6 +204,11 @@ type Cluster struct {
 	// path even when an HTAP provider is installed (ablation knob for
 	// E19's primary-vs-replica comparison; the replicas keep applying).
 	DisableHTAPReads bool
+	// JoinPolicy steers distributed join strategy selection (E20): the
+	// zero value chooses automatically, Disable forces the CN-fallback
+	// path, Force pins one strategy. Results are identical under every
+	// policy — the strategy only changes where the join runs.
+	JoinPolicy plan.DistJoinPolicy
 	// fab carries every cross-node message: latency model, per-type
 	// counters, fault injection (see internal/transport).
 	fab *transport.Fabric

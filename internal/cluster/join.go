@@ -1,0 +1,535 @@
+package cluster
+
+// Distributed join execution (paper §II-A): the engine side of
+// plan.DistJoinAccess. Three strategies, all running the join's build and
+// probe "on the data nodes" and shipping only join results to the
+// coordinator:
+//
+//   - co-located: every target DN hash-joins its own partitions (both
+//     sides' keys align with the 256-bucket map, or one side is
+//     replicated and therefore locally present everywhere). Nothing but
+//     results crosses the fabric.
+//   - broadcast: the small build side is gathered once and shipped to
+//     every target DN (bcast_build messages); each DN probes with its
+//     local probe partition.
+//   - shuffle: both inputs hash-partition by join key across the target
+//     DNs through bounded, backpressured exec.Partitioner queues
+//     (shuffle_part messages for every batch that changes nodes); each DN
+//     joins one key range.
+//
+// Side scans reuse the exact NDP fragment bodies (ndpScanColumnar /
+// ndpScanRows), so pushed predicates, projections, HTAP replica routing,
+// standby read splits and MoveBucket ownership fencing all compose — a
+// join side reads precisely the rows a plain scan of that side would ship.
+// Every strategy emits rows through an ordered Exchange and scans sources
+// in a fixed order, so results are identical across strategies and
+// parallel degrees.
+
+import (
+	"errors"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+const (
+	// shuffleBatchRows is the row count per shuffle_part batch.
+	shuffleBatchRows = 128
+	// shuffleQueueCap bounds each (source,partition) queue in batches —
+	// the backpressure window; a shuffle never holds more than
+	// sources × partitions × cap × batch rows in flight.
+	shuffleQueueCap = 4
+)
+
+// errJoinCanceled aborts a partition drain when the consumer's emit
+// declines more rows (sibling error or operator close); it is not a
+// statement error.
+var errJoinCanceled = errors.New("cluster: join fragment canceled")
+
+// JoinScan implements plan.DistJoinAccess.
+func (a *stmtAccess) JoinScan(spec *plan.DistJoinSpec) (exec.Operator, bool) {
+	if !a.scatter {
+		// Routed (single-shard) statements already touch one DN; the CN
+		// join over routed scans is the right plan.
+		return nil, false
+	}
+	if _, ok := a.s.c.virtualTable(spec.Probe.Meta.Name); ok {
+		return nil, false
+	}
+	if _, ok := a.s.c.virtualTable(spec.Build.Meta.Name); ok {
+		return nil, false
+	}
+	switch spec.Strategy {
+	case plan.DistColocated:
+		return a.colocatedJoin(spec), true
+	case plan.DistBroadcast:
+		if spec.Probe.Meta.DistKey < 0 {
+			// A replicated probe would be probed once per DN, duplicating
+			// output; the planner only gets here under Force.
+			return nil, false
+		}
+		return a.broadcastJoin(spec), true
+	case plan.DistShuffle:
+		return a.shuffleJoin(spec), true
+	default:
+		return nil, false
+	}
+}
+
+// joinSide is one resolved input of a distributed join.
+type joinSide struct {
+	ti   *TableInfo
+	prog *ndpProgram
+	keys []exec.Expr
+	// srcs are the side's physical scan fragments in deterministic order:
+	// one or two (split reads) per target primary, or a single fragment
+	// for replicated tables (scanning the whole table more than once would
+	// duplicate rows).
+	srcs []readFrag
+}
+
+// resolveJoin resolves both sides and the target set at Exchange-open time
+// (the pushdown specs are final by then — late binding, like ScanNDP) and
+// checks liveness of every node involved. Caller must hold routeMu.
+func (a *stmtAccess) resolveJoin(spec *plan.DistJoinSpec) (probe, build joinSide, targets []int, err error) {
+	c := a.s.c
+	pti, err := c.tableInfo(spec.Probe.Meta.Name)
+	if err != nil {
+		return
+	}
+	bti, err := c.tableInfo(spec.Build.Meta.Name)
+	if err != nil {
+		return
+	}
+	targets = c.scanTargetsLocked()
+	if len(targets) == 0 {
+		err = ErrNodeDown
+		return
+	}
+	sideFor := func(ti *TableInfo, s plan.DistJoinSide) joinSide {
+		side := joinSide{ti: ti, prog: a.compileNDP(ti, s.Spec), keys: s.Keys}
+		if ti.replicated {
+			side.srcs = []readFrag{{logical: targets[0], phys: targets[0], parity: -1}}
+		} else {
+			side.srcs = a.readFrags(targets)
+		}
+		return side
+	}
+	probe = sideFor(pti, spec.Probe)
+	build = sideFor(bti, spec.Build)
+	phys := append([]int(nil), targets...)
+	phys = append(phys, fragPhys(probe.srcs)...)
+	phys = append(phys, fragPhys(build.srcs)...)
+	err = c.requireLive(dedupInts(phys))
+	return
+}
+
+// scanJoinFrag streams one physical fragment of a join side through
+// deliver (false stops the scan early), with no transport accounting — the
+// caller charges whatever wire the strategy actually uses.
+func (a *stmtAccess) scanJoinFrag(ctx *exec.Ctx, side joinSide, f readFrag, deliver func(types.Row) bool) error {
+	src, err := a.fragSource(side.ti, f)
+	if err != nil {
+		return err
+	}
+	var scanErr error
+	if src.col != nil {
+		a.ndpScanColumnar(ctx, side.ti, f, side.prog, src, nil, deliver, &scanErr)
+	} else {
+		a.ndpScanRows(ctx, side.ti, f, side.prog, src, nil, deliver, &scanErr)
+	}
+	return scanErr
+}
+
+// scanSideLocal streams logical node p's share of a join side: the local
+// replica partition for replicated tables, otherwise every read fragment
+// of p (possibly redirected or split onto a standby).
+func (a *stmtAccess) scanSideLocal(ctx *exec.Ctx, side joinSide, p int, deliver func(types.Row) bool) error {
+	var frags []readFrag
+	if side.ti.replicated {
+		frags = []readFrag{{logical: p, phys: p, parity: -1}}
+	} else {
+		frags = a.readFrags([]int{p})
+	}
+	for _, f := range frags {
+		stopped := false
+		err := a.scanJoinFrag(ctx, side, f, func(r types.Row) bool {
+			if !deliver(r) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// buildHashFrom adds rows into a build hash table keyed by the side's join
+// keys; NULL key parts never match an inner join and are dropped, exactly
+// like the CN HashJoin's build.
+func buildHashFrom(ctx *exec.Ctx, keys []exec.Expr, table map[string][]types.Row) (func(types.Row) bool, *error) {
+	errp := new(error)
+	return func(r types.Row) bool {
+		key, null, err := exec.EncodeJoinKey(ctx, keys, r)
+		if err != nil {
+			*errp = err
+			return false
+		}
+		if !null {
+			table[key] = append(table[key], r)
+		}
+		return true
+	}, errp
+}
+
+// probeEmit returns a probe-row callback that joins each row against the
+// hash table, applies the residual, and emits the concatenated row.
+func (a *stmtAccess) probeEmit(ctx *exec.Ctx, spec *plan.DistJoinSpec, table map[string][]types.Row, shipped *int, emit func(types.Row) bool) (func(types.Row) bool, *error) {
+	errp := new(error)
+	return func(pr types.Row) bool {
+		key, null, err := exec.EncodeJoinKey(ctx, spec.Probe.Keys, pr)
+		if err != nil {
+			*errp = err
+			return false
+		}
+		if null {
+			return true
+		}
+		for _, br := range table[key] {
+			joined := append(append(make(types.Row, 0, len(pr)+len(br)), pr...), br...)
+			if spec.Residual != nil {
+				ok, err := exec.EvalBool(spec.Residual, ctx, joined)
+				if err != nil {
+					*errp = err
+					return false
+				}
+				if !ok {
+					continue
+				}
+			}
+			a.rowsShipped.Add(1)
+			*shipped++
+			if !emit(joined) {
+				return false
+			}
+		}
+		return true
+	}, errp
+}
+
+// joinResultWidth is the wire width of one joined row (probe + build
+// projected datums).
+func joinResultWidth(probe, build joinSide) int {
+	return probe.prog.shipWidth + build.prog.shipWidth
+}
+
+// ---------------------------------------------------------------------------
+// Co-located
+// ---------------------------------------------------------------------------
+
+// colocatedJoin runs the whole join inside each target DN: build from the
+// local build-side partition, probe with the local probe-side partition.
+// Correct because matching keys always live in the same bucket (aligned
+// distribution keys) or the build/probe side is replicated on every node.
+func (a *stmtAccess) colocatedJoin(spec *plan.DistJoinSpec) exec.Operator {
+	c := a.s.c
+	return exec.NewParallelSource("join:colocated", spec.Out, c.parallelDegree(), func() ([]exec.Fragment, error) {
+		probe, build, targets, err := a.resolveJoin(spec)
+		if err != nil {
+			return nil, err
+		}
+		width := joinResultWidth(probe, build)
+		frags := make([]exec.Fragment, len(targets))
+		for i, p := range targets {
+			p := p
+			frags[i] = func(ctx *exec.Ctx, emit func(types.Row) bool) error {
+				// One request leg carries the whole join fragment.
+				if err := c.sendDN(p, transport.ScanFrag, 0); err != nil {
+					return err
+				}
+				table := map[string][]types.Row{}
+				add, buildErr := buildHashFrom(ctx, spec.Build.Keys, table)
+				if err := a.scanSideLocal(ctx, build, p, add); err != nil {
+					return err
+				}
+				if *buildErr != nil {
+					return *buildErr
+				}
+				shipped := 0
+				pe, probeErr := a.probeEmit(ctx, spec, table, &shipped, emit)
+				if err := a.scanSideLocal(ctx, probe, p, pe); err != nil {
+					return err
+				}
+				if *probeErr != nil {
+					return *probeErr
+				}
+				return c.sendFromDN(p, transport.ScanFrag, shipped*width*8)
+			}
+		}
+		return frags, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+// broadcastJoin gathers the build side once at the coordinator (ordinary
+// scan legs), ships it to every target DN as one bcast_build message each,
+// and probes with each DN's local probe partition.
+func (a *stmtAccess) broadcastJoin(spec *plan.DistJoinSpec) exec.Operator {
+	c := a.s.c
+	return exec.NewParallelSource("join:broadcast", spec.Out, c.parallelDegree(), func() ([]exec.Fragment, error) {
+		probe, build, targets, err := a.resolveJoin(spec)
+		if err != nil {
+			return nil, err
+		}
+		width := joinResultWidth(probe, build)
+		// The build table is gathered once, by whichever fragment runs
+		// first; siblings block on the Once and then share it read-only.
+		var (
+			gatherOnce sync.Once
+			table      map[string][]types.Row
+			buildRows  int
+			gatherErr  error
+		)
+		gather := func(ctx *exec.Ctx) {
+			table = map[string][]types.Row{}
+			add, buildErr := buildHashFrom(ctx, spec.Build.Keys, table)
+			for _, f := range build.srcs {
+				if err := c.sendDN(f.phys, transport.ScanFrag, 0); err != nil {
+					gatherErr = err
+					return
+				}
+				n := 0
+				err := a.scanJoinFrag(ctx, build, f, func(r types.Row) bool {
+					n++
+					buildRows++
+					return add(r)
+				})
+				if err == nil {
+					err = *buildErr
+				}
+				if err == nil {
+					err = c.sendFromDN(f.phys, transport.ScanFrag, n*build.prog.shipWidth*8)
+				}
+				if err != nil {
+					gatherErr = err
+					return
+				}
+			}
+		}
+		frags := make([]exec.Fragment, len(targets))
+		for i, p := range targets {
+			p := p
+			frags[i] = func(ctx *exec.Ctx, emit func(types.Row) bool) error {
+				gatherOnce.Do(func() { gather(ctx) })
+				if gatherErr != nil {
+					return gatherErr
+				}
+				// Ship the build side to this DN, then run the local probe.
+				if err := c.sendDN(p, transport.BcastBuild, buildRows*build.prog.shipWidth*8); err != nil {
+					return err
+				}
+				shipped := 0
+				pe, probeErr := a.probeEmit(ctx, spec, table, &shipped, emit)
+				if err := a.scanSideLocal(ctx, probe, p, pe); err != nil {
+					return err
+				}
+				if *probeErr != nil {
+					return *probeErr
+				}
+				return c.sendFromDN(p, transport.ScanFrag, shipped*width*8)
+			}
+		}
+		return frags, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Shuffle
+// ---------------------------------------------------------------------------
+
+// shufflePart maps an encoded join key to a target index.
+func shufflePart(key string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// shuffleJoin hash-partitions both inputs by join key across the target
+// DNs. Producer goroutines (one per physical source fragment, capped per
+// side at the cluster's parallel degree) scan their fragment and write
+// rows into per-(source,target) bounded queues; every batch that changes
+// nodes is charged as a shuffle_part message. One consumer fragment per
+// target drains its build queues into a hash table, then probes with its
+// probe queues. The consumer Exchange runs every target concurrently —
+// required for progress, since producers block on full queues — so
+// ParallelDegree caps producers instead.
+func (a *stmtAccess) shuffleJoin(spec *plan.DistJoinSpec) exec.Operator {
+	c := a.s.c
+	return &exec.Exchange{
+		Name:     "join:shuffle",
+		Out:      spec.Out,
+		Ordered:  true,
+		Parallel: 1 << 20, // all consumers must run; see doc comment
+		Plan: func() ([]exec.Fragment, error) {
+			probe, build, targets, err := a.resolveJoin(spec)
+			if err != nil {
+				return nil, err
+			}
+			width := joinResultWidth(probe, build)
+
+			// Per-side partitioners; the onBatch hook charges the fabric
+			// for batches that change nodes (and is where injected
+			// shuffle_part faults surface, failing the producer).
+			onBatch := func(side *joinSide) func(src, part int, rows []types.Row) error {
+				return func(src, part int, rows []types.Row) error {
+					from, to := side.srcs[src].phys, targets[part]
+					if from == to {
+						return nil // local partition: no wire
+					}
+					return c.fab.Send(transport.DN(from), transport.DN(to), transport.ShufflePart, len(rows)*side.prog.shipWidth*8)
+				}
+			}
+			bp := exec.NewPartitioner(len(build.srcs), len(targets), shuffleBatchRows, shuffleQueueCap, onBatch(&build))
+			pp := exec.NewPartitioner(len(probe.srcs), len(targets), shuffleBatchRows, shuffleQueueCap, onBatch(&probe))
+			cancelBoth := func() { bp.Cancel(); pp.Cancel() }
+
+			var (
+				startOnce  sync.Once
+				producerWG sync.WaitGroup
+				errOnce    sync.Once
+				prodErr    error
+			)
+			fail := func(err error) {
+				errOnce.Do(func() { prodErr = err })
+				cancelBoth()
+			}
+			// produce scans one source fragment and routes its rows. NULL
+			// keys are dropped at the producer: they can never match an
+			// inner join, so they need not cross the fabric at all.
+			produce := func(ctx *exec.Ctx, side *joinSide, part *exec.Partitioner, src int) error {
+				w := part.Writer(src)
+				var keyErr error
+				err := a.scanJoinFrag(ctx, *side, side.srcs[src], func(r types.Row) bool {
+					key, null, err := exec.EncodeJoinKey(ctx, side.keys, r)
+					if err != nil {
+						keyErr = err
+						return false
+					}
+					if null {
+						return true
+					}
+					if err := w.Write(shufflePart(key, len(targets)), r); err != nil {
+						keyErr = err
+						return false
+					}
+					return true
+				})
+				if err == nil {
+					err = keyErr
+				}
+				if cerr := w.Close(); err == nil {
+					err = cerr
+				}
+				return err
+			}
+			start := func(ctx *exec.Ctx) {
+				startOnce.Do(func() {
+					now := ctx.Now
+					spawn := func(side *joinSide, part *exec.Partitioner) {
+						sem := make(chan struct{}, c.parallelDegree())
+						for i := range side.srcs {
+							producerWG.Add(1)
+							go func(src int) {
+								defer producerWG.Done()
+								sem <- struct{}{}
+								defer func() { <-sem }()
+								if err := produce(exec.NewCtx(now), side, part, src); err != nil && !errors.Is(err, exec.ErrPartitionerCanceled) {
+									fail(err)
+								}
+							}(i)
+						}
+					}
+					spawn(&build, bp)
+					spawn(&probe, pp)
+				})
+			}
+
+			frags := make([]exec.Fragment, len(targets))
+			for t := range targets {
+				t := t
+				frags[t] = func(ctx *exec.Ctx, emit func(types.Row) bool) error {
+					start(ctx)
+					// Never leave producers running past the statement:
+					// every exit path cancels (if needed) and joins them.
+					defer producerWG.Wait()
+					run := func() (int, error) {
+						if err := c.sendDN(targets[t], transport.ScanFrag, 0); err != nil {
+							return 0, err
+						}
+						table := map[string][]types.Row{}
+						add, buildErr := buildHashFrom(ctx, spec.Build.Keys, table)
+						err := bp.Drain(t, func(rows []types.Row) error {
+							for _, r := range rows {
+								if !add(r) {
+									return *buildErr
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							return 0, err
+						}
+						shipped := 0
+						pe, probeErr := a.probeEmit(ctx, spec, table, &shipped, emit)
+						err = pp.Drain(t, func(rows []types.Row) error {
+							for _, r := range rows {
+								if !pe(r) {
+									if *probeErr != nil {
+										return *probeErr
+									}
+									return errJoinCanceled
+								}
+							}
+							return nil
+						})
+						return shipped, err
+					}
+					shipped, err := run()
+					switch {
+					case err == nil:
+						return c.sendFromDN(targets[t], transport.ScanFrag, shipped*width*8)
+					case errors.Is(err, errJoinCanceled):
+						// Consumer-side cancel (operator closing): stop the
+						// producers, not the statement.
+						cancelBoth()
+						return nil
+					case errors.Is(err, exec.ErrPartitionerCanceled):
+						// A producer failed (or a sibling canceled): surface
+						// the root cause if there is one.
+						if prodErr != nil {
+							return prodErr
+						}
+						return nil
+					default:
+						cancelBoth()
+						return err
+					}
+				}
+			}
+			return frags, nil
+		},
+	}
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/transport"
+)
+
+// setupStar loads a small star schema: fact and big share a distribution
+// key (co-located joins), dim is a distributed dimension on its own key,
+// dimr is replicated everywhere.
+func setupStar(t *testing.T, c *Cluster) *Session {
+	t.Helper()
+	s := c.NewSession()
+	mustExec(t, s, "CREATE TABLE fact (k BIGINT, d BIGINT, v BIGINT) DISTRIBUTE BY HASH(k)")
+	mustExec(t, s, "CREATE TABLE big (b BIGINT, w BIGINT) DISTRIBUTE BY HASH(b)")
+	mustExec(t, s, "CREATE TABLE dim (d BIGINT, name TEXT) DISTRIBUTE BY HASH(d)")
+	mustExec(t, s, "CREATE TABLE dimr (d BIGINT, rname TEXT) DISTRIBUTE BY REPLICATION")
+	for i := 0; i < 120; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO fact VALUES (%d, %d, %d)", i, i%10, i))
+	}
+	for i := 0; i < 100; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO big VALUES (%d, %d)", i, i*2))
+	}
+	for i := 0; i < 10; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO dim VALUES (%d, 'dim%d')", i, i))
+		mustExec(t, s, fmt.Sprintf("INSERT INTO dimr VALUES (%d, 'rep%d')", i, i))
+	}
+	for _, tb := range []string{"fact", "big", "dim", "dimr"} {
+		if err := c.Analyze(tb); err != nil {
+			t.Fatalf("analyze %s: %v", tb, err)
+		}
+	}
+	return s
+}
+
+// fingerprint runs a query and returns an order-independent digest of its
+// result rows (joins define no output order; strategies and degrees may
+// interleave fragments differently).
+func fingerprint(t *testing.T, s *Session, sql string) string {
+	t.Helper()
+	res := mustExec(t, s, sql)
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, d := range r {
+			parts[j] = d.String()
+		}
+		lines[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("%d rows\n%s", len(lines), strings.Join(lines, "\n"))
+}
+
+var starQueries = []struct {
+	name string
+	sql  string
+}{
+	// Aligned distribution keys: the co-located path.
+	{"colocated", "SELECT fact.k, fact.v, big.w FROM fact, big WHERE fact.k = big.b"},
+	// Non-aligned with a small build side: broadcast territory.
+	{"smallbuild", "SELECT fact.v, dim.name FROM fact, dim WHERE fact.d = dim.d"},
+	// Non-aligned, comparable sizes: shuffle territory.
+	{"shuffle", "SELECT fact.v, big.b FROM fact, big WHERE fact.d = big.w"},
+	// Replicated build side: co-located by definition.
+	{"replicated", "SELECT fact.v, dimr.rname FROM fact, dimr WHERE fact.d = dimr.d"},
+	// Residual predicate on top of the equi-join.
+	{"residual", "SELECT fact.v, dim.name FROM fact, dim WHERE fact.d = dim.d AND fact.v + dim.d > 30"},
+	// Three-way: greedy ordering + one dist join per pair.
+	{"threeway", "SELECT fact.v, big.w, dim.name FROM fact, big, dim WHERE fact.k = big.b AND fact.d = dim.d"},
+}
+
+// TestDistJoinIdentityMatrix checks every strategy × parallel degree ×
+// NDP setting produces exactly the rows the CN-fallback reference does.
+func TestDistJoinIdentityMatrix(t *testing.T) {
+	c := newCluster(t, 4, ModeGTMLite)
+	s := setupStar(t, c)
+
+	// Reference: distributed joins off, sequential scans, NDP on.
+	refs := map[string]string{}
+	c.JoinPolicy = plan.DistJoinPolicy{Disable: true}
+	c.ParallelDegree = 1
+	for _, q := range starQueries {
+		refs[q.name] = fingerprint(t, s, q.sql)
+		if strings.HasPrefix(refs[q.name], "0 rows") {
+			t.Fatalf("reference for %s is empty; fixture broken", q.name)
+		}
+	}
+
+	policies := []struct {
+		name string
+		pol  plan.DistJoinPolicy
+	}{
+		{"auto", plan.DistJoinPolicy{}},
+		{"force-colocated", plan.DistJoinPolicy{Force: plan.DistColocated}},
+		{"force-broadcast", plan.DistJoinPolicy{Force: plan.DistBroadcast}},
+		{"force-shuffle", plan.DistJoinPolicy{Force: plan.DistShuffle}},
+		{"cn-fallback", plan.DistJoinPolicy{Disable: true}},
+	}
+	for _, pol := range policies {
+		for _, degree := range []int{1, 2, 4} {
+			for _, ndpOff := range []bool{false, true} {
+				c.JoinPolicy = pol.pol
+				c.ParallelDegree = degree
+				c.DisableNDP = ndpOff
+				for _, q := range starQueries {
+					got := fingerprint(t, s, q.sql)
+					if got != refs[q.name] {
+						t.Errorf("%s/%s degree=%d ndpOff=%v: results differ from reference\n got: %.120s\nwant: %.120s",
+							pol.name, q.name, degree, ndpOff, got, refs[q.name])
+					}
+				}
+			}
+		}
+	}
+}
+
+// joinDelta runs one query and returns the fabric byte delta per message
+// type.
+func joinDelta(t *testing.T, c *Cluster, s *Session, sql string) transport.Stats {
+	t.Helper()
+	base := c.Fabric().Stats()
+	mustExec(t, s, sql)
+	return c.Fabric().Stats().Sub(base)
+}
+
+// TestDistJoinStrategyBytes checks each strategy uses exactly its own
+// message kinds, and that pushing the join to the DNs moves strictly
+// fewer bytes than the CN fallback on the aligned star join.
+func TestDistJoinStrategyBytes(t *testing.T) {
+	c := newCluster(t, 4, ModeGTMLite)
+	s := setupStar(t, c)
+	c.ParallelDegree = 4
+	const aligned = "SELECT fact.k, fact.v, big.w FROM fact, big WHERE fact.k = big.b"
+	const skewed = "SELECT fact.v, dim.name FROM fact, dim WHERE fact.d = dim.d"
+
+	c.JoinPolicy = plan.DistJoinPolicy{Disable: true}
+	cn := joinDelta(t, c, s, aligned)
+	if cn.Get(transport.ShufflePart).Bytes != 0 || cn.Get(transport.BcastBuild).Bytes != 0 {
+		t.Errorf("CN fallback used dist-join messages: %+v", cn)
+	}
+
+	c.JoinPolicy = plan.DistJoinPolicy{Force: plan.DistColocated}
+	co := joinDelta(t, c, s, aligned)
+	if co.Get(transport.ShufflePart).Bytes != 0 || co.Get(transport.BcastBuild).Bytes != 0 {
+		t.Errorf("co-located join crossed the fabric with shuffle/broadcast: %+v", co)
+	}
+	if co.TotalBytes() >= cn.TotalBytes() {
+		t.Errorf("co-located join moved %d bytes, CN fallback %d; pushing the join down must save fabric traffic",
+			co.TotalBytes(), cn.TotalBytes())
+	}
+
+	c.JoinPolicy = plan.DistJoinPolicy{Force: plan.DistShuffle}
+	sh := joinDelta(t, c, s, skewed)
+	if sh.Get(transport.ShufflePart).Bytes == 0 {
+		t.Error("forced shuffle sent no shuffle_part bytes")
+	}
+	if sh.Get(transport.BcastBuild).Bytes != 0 {
+		t.Errorf("shuffle join sent bcast_build bytes: %+v", sh)
+	}
+
+	c.JoinPolicy = plan.DistJoinPolicy{Force: plan.DistBroadcast}
+	bc := joinDelta(t, c, s, skewed)
+	if bc.Get(transport.BcastBuild).Bytes == 0 {
+		t.Error("forced broadcast sent no bcast_build bytes")
+	}
+	if bc.Get(transport.ShufflePart).Bytes != 0 {
+		t.Errorf("broadcast join sent shuffle_part bytes: %+v", bc)
+	}
+
+	// Auto mode on the small-build query picks broadcast (statistics put
+	// the dimension well under fact/(n-1)).
+	c.JoinPolicy = plan.DistJoinPolicy{}
+	auto := joinDelta(t, c, s, skewed)
+	if auto.Get(transport.BcastBuild).Bytes == 0 {
+		t.Error("auto policy did not broadcast the small dimension build side")
+	}
+}
+
+// TestShuffleStreamDropRetries injects a drop fault on every DN->DN
+// shuffle link: the statement must fail cleanly (no hang, no partial
+// results), and a retry after clearing faults must match the reference.
+func TestShuffleStreamDropRetries(t *testing.T) {
+	c := newCluster(t, 4, ModeGTMLite)
+	s := setupStar(t, c)
+	const q = "SELECT fact.v, big.b FROM fact, big WHERE fact.d = big.w"
+
+	c.JoinPolicy = plan.DistJoinPolicy{Disable: true}
+	want := fingerprint(t, s, q)
+
+	c.JoinPolicy = plan.DistJoinPolicy{Force: plan.DistShuffle}
+	c.ParallelDegree = 4
+	got := fingerprint(t, s, q)
+	if got != want {
+		t.Fatalf("shuffle result differs before fault:\n got: %.120s\nwant: %.120s", got, want)
+	}
+
+	n := c.DataNodeCount()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				c.Fabric().InjectFault(transport.DN(i), transport.DN(j), transport.Fault{
+					Types: []transport.MsgType{transport.ShufflePart},
+					Drop:  true,
+				})
+			}
+		}
+	}
+	if _, err := s.Exec(q); err == nil {
+		t.Fatal("shuffle join succeeded with every shuffle_part link dropping")
+	}
+
+	c.Fabric().ClearFaults()
+	for i := 0; i < 3; i++ { // retries stay clean; no leaked producer state
+		if got := fingerprint(t, s, q); got != want {
+			t.Fatalf("retry %d after fault differs:\n got: %.120s\nwant: %.120s", i, got, want)
+		}
+	}
+}
+
+// TestDistJoinAfterMoveBucket reruns joins after bucket migration onto a
+// new node: ownership fencing must keep results identical, and the grown
+// node set must serve join fragments.
+func TestDistJoinAfterMoveBucket(t *testing.T) {
+	c := newCluster(t, 2, ModeGTMLite)
+	s := setupStar(t, c)
+	c.ParallelDegree = 2
+
+	queries := []string{
+		"SELECT fact.k, fact.v, big.w FROM fact, big WHERE fact.k = big.b",
+		"SELECT fact.v, dim.name FROM fact, dim WHERE fact.d = dim.d",
+	}
+	c.JoinPolicy = plan.DistJoinPolicy{Disable: true}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		want[i] = fingerprint(t, s, q)
+	}
+
+	id, err := c.AddDataNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range c.ExpansionPlan(id) {
+		if _, err := c.MoveBucket(b, id); err != nil {
+			t.Fatalf("MoveBucket(%d, %d): %v", b, id, err)
+		}
+	}
+
+	for _, pol := range []plan.DistJoinPolicy{
+		{},
+		{Force: plan.DistColocated},
+		{Force: plan.DistShuffle},
+		{Force: plan.DistBroadcast},
+	} {
+		c.JoinPolicy = pol
+		for i, q := range queries {
+			if got := fingerprint(t, s, q); got != want[i] {
+				t.Errorf("policy %+v query %d differs after MoveBucket:\n got: %.120s\nwant: %.120s", pol, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestDistJoinPlanTime checks the planner reports its (budgeted) planning
+// time on join statements.
+func TestDistJoinPlanTime(t *testing.T) {
+	c := newCluster(t, 4, ModeGTMLite)
+	s := setupStar(t, c)
+	res := mustExec(t, s, "SELECT fact.v, big.w, dim.name FROM fact, big, dim WHERE fact.k = big.b AND fact.d = dim.d")
+	if res.PlanTime <= 0 {
+		t.Errorf("PlanTime = %v, want > 0", res.PlanTime)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/exec"
@@ -387,7 +388,7 @@ func (s *Session) planner(t *txn) *plan.Planner {
 }
 
 func (s *Session) plannerWithAccess(a *stmtAccess) *plan.Planner {
-	p := &plan.Planner{Catalog: s.c, Access: a, Hooks: s.c.Hooks}
+	p := &plan.Planner{Catalog: s.c, Access: a, Hooks: s.c.Hooks, DistJoin: s.c.JoinPolicy}
 	if s.c.UseLearnedCard && s.c.Store != nil {
 		p.Estimator = s.c.Store
 	}
@@ -419,10 +420,12 @@ func (s *Session) planSelect(t *txn, sel *sqlx.Select) (*plan.Plan, *stmtAccess,
 }
 
 func (s *Session) execSelect(t *txn, sel *sqlx.Select) (*Result, error) {
+	planStart := time.Now()
 	p, access, err := s.planSelect(t, sel)
 	if err != nil {
 		return nil, err
 	}
+	planTime := time.Since(planStart)
 	ctx := exec.NewCtx(s.c.Clock())
 	rows, err := exec.Collect(ctx, p.Root)
 	if err != nil {
@@ -432,7 +435,7 @@ func (s *Session) execSelect(t *txn, sel *sqlx.Select) (*Result, error) {
 	if s.c.CaptureSteps && s.c.Store != nil {
 		s.c.Store.Capture(p.Counted)
 	}
-	return &Result{Columns: p.OutputNames, Rows: rows, Plan: p, RowsShipped: access.rowsShipped.Load()}, nil
+	return &Result{Columns: p.OutputNames, Rows: rows, Plan: p, RowsShipped: access.rowsShipped.Load(), PlanTime: planTime}, nil
 }
 
 // htapProvider decides whether the statement is served by the columnar

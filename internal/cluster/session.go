@@ -34,6 +34,10 @@ type Result struct {
 	// boundary while executing a SELECT (the MPP exchange volume;
 	// two-phase aggregation exists to shrink it).
 	RowsShipped int64
+	// PlanTime is how long planning the SELECT took (routing + join
+	// ordering + compilation) — the statistics-free planner's microsecond
+	// budget is observable here.
+	PlanTime time.Duration
 }
 
 // Session is a client connection to the coordinator.

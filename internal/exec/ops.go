@@ -338,7 +338,13 @@ type HashJoin struct {
 	// DN (see plan.ScanPushdown).
 	Bloom    *BloomHandle
 	BloomKey int
-	out      *types.Schema
+	// Dist, when set by the planner, is a distributed execution of this
+	// join (co-located / broadcast / shuffle fragments built by the
+	// engine). The join delegates to it wholesale and never opens its
+	// children — they stay attached only so planning passes (projection
+	// pushdown) can keep analyzing the tree.
+	Dist Operator
+	out  *types.Schema
 
 	table   map[string][]types.Row
 	cur     types.Row
@@ -355,16 +361,31 @@ func (j *HashJoin) Schema() *types.Schema {
 	return j.out
 }
 
-// Open implements Operator. The build side is collected before the probe
-// side opens so a sideways bloom filter (j.Bloom) is always published
-// before any probe-side scan fragment starts.
+// Open implements Operator. The build side streams directly into the hash
+// table — no intermediate row slice — before the probe side opens, so a
+// sideways bloom filter (j.Bloom) is always published before any
+// probe-side scan fragment starts. The bloom is built only after the whole
+// build side has been consumed without error: a failed build must
+// propagate its error instead of publishing a filter that probe fragments
+// would wait on.
 func (j *HashJoin) Open(ctx *Ctx) error {
-	rows, err := Collect(ctx, j.Right)
-	if err != nil {
+	if j.Dist != nil {
+		return j.Dist.Open(ctx)
+	}
+	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
 	j.table = make(map[string][]types.Row)
-	for _, r := range rows {
+	n := 0
+	for {
+		r, err := j.Right.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
 		key, null, err := keyOf(ctx, j.RightKeys, r)
 		if err != nil {
 			return err
@@ -375,16 +396,18 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		j.table[key] = append(j.table[key], r)
 	}
 	if j.Bloom != nil {
-		bf := NewBloom(len(rows))
-		for _, r := range rows {
-			v, err := j.RightKeys[j.BloomKey].Eval(ctx, r)
-			if err != nil {
-				return err
+		bf := NewBloom(n)
+		for _, bucket := range j.table {
+			for _, r := range bucket {
+				v, err := j.RightKeys[j.BloomKey].Eval(ctx, r)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					continue // NULL keys never match; nothing to admit
+				}
+				bf.Add(v)
 			}
-			if v.IsNull() {
-				continue // NULL keys never match; nothing to admit
-			}
-			bf.Add(v)
 		}
 		j.Bloom.Set(bf)
 	}
@@ -420,6 +443,9 @@ func keyOf(ctx *Ctx, keys []Expr, row types.Row) (string, bool, error) {
 
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
+	if j.Dist != nil {
+		return j.Dist.Next(ctx)
+	}
 	nRight := len(j.Right.Schema().Columns)
 	for {
 		if j.cur == nil {
@@ -468,6 +494,9 @@ func (j *HashJoin) Next(ctx *Ctx) (types.Row, error) {
 
 // Close implements Operator.
 func (j *HashJoin) Close() error {
+	if j.Dist != nil {
+		return j.Dist.Close()
+	}
 	j.table = nil
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
@@ -475,6 +504,14 @@ func (j *HashJoin) Close() error {
 		return err1
 	}
 	return err2
+}
+
+// EncodeJoinKey encodes key expressions evaluated over row into the map
+// key HashJoin uses, reporting null=true when any key part is NULL (such
+// rows can never match an equi-join). Exported so distributed join
+// fragments partition and build with byte-identical keys.
+func EncodeJoinKey(ctx *Ctx, keys []Expr, row types.Row) (string, bool, error) {
+	return keyOf(ctx, keys, row)
 }
 
 // ---------------------------------------------------------------------------
@@ -1011,6 +1048,10 @@ func WalkCounted(op Operator, visit func(*Counted)) {
 		WalkCounted(o.Left, visit)
 		WalkCounted(o.Right, visit)
 	case *HashJoin:
+		if o.Dist != nil {
+			WalkCounted(o.Dist, visit)
+			return
+		}
 		WalkCounted(o.Left, visit)
 		WalkCounted(o.Right, visit)
 	case *Agg:

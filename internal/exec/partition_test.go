@@ -1,0 +1,257 @@
+package exec
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func row(vals ...int64) types.Row {
+	r := make(types.Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+// TestPartitionerRoundTrip routes rows from several sources into several
+// partitions and checks every row arrives exactly once, in source order
+// within each partition.
+func TestPartitionerRoundTrip(t *testing.T) {
+	const nSrc, nPart, perSrc = 3, 4, 50
+	p := NewPartitioner(nSrc, nPart, 8, 2, nil)
+
+	var wg sync.WaitGroup
+	for s := 0; s < nSrc; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			w := p.Writer(s)
+			for i := 0; i < perSrc; i++ {
+				v := int64(s*perSrc + i)
+				if err := w.Write(int(v)%nPart, row(v, int64(s))); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}(s)
+	}
+
+	got := make([][]types.Row, nPart)
+	var dwg sync.WaitGroup
+	for part := 0; part < nPart; part++ {
+		dwg.Add(1)
+		go func(part int) {
+			defer dwg.Done()
+			err := p.Drain(part, func(rows []types.Row) error {
+				got[part] = append(got[part], rows...)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("drain(%d): %v", part, err)
+			}
+		}(part)
+	}
+	wg.Wait()
+	dwg.Wait()
+
+	total := 0
+	for part := 0; part < nPart; part++ {
+		lastPerSrc := map[int64]int64{}
+		for _, r := range got[part] {
+			v, src := r[0].Int(), r[1].Int()
+			if int(v)%nPart != part {
+				t.Errorf("row %d landed in partition %d", v, part)
+			}
+			if last, ok := lastPerSrc[src]; ok && v <= last {
+				t.Errorf("partition %d: source %d out of order (%d after %d)", part, src, v, last)
+			}
+			lastPerSrc[src] = v
+			total++
+		}
+	}
+	if total != nSrc*perSrc {
+		t.Errorf("total rows = %d, want %d", total, nSrc*perSrc)
+	}
+}
+
+// TestPartitionerBackpressure checks a writer blocks on a full queue until
+// the consumer drains, rather than buffering unboundedly.
+func TestPartitionerBackpressure(t *testing.T) {
+	// 1 source, 1 partition, 1-row batches, queue of 1: the third write
+	// must block until the drain starts.
+	p := NewPartitioner(1, 1, 1, 1, nil)
+	wrote := make(chan int, 16)
+	go func() {
+		w := p.Writer(0)
+		for i := 0; i < 8; i++ {
+			if err := w.Write(0, row(int64(i))); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			wrote <- i
+		}
+		w.Close()
+		close(wrote)
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	blocked := len(wrote)
+	if blocked >= 8 {
+		t.Fatalf("writer never blocked (wrote all %d rows with queue cap 1)", blocked)
+	}
+
+	n := 0
+	if err := p.Drain(0, func(rows []types.Row) error { n += len(rows); return nil }); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n != 8 {
+		t.Errorf("drained %d rows, want 8", n)
+	}
+}
+
+// TestPartitionerCancelUnblocks checks Cancel releases both blocked
+// writers and blocked drainers with ErrPartitionerCanceled.
+func TestPartitionerCancelUnblocks(t *testing.T) {
+	p := NewPartitioner(1, 1, 1, 1, nil)
+
+	werr := make(chan error, 1)
+	go func() {
+		w := p.Writer(0)
+		var err error
+		for i := 0; err == nil && i < 100; i++ {
+			err = w.Write(0, row(int64(i)))
+		}
+		w.Close()
+		werr <- err
+	}()
+
+	derr := make(chan error, 1)
+	go func() {
+		derr <- p.Drain(0, func(rows []types.Row) error {
+			p.Cancel() // consumer bails after the first batch
+			return p.Drain(0, func([]types.Row) error { return nil })
+		})
+	}()
+
+	for _, ch := range []chan error{werr, derr} {
+		select {
+		case err := <-ch:
+			if !errors.Is(err, ErrPartitionerCanceled) {
+				t.Errorf("err = %v, want ErrPartitionerCanceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancel did not unblock")
+		}
+	}
+}
+
+// TestPartitionerOnBatchError checks a failing batch hook (the wire-charge
+// seam — where injected transport faults surface) fails the writer.
+func TestPartitionerOnBatchError(t *testing.T) {
+	boom := errors.New("link dropped")
+	p := NewPartitioner(1, 2, 4, 2, func(src, part int, rows []types.Row) error {
+		if part == 1 {
+			return boom
+		}
+		return nil
+	})
+	w := p.Writer(0)
+	var got error
+	for i := 0; i < 20 && got == nil; i++ {
+		got = w.Write(i%2, row(int64(i)))
+	}
+	w.Close()
+	if !errors.Is(got, boom) {
+		t.Errorf("write error = %v, want the hook's error", got)
+	}
+}
+
+// errAfter yields n rows then fails.
+type errAfter struct {
+	schema *types.Schema
+	n, i   int
+	err    error
+}
+
+func (e *errAfter) Schema() *types.Schema { return e.schema }
+func (e *errAfter) Open(*Ctx) error       { e.i = 0; return nil }
+func (e *errAfter) Close() error          { return nil }
+func (e *errAfter) Next(*Ctx) (types.Row, error) {
+	if e.i >= e.n {
+		return nil, e.err
+	}
+	e.i++
+	return row(int64(e.i)), nil
+}
+
+// TestHashJoinBuildErrorBeforeBloom checks a failing build side propagates
+// its error from Open without publishing the sideways bloom filter — probe
+// fragments must never act on a filter built from a partial build.
+func TestHashJoinBuildErrorBeforeBloom(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "k", Kind: types.KindInt})
+	boom := errors.New("build scan failed")
+	h := NewBloomHandle()
+	j := &HashJoin{
+		Type:      InnerJoin,
+		Left:      &errAfter{schema: schema, n: 0, err: io.EOF},
+		Right:     &errAfter{schema: schema, n: 5, err: boom},
+		LeftKeys:  []Expr{&ColRef{Index: 0, Name: "k"}},
+		RightKeys: []Expr{&ColRef{Index: 0, Name: "k"}},
+		Bloom:     h,
+	}
+	err := j.Open(NewCtx(time.Unix(0, 0)))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Open error = %v, want the build error", err)
+	}
+	if h.Get() != nil {
+		t.Error("bloom filter published despite failed build")
+	}
+}
+
+// TestHashJoinStreamingBuild sanity-checks the streaming build path still
+// joins correctly and publishes a bloom covering exactly the build keys.
+func TestHashJoinStreamingBuild(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "k", Kind: types.KindInt})
+	mkSrc := func(vals ...int64) Operator {
+		return NewSource("src", schema, func(emit func(types.Row) bool) {
+			for _, v := range vals {
+				if !emit(row(v)) {
+					return
+				}
+			}
+		})
+	}
+	h := NewBloomHandle()
+	j := &HashJoin{
+		Type:      InnerJoin,
+		Left:      mkSrc(1, 2, 3, 4),
+		Right:     mkSrc(2, 4, 6),
+		LeftKeys:  []Expr{&ColRef{Index: 0, Name: "k"}},
+		RightKeys: []Expr{&ColRef{Index: 0, Name: "k"}},
+		Bloom:     h,
+	}
+	rows, err := Collect(NewCtx(time.Unix(0, 0)), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want 2 matches", rows)
+	}
+	bf := h.Get()
+	if bf == nil {
+		t.Fatal("no bloom published")
+	}
+	for _, v := range []int64{2, 4, 6} {
+		if !bf.MayContain(types.NewInt(v)) {
+			t.Errorf("bloom missing build key %d", v)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation (see DESIGN.md's experiment index E1–E18). cmd/fibench is a
+// evaluation (see DESIGN.md's experiment index E1–E20). cmd/fibench is a
 // thin CLI over these functions and bench_test.go wraps them as Go
 // benchmarks; both print the same tables.
 package experiments
@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/htap"
 	"repro/internal/mme"
 	"repro/internal/perfsim"
+	"repro/internal/plan"
 	"repro/internal/rebalance"
 	"repro/internal/repl"
 	"repro/internal/server"
@@ -1682,4 +1684,249 @@ func HTAP(w io.Writer, txns int) error {
 		return fmt.Errorf("htap: invariants after phase C: %w", err)
 	}
 	return m.Err()
+}
+
+// Joins (E20) validates the distributed join paths (§II-A MPP joins) on a
+// 4-shard star schema: per-strategy fabric bytes and latency, result
+// identity across every strategy and parallel degree, and the
+// statistics-free planner's microsecond budget on a 6-table join. Two
+// reductions are enforced, not just reported: the co-located join and the
+// shuffle join must each move strictly fewer fabric bytes than pulling
+// both inputs to the coordinator.
+func Joins(w io.Writer) error {
+	db, err := core.Open(core.Options{DataNodes: 4})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	s := db.Session()
+	c := db.Cluster()
+
+	// Star schema: two fact tables sharing a distribution key (the
+	// co-located pair) and a dimension distributed on its own key. The
+	// filter on jfact keeps join results far smaller than the inputs, so
+	// where the join runs dominates the byte count.
+	if _, err := s.Exec("CREATE TABLE jfact (k BIGINT, d BIGINT, v BIGINT) DISTRIBUTE BY HASH(k) USING COLUMN"); err != nil {
+		return err
+	}
+	if _, err := s.Exec("CREATE TABLE jfact2 (k BIGINT, w BIGINT) DISTRIBUTE BY HASH(k) USING COLUMN"); err != nil {
+		return err
+	}
+	if _, err := s.Exec("CREATE TABLE jdim (id BIGINT, tag BIGINT) DISTRIBUTE BY HASH(id)"); err != nil {
+		return err
+	}
+	const total = 8192
+	if _, err := s.Exec("BEGIN"); err != nil {
+		return err
+	}
+	const batch = 512
+	for lo := 0; lo < total; lo += batch {
+		var f1, f2 strings.Builder
+		f1.WriteString("INSERT INTO jfact VALUES ")
+		f2.WriteString("INSERT INTO jfact2 VALUES ")
+		for i := lo; i < lo+batch; i++ {
+			if i > lo {
+				f1.WriteByte(',')
+				f2.WriteByte(',')
+			}
+			fmt.Fprintf(&f1, "(%d, %d, %d)", i, i%64, i)
+			fmt.Fprintf(&f2, "(%d, %d)", i, i*2)
+		}
+		if _, err := s.Exec(f1.String()); err != nil {
+			return err
+		}
+		if _, err := s.Exec(f2.String()); err != nil {
+			return err
+		}
+	}
+	if _, err := s.Exec("COMMIT"); err != nil {
+		return err
+	}
+	{
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO jdim VALUES ")
+		for i := 0; i < 64; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i, i*10)
+		}
+		if _, err := s.Exec(sb.String()); err != nil {
+			return err
+		}
+	}
+	for _, tb := range []string{"jfact", "jfact2", "jdim"} {
+		if err := c.Analyze(tb); err != nil {
+			return err
+		}
+	}
+
+	fab := c.Fabric()
+	fab.SetBaseLatency(500 * time.Microsecond)
+	fab.SetBandwidth(64e6)
+	defer fab.SetBaseLatency(0)
+	defer fab.SetBandwidth(0)
+
+	// alignedQ joins on the shared distribution key (the co-located
+	// shape). skewQ joins a non-distribution column against the small
+	// dimension (the broadcast shape; the CN fallback's bloom semi-join
+	// also does well here, which is the honest comparison). shufQ joins
+	// two large tables on non-aligned keys where every build key exists —
+	// a bloom prunes nothing, so repartitioning is the only way to avoid
+	// hauling both inputs to the coordinator.
+	const alignedQ = "SELECT f.k, f.v, g.w FROM jfact f, jfact2 g WHERE f.k = g.k AND f.v < 400"
+	const skewQ = "SELECT f.v, d.tag FROM jfact f, jdim d WHERE f.d = d.id AND f.v < 400"
+	const shufQ = "SELECT f.v, g.w FROM jfact f, jfact2 g WHERE f.d = g.w AND f.v < 400"
+
+	// measure runs one query and returns total fabric bytes, the
+	// shuffle/broadcast components, mean latency, and a result digest
+	// (sorted — join output order is undefined across strategies).
+	measure := func(query string) (bytes, shufB, bcastB int64, lat time.Duration, key string, err error) {
+		const iters = 3
+		if _, err = s.Exec("BEGIN"); err != nil {
+			return
+		}
+		before := fab.Stats()
+		start := time.Now()
+		var res *core.Result
+		for i := 0; i < iters; i++ {
+			if res, err = s.Exec(query); err != nil {
+				return
+			}
+		}
+		lat = time.Since(start) / iters
+		d := fab.Stats().Sub(before)
+		if _, err = s.Exec("COMMIT"); err != nil {
+			return
+		}
+		bytes = d.TotalBytes() / iters
+		shufB = d.Get(transport.ShufflePart).Bytes / iters
+		bcastB = d.Get(transport.BcastBuild).Bytes / iters
+		lines := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			parts := make([]string, len(r))
+			for j, v := range r {
+				parts[j] = v.String()
+			}
+			lines[i] = strings.Join(parts, "|")
+		}
+		sort.Strings(lines)
+		key = fmt.Sprintf("%d:%s", len(lines), strings.Join(lines, ";"))
+		return
+	}
+
+	policies := []struct {
+		name string
+		pol  plan.DistJoinPolicy
+	}{
+		{"cn-fallback", plan.DistJoinPolicy{Disable: true}},
+		{"auto", plan.DistJoinPolicy{}},
+		{"colocated", plan.DistJoinPolicy{Force: plan.DistColocated}},
+		{"broadcast", plan.DistJoinPolicy{Force: plan.DistBroadcast}},
+		{"shuffle", plan.DistJoinPolicy{Force: plan.DistShuffle}},
+	}
+	type cell struct{ bytes, shufB, bcastB int64 }
+	queries := []struct {
+		name string
+		sql  string
+	}{{"aligned", alignedQ}, {"smalldim", skewQ}, {"repart", shufQ}}
+	cells := map[string]map[string]cell{}
+	keys := map[string]string{}
+	var rows [][]string
+	for _, p := range policies {
+		c.JoinPolicy = p.pol
+		cells[p.name] = map[string]cell{}
+		line := []string{p.name}
+		var shufB, bcastB int64
+		for _, q := range queries {
+			b, sB, cB, lat, key, err := measure(q.sql)
+			if err != nil {
+				return fmt.Errorf("joins: %s %s: %w", p.name, q.name, err)
+			}
+			if ref, ok := keys[q.name]; !ok {
+				keys[q.name] = key
+			} else if key != ref {
+				return fmt.Errorf("joins: %s results diverge under policy %q from cn-fallback", q.name, p.name)
+			}
+			cells[p.name][q.name] = cell{b, sB, cB}
+			shufB += sB
+			bcastB += cB
+			line = append(line, fmt.Sprintf("%d", b), lat.Round(time.Microsecond).String())
+		}
+		line = append(line, fmt.Sprintf("%d", shufB), fmt.Sprintf("%d", bcastB))
+		rows = append(rows, line)
+	}
+
+	// Identity across parallel degrees under the automatic policy.
+	c.JoinPolicy = plan.DistJoinPolicy{}
+	for _, degree := range []int{1, 2, 4} {
+		c.ParallelDegree = degree
+		for _, q := range queries {
+			_, _, _, _, key, err := measure(q.sql)
+			if err != nil {
+				return err
+			}
+			if key != keys[q.name] {
+				return fmt.Errorf("joins: %s results diverge at parallel degree %d", q.name, degree)
+			}
+		}
+	}
+	c.ParallelDegree = 0
+
+	benchfmt.Table(w, "Distributed joins — strategy vs fabric bytes, 2x8k facts + 64-row dim @4 shards (E20)",
+		[]string{"strategy", "aligned B/q", "latency", "smalldim B/q", "latency", "repart B/q", "latency", "shuffle B", "bcast B"}, rows)
+
+	// The reductions the strategies exist for, enforced strictly: each
+	// strategy must beat hauling both inputs to the coordinator on the
+	// query shape it is built for.
+	if co, cn := cells["colocated"]["aligned"].bytes, cells["cn-fallback"]["aligned"].bytes; co >= cn {
+		return fmt.Errorf("joins: co-located moved %d B vs %d B at the CN — wanted strictly fewer", co, cn)
+	}
+	if sh, cn := cells["shuffle"]["repart"].bytes, cells["cn-fallback"]["repart"].bytes; sh >= cn {
+		return fmt.Errorf("joins: shuffle moved %d B vs %d B at the CN — wanted strictly fewer", sh, cn)
+	}
+	if cells["shuffle"]["repart"].shufB == 0 {
+		return fmt.Errorf("joins: forced shuffle sent no shuffle_part bytes")
+	}
+	if cells["broadcast"]["smalldim"].bcastB == 0 {
+		return fmt.Errorf("joins: forced broadcast sent no bcast_build bytes")
+	}
+
+	// Planning stays inside the microsecond budget: a 6-table join chain
+	// must plan (route + order + compile) in under 100µs on a warm run.
+	for ti := 0; ti < 6; ti++ {
+		if _, err := s.Exec(fmt.Sprintf("CREATE TABLE jp%d (k%d BIGINT, v%d BIGINT) DISTRIBUTE BY HASH(k%d)", ti, ti, ti, ti)); err != nil {
+			return err
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "INSERT INTO jp%d VALUES ", ti)
+		for i := 0; i < 32; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i%8, i)
+		}
+		if _, err := s.Exec(sb.String()); err != nil {
+			return err
+		}
+	}
+	sixQ := "SELECT count(*) FROM jp0, jp1, jp2, jp3, jp4, jp5" +
+		" WHERE jp0.k0 = jp1.k1 AND jp1.k1 = jp2.k2 AND jp2.k2 = jp3.k3 AND jp3.k3 = jp4.k4 AND jp4.k4 = jp5.k5"
+	fab.SetBaseLatency(0)
+	fab.SetBandwidth(0)
+	minPlan := time.Duration(1 << 62)
+	for i := 0; i < 100; i++ {
+		res, err := s.Exec(sixQ)
+		if err != nil {
+			return err
+		}
+		if res.PlanTime > 0 && res.PlanTime < minPlan {
+			minPlan = res.PlanTime
+		}
+	}
+	fmt.Fprintf(w, "6-table join planning: best of 100 = %v (budget 100µs)\n\n", minPlan.Round(time.Microsecond))
+	if minPlan > 100*time.Microsecond {
+		return fmt.Errorf("joins: 6-table planning took %v, budget is 100µs", minPlan)
+	}
+	return nil
 }

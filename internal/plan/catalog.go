@@ -259,6 +259,33 @@ const (
 	DefaultJoinSelectivity  = 0.01
 )
 
+// CostModel bundles the planner's no-statistics selectivity constants so
+// tests (and embedders) can pin or perturb them per catalog instead of
+// recompiling magic numbers.
+type CostModel struct {
+	EqSelectivity    float64
+	RangeSelectivity float64
+	LikeSelectivity  float64
+	JoinSelectivity  float64
+}
+
+// DefaultCostModel returns the stock System R-style constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		EqSelectivity:    DefaultEqSelectivity,
+		RangeSelectivity: DefaultRangeSelectivity,
+		LikeSelectivity:  DefaultLikeSelectivity,
+		JoinSelectivity:  DefaultJoinSelectivity,
+	}
+}
+
+// CostCatalog is an optional Catalog extension supplying a custom cost
+// model. Catalogs that do not implement it get DefaultCostModel.
+type CostCatalog interface {
+	Catalog
+	Costs() CostModel
+}
+
 // ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------

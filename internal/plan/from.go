@@ -11,23 +11,21 @@ import (
 
 // planFromList plans comma-separated FROM items, consuming equi-join
 // conjuncts from the WHERE list (implicit joins, as in the paper's Table I
-// query) and returning the remaining conjuncts.
+// query) and returning the remaining conjuncts. Three or more items go
+// through the greedy, statistics-free join-order heuristic (greedy.go);
+// fewer keep the written order.
 func (pc *pctx) planFromList(items []sqlx.TableRef, conjuncts []sqlx.Expr) (exec.Operator, *Scope, []sqlx.Expr, error) {
-	var op exec.Operator
-	var scope *Scope
+	leaves := make([]joinLeaf, len(items))
 	for i, item := range items {
 		iop, iscope, err := pc.planTableRef(item, conjuncts)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		if i == 0 {
-			op, scope = iop, iscope
-			continue
-		}
-		op, scope, conjuncts, err = pc.joinPair(op, scope, iop, iscope, nil, exec.InnerJoin, conjuncts)
-		if err != nil {
-			return nil, nil, nil, err
-		}
+		leaves[i] = joinLeaf{op: iop, scope: iscope}
+	}
+	op, scope, conjuncts, err := pc.foldJoinList(leaves, conjuncts)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	// Scan-pushdown consumed some conjuncts; drop them from the residual
 	// list now (they are marked by planTableRef).
@@ -129,7 +127,11 @@ func (pc *pctx) joinPair(lop exec.Operator, lscope *Scope, rop exec.Operator, rs
 		if jt == exec.InnerJoin {
 			_, lEst := pc.stepOf(lop)
 			_, rEst := pc.stepOf(rop)
-			pc.tryBloomPushdown(hj, lop, lEst, rEst)
+			// A distributed join subsumes the bloom semi-join: both sides
+			// already execute DN-side, so there is no probe stream to prune.
+			if !pc.tryDistJoin(hj, lop, rop, lEst, rEst) {
+				pc.tryBloomPushdown(hj, lop, lEst, rEst)
+			}
 		}
 		join = hj
 	} else {
@@ -145,7 +147,7 @@ func (pc *pctx) joinPair(lop exec.Operator, lscope *Scope, rop exec.Operator, rs
 	rStep, rEst := pc.stepOf(rop)
 	if lStep != "" && rStep != "" {
 		stepText := JoinStep(lStep, rStep, keyPreds)
-		est := pc.estimateJoin(lEst, rEst, len(leftKeys) > 0)
+		est := pc.estimateJoin(lEst, rEst, len(leftKeys))
 		if pc.p.Estimator != nil {
 			if learned, ok := pc.p.Estimator.LookupStep(stepText); ok {
 				est = learned
@@ -305,7 +307,7 @@ func (pc *pctx) planBaseTable(bt *sqlx.BaseTable, conjuncts []sqlx.Expr) (exec.O
 		}
 		preds = append(preds, ce)
 		predTexts = append(predTexts, NormalizePredicate(ce.String()))
-		sel *= estimateConjunctSelectivity(meta, scope, c)
+		sel *= estimateConjunctSelectivity(pc.p.costs(), meta, scope, c)
 		pc.consumed[c] = true
 	}
 	var combinedPred exec.Expr
@@ -451,37 +453,52 @@ func scopeFromSchema(schema *types.Schema, alias string, names []string) *Scope 
 	return s
 }
 
-// estimateJoin combines child estimates.
-func (pc *pctx) estimateJoin(l, r float64, equi bool) float64 {
+// estimateJoin combines child estimates for a join with nkeys equi-key
+// pairs (nkeys == 0 means a non-equi or cross join). Constants come from
+// the catalog's cost model when it provides one.
+func (pc *pctx) estimateJoin(l, r float64, nkeys int) float64 {
+	cm := pc.p.costs()
 	if l <= 0 {
 		l = 1000
 	}
 	if r <= 0 {
 		r = 1000
 	}
-	if equi {
-		// Without key NDV information, assume the smaller side is the key
-		// side: |L ⋈ R| ≈ max(L, R).
-		if l > r {
-			return l
-		}
-		return r
+	small, big := l, r
+	if small > big {
+		small, big = big, small
 	}
-	return l * r * DefaultJoinSelectivity
+	if nkeys > 0 {
+		// Without key NDV information, assume the smaller side is the key
+		// side: |L ⋈ R| ≈ max(L, R) for one key pair. Additional key pairs
+		// each narrow the estimate, but a transitively-equal chain
+		// (a.k = b.k AND b.k = c.k contributes the same column twice) must
+		// not compound below what a single key could produce — the estimate
+		// is capped at the smaller input from below.
+		est := big
+		for i := 1; i < nkeys; i++ {
+			est *= cm.JoinSelectivity
+		}
+		if est < small {
+			est = small
+		}
+		return est
+	}
+	return l * r * cm.JoinSelectivity
 }
 
 // estimateConjunctSelectivity inspects a single-table conjunct's AST.
-func estimateConjunctSelectivity(meta *TableMeta, scope *Scope, e sqlx.Expr) float64 {
+func estimateConjunctSelectivity(cm CostModel, meta *TableMeta, scope *Scope, e sqlx.Expr) float64 {
 	if meta.Stats == nil {
-		return defaultSelectivityFor(e)
+		return defaultSelectivityFor(cm, e)
 	}
 	b, ok := e.(*sqlx.BinaryOp)
 	if !ok {
-		return defaultSelectivityFor(e)
+		return defaultSelectivityFor(cm, e)
 	}
 	col, lit, op := classifyColLit(b, scope)
 	if col < 0 {
-		return defaultSelectivityFor(e)
+		return defaultSelectivityFor(cm, e)
 	}
 	cs := &meta.Stats.Cols[col]
 	switch op {
@@ -494,9 +511,9 @@ func estimateConjunctSelectivity(meta *TableMeta, scope *Scope, e sqlx.Expr) flo
 	case sqlx.OpGt, sqlx.OpGe:
 		return 1 - cs.SelectivityLE(lit)
 	case sqlx.OpLike:
-		return DefaultLikeSelectivity
+		return cm.LikeSelectivity
 	default:
-		return defaultSelectivityFor(e)
+		return defaultSelectivityFor(cm, e)
 	}
 }
 
@@ -521,22 +538,22 @@ func classifyColLit(b *sqlx.BinaryOp, scope *Scope) (int, types.Datum, string) {
 	return -1, types.Null, ""
 }
 
-func defaultSelectivityFor(e sqlx.Expr) float64 {
+func defaultSelectivityFor(cm CostModel, e sqlx.Expr) float64 {
 	switch x := e.(type) {
 	case *sqlx.BinaryOp:
 		switch x.Op {
 		case sqlx.OpEq:
-			return DefaultEqSelectivity
+			return cm.EqSelectivity
 		case sqlx.OpLike:
-			return DefaultLikeSelectivity
+			return cm.LikeSelectivity
 		default:
-			return DefaultRangeSelectivity
+			return cm.RangeSelectivity
 		}
 	case *sqlx.Between:
-		return DefaultRangeSelectivity * DefaultRangeSelectivity
+		return cm.RangeSelectivity * cm.RangeSelectivity
 	case *sqlx.InList:
-		return DefaultEqSelectivity * float64(len(x.List))
+		return cm.EqSelectivity * float64(len(x.List))
 	default:
-		return DefaultRangeSelectivity
+		return cm.RangeSelectivity
 	}
 }

@@ -25,6 +25,18 @@ type Planner struct {
 	Access    Access
 	Hooks     Hooks
 	Estimator Estimator
+	// DistJoin steers distributed join strategy selection (dist.go); the
+	// zero value picks automatically.
+	DistJoin DistJoinPolicy
+}
+
+// costs resolves the cost model from the catalog, defaulting to the stock
+// constants when the catalog does not implement CostCatalog.
+func (p *Planner) costs() CostModel {
+	if cc, ok := p.Catalog.(CostCatalog); ok {
+		return cc.Costs()
+	}
+	return DefaultCostModel()
 }
 
 // ScopeCol is one visible column during binding.

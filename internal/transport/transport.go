@@ -66,14 +66,22 @@ const (
 	ClientReq
 	// ClientResp is the CN -> client response frame.
 	ClientResp
+	// ShufflePart is one hash-partitioned batch of join input crossing
+	// DN->DN during a shuffle join (payload = batch row bytes). Rows that
+	// stay on their source node are never sent, so this type's byte count
+	// is exactly the shuffle's fabric cost.
+	ShufflePart
+	// BcastBuild is the CN->DN shipment of a broadcast join's build side
+	// (payload = build row bytes; one message per receiving data node).
+	BcastBuild
 
-	numMsgTypes = int(ClientResp) + 1
+	numMsgTypes = int(BcastBuild) + 1
 )
 
 var msgTypeNames = [numMsgTypes]string{
 	"snapshot_req", "gtm_round", "scan_frag", "write", "prepare",
 	"commit", "abort", "repl_ship", "rebal_copy", "rebal_delta",
-	"client_req", "client_resp",
+	"client_req", "client_resp", "shuffle_part", "bcast_build",
 }
 
 func (t MsgType) String() string {
