@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp|htap|joins]
+//	fibench [-exp all|fig3|table1|fig8|fig11|learn|tpcc|ablation|sync|mpp|expand|parallel|ha|net|georepl|frontdoor|ndp|htap|joins|autopilot]
 //	        [-duration seconds] [-sessions n]
 package main
 
@@ -52,6 +52,7 @@ func main() {
 		{"ndp", func() error { return experiments.NDP(w) }},
 		{"htap", func() error { return experiments.HTAP(w, 300) }},
 		{"joins", func() error { return experiments.Joins(w) }},
+		{"autopilot", func() error { return experiments.Autopilot(w, 4000) }},
 	}
 
 	known := *exp == "all"

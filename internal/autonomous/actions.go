@@ -1,0 +1,130 @@
+package autonomous
+
+import (
+	"sync"
+	"time"
+)
+
+// ActionRecord is one automatic intervention that flowed through the
+// action log — executed, attempted (Err non-empty), or planned only
+// (DryRun).
+type ActionRecord struct {
+	At     time.Time
+	Kind   string
+	Detail string
+	DryRun bool
+	Err    string // empty on success
+}
+
+// ActionLog is the shared journal every autopilot intervention flows
+// through. It gives the control loop the two properties that keep a
+// closed loop safe to run unattended:
+//
+//   - Cooldowns. Each action kind can carry a minimum interval between
+//     occurrences; Allow gates the planner so a persistent signal (a node
+//     that stays hot, a detector that keeps firing) produces a paced
+//     stream of actions instead of a storm. Recording an action — even in
+//     dry-run — stamps the kind's cooldown clock, so the planned cadence
+//     is identical whether or not the actuators run.
+//   - Dry-run. With dry-run on, planners record their decisions but
+//     actuators must not run; tests (and cautious operators) observe
+//     exactly what the loop would do with zero side effects.
+//
+// The clock is injectable, so cooldown tests run on a fake clock with no
+// sleeps.
+type ActionLog struct {
+	clock func() time.Time
+
+	mu        sync.Mutex
+	cooldowns map[string]time.Duration
+	last      map[string]time.Time
+	dryRun    bool
+	log       []ActionRecord
+}
+
+// NewActionLog creates an action log; clock may be nil (wall clock).
+func NewActionLog(clock func() time.Time) *ActionLog {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &ActionLog{
+		clock:     clock,
+		cooldowns: map[string]time.Duration{},
+		last:      map[string]time.Time{},
+	}
+}
+
+// SetCooldown sets the minimum interval between actions of one kind
+// (0 removes the cooldown).
+func (l *ActionLog) SetCooldown(kind string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d <= 0 {
+		delete(l.cooldowns, kind)
+		return
+	}
+	l.cooldowns[kind] = d
+}
+
+// SetDryRun toggles dry-run mode: planners keep recording decisions but
+// actuators must not execute them.
+func (l *ActionLog) SetDryRun(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dryRun = on
+}
+
+// DryRun reports whether dry-run mode is on.
+func (l *ActionLog) DryRun() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dryRun
+}
+
+// Allow reports whether kind's cooldown has elapsed since it was last
+// recorded. A pure check — only Record stamps the cooldown clock.
+func (l *ActionLog) Allow(kind string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cd, ok := l.cooldowns[kind]
+	if !ok {
+		return true
+	}
+	last, seen := l.last[kind]
+	return !seen || l.clock().Sub(last) >= cd
+}
+
+// Record journals one action and stamps its kind's cooldown clock. err may
+// be nil. The record carries the log's current dry-run flag.
+func (l *ActionLog) Record(kind, detail string, err error) ActionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := ActionRecord{At: l.clock(), Kind: kind, Detail: detail, DryRun: l.dryRun}
+	if err != nil {
+		rec.Err = err.Error()
+	}
+	l.last[kind] = rec.At
+	l.log = append(l.log, rec)
+	return rec
+}
+
+// History returns every recorded action in order.
+func (l *ActionLog) History() []ActionRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]ActionRecord(nil), l.log...)
+}
+
+// Count returns how many actions of kind were recorded (including dry-run
+// and failed ones).
+func (l *ActionLog) Count(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, rec := range l.log {
+		if rec.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

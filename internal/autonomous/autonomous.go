@@ -300,6 +300,9 @@ type AnomalyManager struct {
 	baselines  map[string]*OnlineStats
 	heartbeats map[string]time.Time
 	log        []Anomaly
+	// consumed is the Consume cursor into log: anomalies before it have
+	// been handed to the action planner.
+	consumed int
 }
 
 // NewAnomalyManager creates a manager over an information store.
@@ -385,4 +388,26 @@ func (a *AnomalyManager) Log() []Anomaly {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return append([]Anomaly(nil), a.log...)
+}
+
+// Consume returns the anomalies recorded since the previous Consume call
+// and advances the cursor — the hand-off from detection to the action
+// planner, so every detection is planned against exactly once. Log still
+// returns the full history.
+func (a *AnomalyManager) Consume() []Anomaly {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := append([]Anomaly(nil), a.log[a.consumed:]...)
+	a.consumed = len(a.log)
+	return out
+}
+
+// Forget drops a node's heartbeat tracking. The planner calls it after
+// acting on a datanode_down detection (failover, retirement), so the dead
+// node stops re-raising the anomaly every Check; detection re-arms when
+// the node returns and heartbeats resume.
+func (a *AnomalyManager) Forget(node string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.heartbeats, node)
 }

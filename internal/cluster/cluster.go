@@ -252,6 +252,11 @@ type Cluster struct {
 	// Read-replica routing policy (guarded by routeMu; see SetStandbyReads).
 	standbyReadMode StandbyReadMode
 	standbyReadable func(primary int) (int, bool)
+
+	// heat counts per-bucket key routings (reads and writes), always on —
+	// one atomic add per routed key. The autopilot diffs snapshots of it
+	// (BucketHeat) to find hot buckets worth spreading. See heat.go.
+	heat [NumBuckets]atomic.Int64
 }
 
 // New builds a cluster.
@@ -401,7 +406,9 @@ func (c *Cluster) ColstoreStats() (colstore.TableStats, colstore.ScanStats) {
 // bucket map. Callers must hold routeMu (statements hold the read side for
 // their whole execution).
 func (c *Cluster) shardFor(key types.Datum) int {
-	return c.bmap.dn[BucketOf(key)]
+	b := BucketOf(key)
+	c.touchHeat(b)
+	return c.bmap.dn[b]
 }
 
 // writeTarget routes one row's distribution key for a write. Writes into a
@@ -410,6 +417,7 @@ func (c *Cluster) shardFor(key types.Datum) int {
 // stalled writer. Caller must hold routeMu.
 func (c *Cluster) writeTarget(key types.Datum) (int, error) {
 	b := BucketOf(key)
+	c.touchHeat(b)
 	if c.frozenCount > 0 && c.frozen[b] {
 		return 0, fmt.Errorf("%w (bucket %d)", ErrBucketMigrating, b)
 	}

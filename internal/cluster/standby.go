@@ -32,6 +32,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/transport"
 	"repro/internal/txnkit"
 	"repro/internal/types"
 )
@@ -427,6 +428,107 @@ func (c *Cluster) ReenrollStandby(node, upstream int, onReady func(standbyID int
 		onReady(node)
 	}
 	return nil
+}
+
+// ReseedStandby wipes an existing standby and re-seeds it as a fresh direct
+// standby of a new upstream. It is the repair primitive behind two
+// self-healing paths: re-homing a chain-orphaned standby (its parent
+// standby broke or died) directly under the group's primary, and restoring
+// a poisoned mirror (apply divergence) from a clean snapshot. The caller
+// (internal/repl) must have quiesced the standby's apply pipeline first —
+// nothing may call ApplyStandbyRecs for the node concurrently. Like
+// ReenrollStandby the wipe + re-seed happens under the route barrier, and
+// onReady runs while the barrier is held, so record capture resumes exactly
+// at the seed snapshot.
+func (c *Cluster) ReseedStandby(node, upstream int, onReady func(standbyID int)) error {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	n := len(c.nodes())
+	if node < 0 || node >= n {
+		return fmt.Errorf("cluster: dn%d does not exist", node)
+	}
+	if upstream < 0 || upstream >= n {
+		return fmt.Errorf("cluster: dn%d does not exist", upstream)
+	}
+	if node == upstream {
+		return fmt.Errorf("cluster: dn%d cannot be its own standby", node)
+	}
+	oldUp, isStandby := c.standbys[node]
+	if !isStandby {
+		return fmt.Errorf("cluster: dn%d is not a standby; only standbys can re-seed (see ReenrollStandby for retired primaries)", node)
+	}
+	if c.downNodes[node] || c.fab.Unreachable(transport.DN(node)) {
+		return fmt.Errorf("cluster: cannot re-seed dn%d: %w", node, ErrNodeDown)
+	}
+	if c.retired[upstream] {
+		return fmt.Errorf("cluster: dn%d is retired", upstream)
+	}
+	if c.downNodes[upstream] || c.fab.Unreachable(transport.DN(upstream)) {
+		return fmt.Errorf("cluster: cannot seed a standby from dn%d: %w", upstream, ErrNodeDown)
+	}
+
+	dn := c.node(node)
+
+	// Wipe: swap fresh empty partitions in at the node's index (copy-on-
+	// write with rollback, mirroring ReenrollStandby). The route barrier
+	// blocks all statements for the duration, so no scan or replicated
+	// write can observe the half-built state.
+	type undo struct {
+		ti  *TableInfo
+		old *tableParts
+	}
+	var undos []undo
+	rollback := func() {
+		for _, u := range undos {
+			u.ti.parts.Store(u.old)
+		}
+	}
+	for _, ti := range c.tables {
+		p := ti.parts.Load()
+		undos = append(undos, undo{ti, p})
+		ti.parts.Store(replacePartition(ti, p, node, dn))
+	}
+	if err := c.seedTablesLocked(upstream, node, n, dn); err != nil {
+		rollback()
+		return err
+	}
+
+	// Re-home: leave the old upstream's standby list, join the new one.
+	c.standbys[node] = upstream
+	sibs := c.standbyOf[oldUp]
+	for i, sib := range sibs {
+		if sib == node {
+			c.standbyOf[oldUp] = append(sibs[:i:i], sibs[i+1:]...)
+			break
+		}
+	}
+	c.standbyOf[upstream] = append(c.standbyOf[upstream], node)
+
+	if onReady != nil {
+		onReady(node)
+	}
+	return nil
+}
+
+// ReturnedPrimaries lists retired ex-primaries that are back online —
+// marked up again and reachable — and therefore candidates for automatic
+// re-enrollment as standbys of their successors (the autopilot's
+// redundancy-restoring heal step).
+func (c *Cluster) ReturnedPrimaries() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int
+	for id, r := range c.retired {
+		if !r || c.downNodes[id] || c.fab.Unreachable(transport.DN(id)) {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // PromoteStandby makes standby the owner of every bucket primary holds and

@@ -1,0 +1,102 @@
+// The autopilot's decision layer: pure planning helpers, separated from
+// Tick's collection and actuation so decisions are unit-testable on
+// synthetic inputs with no cluster behind them.
+package core
+
+// heatSummary aggregates one tick's per-bucket heat delta onto the live
+// primaries that own the buckets.
+type heatSummary struct {
+	total  int64
+	perDN  map[int]int64
+	hotDN  int // primary with the most heat (-1 when no live primaries)
+	coldDN int // primary with the least heat (-1 when no live primaries)
+	max    int64
+	min    int64
+	ratio  float64 // max over mean-per-primary; 0 when the window is idle
+}
+
+// summarizeHeat folds a per-bucket heat delta onto its owners. Buckets
+// owned by nodes outside primaries (down, retired, standby) are ignored —
+// they are not placement candidates this tick. primaries must be sorted
+// (it is, coming from PrimaryIDs), making hot/cold ties deterministic.
+func summarizeHeat(delta []int64, owners []int, primaries []int) heatSummary {
+	s := heatSummary{perDN: make(map[int]int64, len(primaries)), hotDN: -1, coldDN: -1}
+	for _, dn := range primaries {
+		s.perDN[dn] = 0
+	}
+	for b, h := range delta {
+		if h <= 0 || b >= len(owners) {
+			continue
+		}
+		if _, live := s.perDN[owners[b]]; !live {
+			continue
+		}
+		s.perDN[owners[b]] += h
+		s.total += h
+	}
+	if len(primaries) == 0 {
+		return s
+	}
+	for i, dn := range primaries {
+		h := s.perDN[dn]
+		if i == 0 || h > s.max {
+			s.max, s.hotDN = h, dn
+		}
+		if i == 0 || h < s.min {
+			s.min, s.coldDN = h, dn
+		}
+	}
+	if mean := float64(s.total) / float64(len(primaries)); mean > 0 {
+		s.ratio = float64(s.max) / mean
+	}
+	return s
+}
+
+// planBucketMove picks the transfer that best sheds load from the hot
+// node: the hottest bucket on the hot node whose heat is strictly less
+// than the hot-cold gap — moving a hotter bucket than that would just
+// relocate the hot spot instead of spreading it. ok is false when no
+// such bucket exists (e.g. a single bucket carries all the heat: no
+// placement can help, only the workload can).
+func planBucketMove(delta []int64, owners []int, s heatSummary) (bucket, target int, ok bool) {
+	if s.hotDN < 0 || s.coldDN < 0 || s.hotDN == s.coldDN {
+		return 0, 0, false
+	}
+	gap := s.max - s.min
+	best, bestHeat := -1, int64(0)
+	for b, h := range delta {
+		if b >= len(owners) || owners[b] != s.hotDN || h <= 0 || h >= gap {
+			continue
+		}
+		if h > bestHeat {
+			best, bestHeat = b, h
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return best, s.coldDN, true
+}
+
+// heatLatch is the hot-bucket controller's hysteresis state: it arms when
+// the skew ratio crosses hotRatio on a window with at least minHeat total
+// accesses, and disarms only when the ratio falls to targetRatio (or the
+// window goes idle). Between the two thresholds it holds its previous
+// state, so heat oscillating around either threshold cannot flap the
+// controller on and off.
+type heatLatch struct {
+	hot bool
+}
+
+// update feeds one window's summary and reports whether the controller is
+// armed.
+func (l *heatLatch) update(ratio float64, total, minHeat int64, hotRatio, targetRatio float64) bool {
+	if !l.hot {
+		if total >= minHeat && ratio >= hotRatio {
+			l.hot = true
+		}
+	} else if total < minHeat || ratio <= targetRatio {
+		l.hot = false
+	}
+	return l.hot
+}

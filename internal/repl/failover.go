@@ -104,6 +104,9 @@ func (m *Manager) drainCandidate(g *group) (*replica, error) {
 		viable := 0
 		var brokenErr error
 		for _, r := range *g.direct.Load() {
+			if r.detached.Load() {
+				continue
+			}
 			if r.broken.Load() {
 				if brokenErr == nil {
 					brokenErr = fmt.Errorf("standby dn%d diverged, refusing promotion: %w", r.node, r.brokenErr())

@@ -44,8 +44,14 @@ type replica struct {
 	// is no longer readable or promotable; its queue keeps draining (and
 	// acking) so sync-mode commits are still released.
 	broken atomic.Bool
-	mu     sync.Mutex // guards err
-	err    error
+	// detached latches when a self-healing re-seed takes this replica
+	// object out of service (its node re-enrolls under a fresh replica):
+	// the apply loop stops applying — and ship retry loops bail — so the
+	// node's partitions are quiescent while the cluster wipes and re-seeds
+	// them. A detached replica acks through, like a broken one.
+	detached atomic.Bool
+	mu       sync.Mutex // guards err
+	err      error
 }
 
 func newReplica(g *group, link transport.Latency) *replica {
@@ -127,6 +133,19 @@ func appendCoW(p *atomic.Pointer[[]*replica], r *replica) {
 	next := make([]*replica, len(old)+1)
 	copy(next, old)
 	next[len(old)] = r
+	p.Store(&next)
+}
+
+// removeCoW removes r from a copy-on-write replica slice (no-op when
+// absent). Caller holds Manager.mu.
+func removeCoW(p *atomic.Pointer[[]*replica], r *replica) {
+	old := *p.Load()
+	next := make([]*replica, 0, len(old))
+	for _, x := range old {
+		if x != r {
+			next = append(next, x)
+		}
+	}
 	p.Store(&next)
 }
 
@@ -272,7 +291,7 @@ func (m *Manager) ReadReplica(primary int) (int, bool) {
 	}
 	for i := 0; i < n; i++ {
 		r := reps[(start+i)%n]
-		if !r.broken.Load() && r.lag() == 0 {
+		if !r.broken.Load() && !r.detached.Load() && r.lag() == 0 {
 			return r.node, true
 		}
 	}

@@ -8,17 +8,27 @@ import (
 )
 
 // quorumAck tracks one committed leg's K-of-N acknowledgement across a
-// replica group: done closes when the K-th replica acks. Acks past zero
-// (N > K) drive the counter negative and are ignored, so done closes
-// exactly once.
+// replica group: done closes when the K-th replica acks. The need is
+// mutable — a live quorum reconfiguration (Manager.SetQuorum) lowering K
+// sweeps the pending acks and lowers their need, releasing waiters blocked
+// behind a quorum the group can no longer fill. The acked/need pair is
+// checked crosswise with sequentially consistent atomics (ack stores
+// acked then reads need; lowerNeed stores need then reads acked), so at
+// least one side observes a satisfied quorum — no lost wakeup — and the
+// closed latch makes done close exactly once.
 type quorumAck struct {
-	remaining atomic.Int32
-	done      chan struct{}
+	acked  atomic.Int32
+	need   atomic.Int32
+	closed atomic.Bool
+	done   chan struct{}
 }
 
 func newQuorumAck(k int) *quorumAck {
 	q := &quorumAck{done: make(chan struct{})}
-	q.remaining.Store(int32(k))
+	q.need.Store(int32(k))
+	if k <= 0 {
+		q.close()
+	}
 	return q
 }
 
@@ -29,7 +39,31 @@ func newQuorumAck(k int) *quorumAck {
 // quorum's durability claim shrinks by one replica either way, which
 // Status surfaces as Broken).
 func (q *quorumAck) ack() {
-	if q.remaining.Add(-1) == 0 {
+	if q.acked.Add(1) >= q.need.Load() {
+		q.close()
+	}
+}
+
+// lowerNeed reduces the quorum this leg still waits for (a raise never
+// applies retroactively — in-flight waits only ever get easier), closing
+// done if the acks already collected now satisfy it.
+func (q *quorumAck) lowerNeed(k int32) {
+	for {
+		cur := q.need.Load()
+		if k >= cur {
+			return
+		}
+		if q.need.CompareAndSwap(cur, k) {
+			break
+		}
+	}
+	if q.acked.Load() >= k {
+		q.close()
+	}
+}
+
+func (q *quorumAck) close() {
+	if q.closed.CompareAndSwap(false, true) {
 		close(q.done)
 	}
 }

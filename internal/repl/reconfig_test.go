@@ -1,0 +1,147 @@
+package repl
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+)
+
+// pendingAcks counts commits currently registered for a quorum wait.
+func (m *Manager) pendingAcks() int {
+	m.ackMu.Lock()
+	defer m.ackMu.Unlock()
+	return len(m.pending)
+}
+
+// TestRaiseQuorumAboveGroupDegrades pins the clamp: raising K above the
+// group's replica count must degrade each commit to all-replicas, not
+// wedge the client until SyncTimeout.
+func TestRaiseQuorumAboveGroupDegrades(t *testing.T) {
+	c := newCluster(t, 2, cluster.ModeGTMLite)
+	s := setupAccounts(t, c, 20)
+	m := NewManager(c, Config{Mode: ModeSync, QuorumAcks: 1, SyncTimeout: 2 * time.Second})
+	defer m.Close()
+	sids := attachN(t, m, 0, 2)
+	waitGroupSynced(t, m, 0)
+
+	if old, err := m.SetQuorum(5); err != nil || old != 1 {
+		t.Fatalf("SetQuorum(5) = %d, %v", old, err)
+	}
+	if m.Quorum() != 5 || m.BaseQuorum() != 1 {
+		t.Fatalf("Quorum = %d, BaseQuorum = %d", m.Quorum(), m.BaseQuorum())
+	}
+	key := keyOn(c, 0)
+	start := time.Now()
+	mustExec(t, s, fmt.Sprintf("UPDATE accounts SET balance = 5 WHERE id = %d", key))
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("commit with K above group size took %v; should clamp to all-replicas, not run out the SyncTimeout", elapsed)
+	}
+	waitGroupSynced(t, m, 0)
+	groupMirrors(t, c, 0, sids...)
+	if _, err := m.SetQuorum(0); err == nil {
+		t.Fatal("SetQuorum(0) should be rejected")
+	}
+}
+
+// TestLowerQuorumReleasesBlockedWaiter blocks a K=2 commit behind a dead
+// ship link (only one ack can ever arrive) and lowers K to 1 mid-wait: the
+// sweep must release the waiter immediately instead of leaving it to run
+// out a (deliberately huge) SyncTimeout.
+func TestLowerQuorumReleasesBlockedWaiter(t *testing.T) {
+	c := newCluster(t, 2, cluster.ModeGTMLite)
+	setupAccounts(t, c, 20)
+	m := NewManager(c, Config{Mode: ModeSync, QuorumAcks: 2, SyncTimeout: 30 * time.Second})
+	defer m.Close()
+	sids := attachN(t, m, 0, 2)
+	waitGroupSynced(t, m, 0)
+
+	c.Fabric().InjectFault(transport.DN(0), transport.DN(sids[1]),
+		transport.Fault{Types: []transport.MsgType{transport.ReplShip}, Drop: true})
+	defer c.Fabric().ClearFaults()
+
+	key := keyOn(c, 0)
+	done := make(chan time.Duration, 1)
+	start := time.Now()
+	go func() {
+		s := c.NewSession()
+		if _, err := s.Exec(fmt.Sprintf("UPDATE accounts SET balance = 6 WHERE id = %d", key)); err != nil {
+			t.Errorf("blocked commit failed: %v", err)
+		}
+		done <- time.Since(start)
+	}()
+
+	// Wait until the commit has registered its quorum wait.
+	deadline := time.Now().Add(5 * time.Second)
+	for m.pendingAcks() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("commit never registered a quorum wait")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if old, err := m.SetQuorum(1); err != nil || old != 2 {
+		t.Fatalf("SetQuorum(1) = %d, %v", old, err)
+	}
+	select {
+	case elapsed := <-done:
+		if elapsed > 10*time.Second {
+			t.Fatalf("waiter released only after %v; lowering K should have released it immediately", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("lowering K did not release the blocked commit")
+	}
+}
+
+// TestConcurrentReconfigAndFailover races a SetQuorum loop against a
+// failover of the group's primary: both must linearize under the topology
+// lock — the failover completes, the final K sticks, and the regrouped
+// replica set still commits (clamped to the survivor count, so no wedge).
+func TestConcurrentReconfigAndFailover(t *testing.T) {
+	c := newCluster(t, 2, cluster.ModeGTMLite)
+	setupAccounts(t, c, 40)
+	m := NewManager(c, Config{Mode: ModeSync, QuorumAcks: 1, SyncTimeout: 200 * time.Millisecond})
+	defer m.Close()
+	attachN(t, m, 0, 2)
+	waitGroupSynced(t, m, 0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := m.SetQuorum(1 + i%3); err != nil {
+				t.Errorf("SetQuorum: %v", err)
+				return
+			}
+		}
+		if _, err := m.SetQuorum(2); err != nil {
+			t.Errorf("final SetQuorum: %v", err)
+		}
+	}()
+	c.SetDataNodeDown(0, true)
+	rep, err := m.Failover(0)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("failover raced reconfigure: %v", err)
+	}
+	if got := m.Quorum(); got != 2 {
+		t.Fatalf("final Quorum = %d, want 2", got)
+	}
+	if len(rep.Survivors) != 1 {
+		t.Fatalf("survivors = %v, want one", rep.Survivors)
+	}
+
+	// The promoted group still commits: K=2 clamps to the one survivor.
+	s := c.NewSession()
+	key := keyOn(c, rep.Standby)
+	start := time.Now()
+	mustExec(t, s, fmt.Sprintf("UPDATE accounts SET balance = 7 WHERE id = %d", key))
+	if elapsed := time.Since(start); elapsed >= 200*time.Millisecond {
+		t.Fatalf("post-failover commit ran out the SyncTimeout (%v); K should clamp to the survivor", elapsed)
+	}
+	waitGroupSynced(t, m, rep.Standby)
+	groupMirrors(t, c, rep.Standby, rep.Survivors...)
+}

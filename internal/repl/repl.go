@@ -128,8 +128,23 @@ type Manager struct {
 	mu     sync.Mutex                     // serializes group/replica topology writes
 	groups atomic.Pointer[map[int]*group] // current primary -> group, copy-on-write
 
+	// quorumK is the live sync-quorum K, initialized from cfg.QuorumAcks
+	// and changed at runtime by SetQuorum (see reconfig.go).
+	quorumK atomic.Int32
+	// pending registers sync acks whose commit wait has not finished, so a
+	// live K lowering can sweep them and release blocked waiters.
+	ackMu   sync.Mutex
+	pending map[*quorumAck]struct{}
+
 	shipped   atomic.Int64 // records applied on replicas, lifetime
 	failovers atomic.Int64
+
+	// Sync commit ack telemetry: waits served, waits that hit SyncTimeout
+	// (degraded to async), and total wait time — the ack-latency signal
+	// the autopilot's quorum policy consumes.
+	ackWaits    atomic.Int64
+	ackTimeouts atomic.Int64
+	ackWaitNs   atomic.Int64
 
 	wg        sync.WaitGroup
 	stop      chan struct{}
@@ -142,9 +157,10 @@ type Manager struct {
 // single-standby AttachStandby).
 func NewManager(c *cluster.Cluster, cfg Config) *Manager {
 	cfg = cfg.withDefaults()
-	m := &Manager{c: c, cfg: cfg, fab: c.Fabric(), stop: make(chan struct{})}
+	m := &Manager{c: c, cfg: cfg, fab: c.Fabric(), stop: make(chan struct{}), pending: map[*quorumAck]struct{}{}}
 	empty := map[int]*group{}
 	m.groups.Store(&empty)
+	m.quorumK.Store(int32(cfg.QuorumAcks))
 	c.SetCommitTap(m)
 	c.SetStandbyReads(cfg.ReadMode, m.ReadReplica)
 	if cfg.AutoFailover {
@@ -190,11 +206,20 @@ func (m *Manager) Committed(dnID int, recs []cluster.WriteRec) func() {
 	}
 	var ack *quorumAck
 	if m.cfg.Mode == ModeSync {
-		k := m.cfg.QuorumAcks
+		// K is the live quorum (SetQuorum), clamped per commit to the group
+		// size: asking for more acks than the group has replicas degrades
+		// to all-replicas instead of wedging the client.
+		k := int(m.quorumK.Load())
+		if k < 1 {
+			k = 1
+		}
 		if n := len(*g.replicas.Load()); k > n {
 			k = n
 		}
 		ack = newQuorumAck(k)
+		m.ackMu.Lock()
+		m.pending[ack] = struct{}{}
+		m.ackMu.Unlock()
 	}
 	for _, r := range direct {
 		r.log.append(recs, ack)
@@ -204,12 +229,19 @@ func (m *Manager) Committed(dnID int, recs []cluster.WriteRec) func() {
 	}
 	timeout := m.cfg.SyncTimeout
 	return func() {
+		start := time.Now()
 		select {
 		case <-ack.done:
 		case <-time.After(timeout):
 			// Degrade to async: the commit is durable on the primary and
 			// stays queued for the replicas; only the quorum ack is lost.
+			m.ackTimeouts.Add(1)
 		}
+		m.ackWaits.Add(1)
+		m.ackWaitNs.Add(time.Since(start).Nanoseconds())
+		m.ackMu.Lock()
+		delete(m.pending, ack)
+		m.ackMu.Unlock()
 	}
 }
 
@@ -241,7 +273,7 @@ func (m *Manager) applyLoop(r *replica) {
 // but the loop keeps consuming — and acking — so sync-mode commits are
 // still released.
 func (m *Manager) applyBatch(r *replica, batch []*Entry) {
-	if r.broken.Load() || !m.ship(r, batch) {
+	if r.detached.Load() || r.broken.Load() || !m.ship(r, batch) {
 		ackBatch(batch)
 		return
 	}
@@ -285,6 +317,11 @@ func (m *Manager) ship(r *replica, batch []*Entry) bool {
 		payload += recsPayload(e.Recs)
 	}
 	for {
+		if r.detached.Load() {
+			// A re-seed is taking this replica object out of service; stop
+			// retrying so the apply loop quiesces promptly.
+			return false
+		}
 		up := int(r.upstream.Load())
 		err := m.fab.Send(transport.DN(up), transport.DN(r.node), transport.ReplShip, payload)
 		if err == nil {
@@ -324,7 +361,7 @@ func (m *Manager) Synced(primary int) bool {
 	}
 	live := 0
 	for _, r := range reps {
-		if r.broken.Load() {
+		if r.broken.Load() || r.detached.Load() {
 			continue
 		}
 		if r.lag() != 0 {
@@ -376,11 +413,29 @@ type Status struct {
 	Replicas       []ReplicaStatus
 	RecordsShipped int64
 	Failovers      int64
+
+	// QuorumAcks is the live sync-quorum K (see SetQuorum).
+	QuorumAcks int
+	// AckWaits / AckTimeouts / AckWaitAvg summarize sync commit ack waits:
+	// how many were served, how many degraded to async at SyncTimeout, and
+	// the mean wait — the ack-latency signal driving quorum policy.
+	AckWaits    int64
+	AckTimeouts int64
+	AckWaitAvg  time.Duration
 }
 
 // Status implements the monitoring pull.
 func (m *Manager) Status() Status {
-	st := Status{RecordsShipped: m.shipped.Load(), Failovers: m.failovers.Load()}
+	st := Status{
+		RecordsShipped: m.shipped.Load(),
+		Failovers:      m.failovers.Load(),
+		QuorumAcks:     int(m.quorumK.Load()),
+		AckWaits:       m.ackWaits.Load(),
+		AckTimeouts:    m.ackTimeouts.Load(),
+	}
+	if st.AckWaits > 0 {
+		st.AckWaitAvg = time.Duration(m.ackWaitNs.Load() / st.AckWaits)
+	}
 	for primary, g := range *m.groups.Load() {
 		for _, r := range *g.replicas.Load() {
 			st.Replicas = append(st.Replicas, ReplicaStatus{

@@ -35,6 +35,13 @@ type Config struct {
 	// are Payments (TPC-C uses ~45/43; we use 0.5).
 	NewOrderWeight float64
 	Seed           int64
+	// HotWarehouses, with HotFraction, skews the home-warehouse pick:
+	// HotFraction of transactions redirect their home to a uniformly
+	// chosen member of HotWarehouses. Both zero-valued by default, which
+	// leaves the uniform pick — and its RNG stream — untouched, so
+	// existing seeded runs reproduce bit-for-bit.
+	HotWarehouses []int
+	HotFraction   float64
 }
 
 // DefaultConfig returns a small but non-trivial configuration.
@@ -151,6 +158,9 @@ func (d *Driver) Run(n int) error {
 // throughput benchmark's abort accounting).
 func (d *Driver) RunOne() error {
 	home := d.rng.Intn(d.cfg.Warehouses)
+	if n := len(d.cfg.HotWarehouses); n > 0 && d.cfg.HotFraction > 0 && d.rng.Float64() < d.cfg.HotFraction {
+		home = d.cfg.HotWarehouses[d.rng.Intn(n)]
+	}
 	remote := home
 	multiShard := false
 	if d.cfg.Warehouses > 1 && d.rng.Float64() >= d.cfg.SingleShardFraction {

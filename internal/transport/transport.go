@@ -375,7 +375,68 @@ type Fabric struct {
 
 	part atomic.Pointer[partition]
 
+	// dnStats holds always-on per-data-node delivery counters (messages
+	// addressed to each DN endpoint, all types) — the per-node load signal
+	// the autopilot's hot-shard detection reads without paying TrackLinks'
+	// per-message mutex. The slice is grown copy-on-write under mu; the
+	// hot path pays one pointer load plus two atomic adds.
+	dnStats atomic.Pointer[[]*dnCounter]
+
 	sleep func(time.Duration)
+}
+
+type dnCounter struct {
+	msgs  atomic.Int64
+	bytes atomic.Int64
+}
+
+// DNStat is one data node's delivered-traffic counters, indexed by node id.
+type DNStat struct {
+	ID    int
+	Msgs  int64
+	Bytes int64
+}
+
+// dnCounter returns (growing the set if needed) the counter for DN id.
+func (f *Fabric) dnCounter(id int) *dnCounter {
+	if id < 0 {
+		return nil
+	}
+	if p := f.dnStats.Load(); p != nil && id < len(*p) {
+		return (*p)[id]
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.dnStats.Load()
+	n := id + 1
+	if p != nil && len(*p) > n {
+		n = len(*p)
+	}
+	next := make([]*dnCounter, n)
+	if p != nil {
+		copy(next, *p)
+	}
+	for i := range next {
+		if next[i] == nil {
+			next[i] = &dnCounter{}
+		}
+	}
+	f.dnStats.Store(&next)
+	return next[id]
+}
+
+// DNStats snapshots per-data-node delivered traffic, sorted by node id.
+// Nodes that never received a message are absent.
+func (f *Fabric) DNStats() []DNStat {
+	p := f.dnStats.Load()
+	if p == nil {
+		return nil
+	}
+	out := make([]DNStat, len(*p))
+	for i, c := range *p {
+		out[i] = DNStat{ID: i, Msgs: c.msgs.Load(), Bytes: c.bytes.Load()}
+	}
+	return out
 }
 
 // New builds a fabric.
@@ -534,6 +595,12 @@ func (f *Fabric) Send(from, to Endpoint, t MsgType, payloadBytes int) error {
 
 	f.counts[t].Add(1)
 	f.bytes[t].Add(int64(payloadBytes))
+	if to.Kind == KindDN {
+		if dc := f.dnCounter(to.ID); dc != nil {
+			dc.msgs.Add(1)
+			dc.bytes.Add(int64(payloadBytes))
+		}
+	}
 	if f.trackLinks.Load() {
 		f.recordLink(from, to, payloadBytes, false)
 	}
@@ -603,5 +670,11 @@ func (f *Fabric) ResetCounters() {
 		f.counts[i].Store(0)
 		f.bytes[i].Store(0)
 		f.dropped[i].Store(0)
+	}
+	if p := f.dnStats.Load(); p != nil {
+		for _, dc := range *p {
+			dc.msgs.Store(0)
+			dc.bytes.Store(0)
+		}
 	}
 }
